@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.benchgen import paper_example2, suite_cases
+
+
+@pytest.fixture(scope="session")
+def example2():
+    return paper_example2()
+
+
+@pytest.fixture(scope="session")
+def cases_by_name():
+    return {case.name: case for case in suite_cases()}

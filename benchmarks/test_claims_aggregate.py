@@ -1,0 +1,113 @@
+"""E4 — the paper's headline claims, checked over the whole suite.
+
+* "for about 20% of the circuits, combinational delays give pessimistic
+  upper bounds for cycle times by as much as 25%";
+* on the s38584-class circuit, the minimum cycle time is below a
+  quarter of the topological delay, and a correct 2-vector bound could
+  never certify below half the topological delay (half = 189.2 in the
+  paper, >200% above the true 82.0).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen import build_case, suite_cases
+from repro.mct import minimum_cycle_time
+from repro.report import run_suite
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return run_suite(include_s27=False)
+
+
+def test_fraction_of_improved_circuits(benchmark, table_rows):
+    rows = benchmark.pedantic(lambda: table_rows, rounds=1, iterations=1)
+    improved = [
+        r for r in rows
+        if r.mct is not None and r.floating is not None and r.mct < r.floating
+    ]
+    # 7 of the paper's 18 table rows are flagged ‡ (the table itself
+    # over-represents the ~20% because equal rows were omitted).  One
+    # of them (g38584) has no measurable floating delay (budget out,
+    # like the paper's "-"), so it is counted against the topological
+    # delay instead.
+    deep = [
+        r for r in rows
+        if r.mct is not None and r.floating is None and r.mct < r.topological
+    ]
+    assert len(improved) == 6
+    assert len(deep) == 1
+    assert len(improved) + len(deep) == 7
+
+
+def test_pessimism_magnitude(table_rows):
+    gains = [
+        1 - r.mct / r.floating
+        for r in table_rows
+        if r.mct is not None and r.floating is not None and r.mct < r.floating
+    ]
+    # "by as much as 25%": the biggest published gap is s526n
+    # (23.4 -> 18.8 ≈ 19.7%); allow the same band.
+    assert max(gains) >= Fraction(15, 100)
+    assert max(gains) <= Fraction(30, 100)
+
+
+def test_s38584_class_multicycle_claim(benchmark, cases_by_name):
+    case = cases_by_name["g38584"]
+
+    def run():
+        circuit, delays = build_case(case)
+        return minimum_cycle_time(circuit, delays.widen(Fraction(9, 10)))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    top = case.paper_top
+    # MCT below a quarter of the topological delay.
+    assert result.mct_upper_bound * 4 < top
+    # A certified 2-vector bound can be at best topological/2 (Thm. 2),
+    # which is more than 200% of the true bound (the paper: 189.2 vs
+    # 82.0, "larger ... by more than 200%").
+    certified_floor = top / 2
+    assert certified_floor > result.mct_upper_bound * 2
+
+
+def test_twenty_percent_of_full_suite(benchmark):
+    """"These circuits ... consist of about 20% of the benchmark
+    suite": with the table's omitted equal-profile rows restored, the
+    improving fraction is 7/31 ≈ 23% — the paper's "about 20%"."""
+    from repro.benchgen import suite_cases
+
+    full = suite_cases(include_unpublished=True)
+
+    def run():
+        return run_suite(full, include_s27=False)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(rows) == 31
+    improving = [
+        r for r in rows
+        if r.mct is not None
+        and ((r.floating is not None and r.mct < r.floating)
+             or (r.floating is None and r.mct < r.topological))
+    ]
+    fraction = Fraction(len(improving), len(rows))
+    assert Fraction(15, 100) <= fraction <= Fraction(30, 100)
+    assert len(improving) == 7
+    # Every unpublished row really is equal-profile.
+    published = {r.paper["name"] for r in rows if r.paper} - {
+        "s208", "s298", "s344", "s349", "s382", "s386", "s400",
+        "s420", "s510", "s635", "s838", "s1488", "s13207",
+    }
+    for row in rows:
+        if row.paper and row.paper["name"] not in published:
+            assert row.mct == row.floating == row.topological
+
+
+def test_mct_never_beats_nothing(table_rows):
+    """Sanity over every measurable row: MCT ≤ floating ≤ topological."""
+    for row in table_rows:
+        if row.floating is not None:
+            assert row.floating <= row.topological
+        if row.mct is not None and row.floating is not None:
+            assert row.mct <= row.floating

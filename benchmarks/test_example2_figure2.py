@@ -1,0 +1,53 @@
+"""E2 — the paper's Example 2 / Fig. 2 numbers, benchmarked.
+
+Regenerates the exact published values: topological 5, floating
+(single-vector) 4, transition (2-vector) 2, minimum cycle time 2.5,
+and the candidate sequence 4, 2.5, 2 (after the trivial steady point).
+"""
+
+from fractions import Fraction
+
+from repro.delay import (
+    floating_delay,
+    longest_topological_delay,
+    transition_delay,
+)
+from repro.mct import minimum_cycle_time
+
+
+def test_topological_delay_fig2(benchmark, example2):
+    circuit, delays = example2
+    value = benchmark(lambda: longest_topological_delay(circuit, delays))
+    assert value == 5
+
+
+def test_floating_delay_fig2(benchmark, example2):
+    """Paper: single-vector delay = 4 (pessimistic but correct)."""
+    circuit, delays = example2
+    result = benchmark(lambda: floating_delay(circuit, delays))
+    assert result.delay == 4
+
+
+def test_transition_delay_fig2(benchmark, example2):
+    """Paper: 2-vector delay = 2 (an *incorrect* cycle bound)."""
+    circuit, delays = example2
+    result = benchmark(lambda: transition_delay(circuit, delays))
+    assert result.delay == 2
+
+
+def test_minimum_cycle_time_fig2(benchmark, example2):
+    """Paper: minimum cycle time = 2.5 via the candidate sweep."""
+    circuit, delays = example2
+    result = benchmark(lambda: minimum_cycle_time(circuit, delays))
+    assert result.mct_upper_bound == Fraction(5, 2)
+    taus = [record.tau for record in result.candidates]
+    assert taus == [Fraction(5), Fraction(4), Fraction(5, 2), Fraction(2)]
+
+
+def test_mct_with_interval_delays_fig2(benchmark, example2):
+    """Sec. 7 machinery on the same circuit (90%-100% delays)."""
+    circuit, delays = example2
+    widened = delays.widen(Fraction(9, 10))
+    result = benchmark(lambda: minimum_cycle_time(circuit, widened))
+    assert result.failure_found
+    assert Fraction(9, 4) <= result.mct_upper_bound <= Fraction(5, 2)

@@ -1,0 +1,69 @@
+"""E3 — Fig. 1 TBF component models, asserted and micro-benchmarked.
+
+The figure is illustrative (no measured data in the paper); we
+reproduce it as executable assertions on the printed TBF forms plus a
+micro-benchmark of TBF evaluation and flattening (Example 1).
+"""
+
+from fractions import Fraction
+
+from repro.timed import and_, buffer_tbf, dff_sample_time, lit, or_
+
+
+def fig1a_complex_gate():
+    # y(t) = x1'(t-1) + x2(t-2) + x3(t-3)
+    return or_(~lit("x1", 1), lit("x2", 2), lit("x3", 3))
+
+
+def fig1b_or_gate():
+    # x1(t-1) + x1(t-2) + x2(t-4)·x2(t-3)
+    return or_(buffer_tbf("x1", 1, 2), buffer_tbf("x2", 4, 3))
+
+
+def example1_flatten():
+    g = or_(lit("a"), lit("b"))
+    for signal, expr in [
+        ("a", and_(lit("c"), lit("d"), lit("e"))),
+        ("b", ~lit("f", 2)),
+        ("c", lit("f", 1.5)),
+        ("d", ~lit("f", 4)),
+        ("e", lit("f", 5)),
+    ]:
+        g = g.substitute(signal, expr)
+    return g
+
+
+def test_fig1a_model(benchmark):
+    gate = fig1a_complex_gate()
+    waves = {"x1": lambda t: t >= 0, "x2": lambda t: t >= 0, "x3": lambda t: t >= 0}
+    value = benchmark(lambda: gate.evaluate(waves, Fraction(5, 2)))
+    assert value is True  # x2 settled high by then
+    assert str(gate) == "x1(t-1)' + x2(t-2) + x3(t-3)"
+
+
+def test_fig1b_or_gate_form(benchmark):
+    gate = benchmark(fig1b_or_gate)
+    expected = or_(
+        lit("x1", 1), lit("x1", 2), and_(lit("x2", 4), lit("x2", 3))
+    )
+    assert gate.equivalent(expected)
+
+
+def test_dff_floor_model(benchmark):
+    """Q(t) = D(P·⌊(t-d)/P⌋): the floor sampling of Fig. 1, item 4."""
+    value = benchmark(
+        lambda: dff_sample_time(t=Fraction(79, 10), period=2, dff_delay=1)
+    )
+    assert value == 6
+
+
+def test_example1_flattening(benchmark):
+    """g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2) via TBF composition."""
+    flat = benchmark(example1_flatten)
+    assert flat.max_shift() == 5
+    assert flat.literals() == {
+        ("f", Fraction(3, 2)),
+        ("f", Fraction(2)),
+        ("f", Fraction(4)),
+        ("f", Fraction(5)),
+    }

@@ -1,0 +1,58 @@
+"""E7 — synthesis extensions, benchmarked with assertions.
+
+The paper's closing direction: the analysis as a synthesis cost
+function.  Each benchmark certifies its headline improvement.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.mct import level_sensitive_mct, minimum_cycle_time, optimize_skew
+from repro.synthesis import optimize_retiming
+
+from tests.test_clock_phases import unbalanced_pipe
+from tests.test_synthesis_retime import staged_pipe
+
+
+def test_useful_skew_optimization(benchmark):
+    circuit, delays = unbalanced_pipe()
+    result = benchmark.pedantic(
+        lambda: optimize_skew(circuit, delays), rounds=1, iterations=1
+    )
+    assert result.baseline == 6
+    assert result.bound == 4
+    assert result.improvement == Fraction(1, 3)
+
+
+def test_forward_retiming_optimization(benchmark):
+    circuit, delays, init = staged_pipe()
+    result = benchmark.pedantic(
+        lambda: optimize_retiming(circuit, delays, init), rounds=1, iterations=1
+    )
+    assert result.baseline == 9
+    assert result.bound == 7
+
+
+def test_level_sensitive_range(benchmark):
+    from repro.benchgen import paper_example2
+
+    circuit, delays = paper_example2()
+    result = benchmark.pedantic(
+        lambda: level_sensitive_mct(circuit, delays), rounds=1, iterations=1
+    )
+    assert result.min_period == Fraction(5, 2)
+    assert result.max_period == 3
+    assert result.feasible
+
+
+def test_skew_then_variation_is_consistent(benchmark):
+    """Composability: the optimized skew stays certified under the
+    paper's 90%-100% manufacturing variation."""
+    circuit, delays = unbalanced_pipe()
+    skew = optimize_skew(circuit, delays)
+    skewed = delays.with_phases(skew.phases).widen(Fraction(9, 10))
+    result = benchmark.pedantic(
+        lambda: minimum_cycle_time(circuit, skewed), rounds=1, iterations=1
+    )
+    assert result.mct_upper_bound == skew.bound

@@ -1,0 +1,76 @@
+"""E6 — Theorems 1 & 2: the validity boundaries of combinational bounds.
+
+* Theorem 1: floating delay + setup is a correct bound iff the shortest
+  path clears the hold time; we sweep the hold time across the
+  boundary.
+* Theorem 2: a 2-vector delay below half the topological delay is
+  uncertified — and Example 2's is *actually wrong*, which we verify
+  behaviourally with the event simulator.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.delay import validity_report
+from repro.mct import minimum_cycle_time
+from repro.sim import ClockedSimulator
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize(
+        "hold,valid",
+        [(Fraction(0), True), (Fraction(1), True), (Fraction(3, 2), True),
+         (Fraction(2), False), (Fraction(3), False)],
+        ids=["h0", "h1", "h1.5", "h2", "h3"],
+    )
+    def test_hold_boundary_on_fig2(self, example2, hold, valid):
+        circuit, delays = example2
+        report = validity_report(circuit, delays.with_setup_hold(0, hold))
+        # Fig. 2's shortest path is 1.5: the boundary sits there.
+        assert report.hold_ok is valid
+        assert (report.floating_bound is not None) is valid
+
+    def test_floating_bound_is_actually_safe(self, benchmark, example2):
+        """Behavioural check of Thm. 1: clocking at the floating bound
+        (4) keeps the sampled machine ideal."""
+        circuit, delays = example2
+        sim = ClockedSimulator(circuit, delays)
+
+        def run():
+            return all(
+                sim.matches_ideal(4, {"f": init}, [{}] * 16)
+                for init in (False, True)
+            )
+
+        assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+class TestTheorem2:
+    def test_fig2_transition_uncertified(self, example2):
+        circuit, delays = example2
+        report = validity_report(circuit, delays)
+        assert report.transition == 2
+        assert report.topological == 5
+        assert not report.transition_certified   # 2 < 5/2
+
+    def test_uncertified_bound_is_actually_wrong(self, benchmark, example2):
+        """The paper's punchline, behaviourally: clocking Fig. 2 at its
+        2-vector delay (τ = 2) produces wrong sampled behaviour."""
+        circuit, delays = example2
+        sim = ClockedSimulator(circuit, delays)
+
+        def run():
+            return sim.matches_ideal(2, {"f": True}, [{}] * 8)
+
+        assert benchmark.pedantic(run, rounds=1, iterations=1) is False
+
+    def test_certified_region_contains_mct(self, example2):
+        """Whenever Thm. 2 certifies, the bound dominates the MCT."""
+        circuit, delays = example2
+        mct = minimum_cycle_time(circuit, delays).mct_upper_bound
+        report = validity_report(circuit, delays)
+        if report.transition_bound is not None:  # pragma: no cover
+            assert mct <= report.transition_bound
+        # Fig. 2: uncertified, and indeed transition < MCT.
+        assert report.transition < mct

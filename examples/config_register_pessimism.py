@@ -1,0 +1,80 @@
+"""Domain scenario: configuration registers make STA pessimistic.
+
+A realistic motif behind the paper's ‡ rows: a design has a *mode /
+configuration register* that is written once and then holds its value,
+feeding wide, slow decode logic.  Static timing (and even exact
+floating/transition delay) must assume the register toggles every
+cycle, so the slow decode path caps the clock.  Sequentially that
+transition is unrealizable — the register never changes — and the true
+minimum cycle time is set by the actual datapath loop.
+
+This script builds such a design, shows the gap, and validates with
+simulation that clocking at the sequential bound is safe.
+
+Run:  python examples/config_register_pessimism.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.benchgen import merge, toggle_loop
+from repro.benchgen.generators import counter, hold_loop
+from repro.delay import floating_delay, longest_topological_delay, transition_delay
+from repro.mct import minimum_cycle_time
+from repro.sim import ClockedSimulator, sample_delay_map
+from repro.logic.delays import widen_to_intervals
+
+
+def main() -> None:
+    # A mode register with a slow 40ns decode loop, an 8-bit counter
+    # datapath (24ns carry path), and a control toggle at 24ns.
+    design, delays = merge(
+        "mode_reg_design",
+        [
+            hold_loop(Fraction(40), chain_len=20, name="mode_decode"),
+            counter(8, stage_delay=3, name="datapath"),
+            toggle_loop(Fraction(24), chain_len=5, name="control"),
+        ],
+    )
+    print(f"Design: {design!r}\n")
+
+    top = longest_topological_delay(design, delays)
+    flt = floating_delay(design, delays).delay
+    trans = transition_delay(design, delays).delay
+    print(f"static (topological) delay : {top} ns")
+    print(f"exact floating delay       : {flt} ns")
+    print(f"exact transition delay     : {trans} ns")
+    print("-> every combinational method says: clock no faster than 40 ns\n")
+
+    result = minimum_cycle_time(design, delays)
+    print(f"sequential minimum cycle time: {result.mct_upper_bound} ns")
+    gain = (1 - result.mct_upper_bound / flt) * 100
+    print(f"-> {float(gain):.0f}% faster clock, proven safe "
+          f"({result.decisions_run} equivalence decisions, "
+          f"{result.elapsed_seconds:.2f}s)\n")
+
+    # Same story under manufacturing variation (90%-100% delays).
+    varied = widen_to_intervals(delays)
+    result_varied = minimum_cycle_time(design, varied)
+    print(f"with 90%-100% delay variation: bound = "
+          f"{result_varied.mct_upper_bound} ns "
+          f"({len(result_varied.failing_sigmas)} failing combination(s) "
+          f"located by the interval algebra)\n")
+
+    # Validate by simulating a random delay realization at the bound.
+    rng = random.Random(2024)
+    realization = sample_delay_map(varied, rng)
+    sim = ClockedSimulator(design, realization)
+    init = {q: False for q in design.latches}
+    stimulus = [
+        {u: rng.random() < 0.5 for u in design.inputs} for _ in range(64)
+    ]
+    tau = result_varied.mct_upper_bound
+    ok = sim.matches_ideal(tau, init, stimulus)
+    print(f"simulation at tau = {tau} ns over 64 cycles: "
+          f"{'sampled behaviour is exact' if ok else 'DIVERGED (bug!)'}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

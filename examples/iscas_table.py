@@ -1,0 +1,67 @@
+"""Regenerate the paper's Sec. 8 results table.
+
+Runs topological / floating / transition / minimum-cycle-time analyses
+over the whole benchmark suite under the paper's condition (gate delays
+varied within 90%-100% of their maxima) and prints the table in the
+paper's layout, followed by a paper-vs-measured comparison.
+
+Run:  python examples/iscas_table.py [--fixed] [--rows g526,g641]
+"""
+
+import argparse
+from fractions import Fraction
+
+from repro.benchgen import suite_cases
+from repro.report import render_rows, run_suite
+from repro.report.tables import format_fraction, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fixed", action="store_true",
+                        help="use fixed (maximum) delays instead of 90%%-100%%")
+    parser.add_argument("--rows", default=None,
+                        help="comma-separated subset of suite rows")
+    args = parser.parse_args()
+
+    cases = suite_cases()
+    if args.rows:
+        wanted = set(args.rows.split(","))
+        cases = [c for c in cases if c.name in wanted or c.paper_name in wanted]
+    widen = None if args.fixed else Fraction(9, 10)
+    rows = run_suite(cases, include_s27=True, widen=widen)
+    condition = "fixed delays" if args.fixed else "delays in [90%, 100%] of max"
+    print(render_rows(rows, title=f"Reproduction table ({condition})"))
+
+    # Paper-vs-measured digest for the rows that mirror published data.
+    digest = []
+    for row in rows:
+        if not row.paper:
+            continue
+        paper = row.paper
+        digest.append([
+            f"{row.name} ({paper['name']})",
+            format_fraction(paper["mct"]),
+            format_fraction(row.mct) + ("†" if row.mct_partial else ""),
+            "yes" if paper["mct"] == row.mct else "no",
+        ])
+    print()
+    print(format_table(
+        ["Row", "paper MCT", "measured MCT", "match"],
+        digest,
+        title="Paper vs measured (MCT column)",
+    ))
+    improved = [
+        row for row in rows
+        if row.mct is not None and row.floating is not None and row.mct < row.floating
+    ]
+    print(f"\nRows where the sequential bound beats the combinational ones: "
+          f"{len(improved)}/{len(rows)}")
+    for row in improved:
+        gain = (1 - row.mct / row.floating) * 100
+        print(f"  {row.name}: {format_fraction(row.floating)} -> "
+              f"{format_fraction(row.mct)}  ({float(gain):.1f}% tighter)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: the paper's Example 2, end to end.
+
+Builds the Fig. 2 circuit, runs every combinational baseline and the
+sequential minimum-cycle-time analysis, and cross-checks the result
+three independent ways: exact FSM equivalence, and event-driven
+simulation above and below the bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import floating_delay, minimum_cycle_time, transition_delay
+from repro.benchgen import paper_example2
+from repro.delay import longest_topological_delay, validity_report
+from repro.fsm import equivalent_to_steady
+from repro.sim import ClockedSimulator, render_waveforms
+
+
+def main() -> None:
+    circuit, delays = paper_example2()
+    print(f"Circuit: {circuit!r}")
+    print("Flattened TBF: g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2)\n")
+
+    # --- the combinational bounds every prior approach would report ---
+    top = longest_topological_delay(circuit, delays)
+    flt = floating_delay(circuit, delays).delay
+    trans = transition_delay(circuit, delays).delay
+    print(f"topological delay        = {top}    (paper: 5)")
+    print(f"floating (1-vector) delay = {flt}    (paper: 4, pessimistic)")
+    print(f"transition (2-vector)     = {trans}    (paper: 2, INCORRECT bound)")
+
+    report = validity_report(circuit, delays)
+    print(f"Theorem 2 certifies the 2-vector bound? {report.transition_certified}")
+    print("  (2 < topological/2 = 2.5, so Theorem 2 refuses to certify it.)\n")
+
+    # --- the sequential answer ---------------------------------------
+    result = minimum_cycle_time(circuit, delays)
+    print(f"minimum cycle time = {result.mct_upper_bound}  (paper: 2.5)")
+    print("candidate sweep:")
+    for record in result.candidates:
+        print(f"  tau = {str(record.tau):>4}  ->  {record.status}")
+    print()
+
+    # --- three independent confirmations ------------------------------
+    assert result.mct_upper_bound == Fraction(5, 2)
+
+    print("exact FSM-equivalence ground truth:")
+    for tau in (Fraction(4), Fraction(5, 2), Fraction(2)):
+        verdict = equivalent_to_steady(circuit, delays, tau)
+        print(f"  tau = {tau}: machine ≡ steady?  {verdict}")
+
+    print("\nevent-driven simulation (both initial states, 12 cycles):")
+    sim = ClockedSimulator(circuit, delays)
+    for tau in (Fraction(5, 2), Fraction(2)):
+        verdicts = [
+            sim.matches_ideal(tau, {"f": init}, [{}] * 12)
+            for init in (False, True)
+        ]
+        print(f"  tau = {tau}: sampled behaviour ideal?  {verdicts}")
+    print("\nAt tau = 2 the machine visibly misbehaves; at 2.5 it is exact —")
+    print("the 2-vector delay (2) really is an unsafe clock period.")
+
+    # --- see it: the latch waveform at both clock periods --------------
+    print("\nlatch output f from initial state 1 (12 cycles):")
+    for tau in (Fraction(5, 2), Fraction(2)):
+        trace = sim.run(tau, {"f": True}, [{}] * 12, record_waveforms=True)
+        art = render_waveforms(
+            trace.waveforms, nets=["f"], end_time=tau * 12, columns=48
+        )
+        label = "(correct alternation)" if tau == Fraction(5, 2) else "(breaks at cycle 3)"
+        print(f"  tau = {tau} {label}")
+        print("   " + art)
+
+
+if __name__ == "__main__":
+    main()

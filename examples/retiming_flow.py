@@ -1,0 +1,75 @@
+"""Analysis-driven retiming: the paper's synthesis loop, closed.
+
+A register parked in front of heavy logic caps the clock; forward
+retiming migrates it across the light gate so both stages carry similar
+delay.  The cost function steering the move is the *certified* minimum
+cycle time from the exact sequential analysis — "bringing these
+analysis techniques into the synthesis of high speed sequential
+circuits", as the paper's closing sentence proposes.
+
+Run:  python examples/retiming_flow.py
+"""
+
+import random
+
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+)
+from repro.mct import minimum_cycle_time
+from repro.report.tables import format_fraction
+from repro.synthesis import optimize_retiming
+
+
+def build() -> tuple[Circuit, DelayMap, dict]:
+    gates = [
+        Gate("s1", GateType.BUF, ("u",)),      # 1 ns input stage
+        Gate("g", GateType.NOT, ("q1",)),      # 2 ns
+        Gate("heavy", GateType.BUF, ("g",)),   # 6 ns datapath
+        Gate("y", GateType.BUF, ("q2",)),      # 1 ns output stage
+    ]
+    circuit = Circuit(
+        "staged", ["u"], ["y"], gates,
+        [Latch("q1", "s1"), Latch("q2", "heavy")],
+    )
+    pins = {
+        ("s1", 0): PinTiming.symmetric(1),
+        ("g", 0): PinTiming.symmetric(2),
+        ("heavy", 0): PinTiming.symmetric(6),
+        ("y", 0): PinTiming.symmetric(1),
+    }
+    latch_delay = {"q1": Interval.point(1), "q2": Interval.point(1)}
+    return circuit, DelayMap(circuit, pins, latch_delay), {"q1": False, "q2": False}
+
+
+def main() -> None:
+    circuit, delays, init = build()
+    print(f"Design: {circuit!r}")
+    base = minimum_cycle_time(circuit, delays)
+    print(f"baseline bound: {format_fraction(base.mct_upper_bound)} ns "
+          f"(pinned by {', '.join(base.failing_roots)})\n")
+
+    result = optimize_retiming(circuit, delays, init)
+    print(f"greedy retiming applied moves: {list(result.moves)}")
+    print(f"bound: {format_fraction(result.baseline)} ns -> "
+          f"{format_fraction(result.bound)} ns "
+          f"({float(result.improvement * 100):.0f}% faster)")
+    print(f"registers now: {sorted(result.circuit.latches)} "
+          f"(initial state {result.initial_state})\n")
+
+    # Prove behaviour is untouched.
+    rng = random.Random(1)
+    stim = [{"u": rng.random() < 0.5} for _ in range(32)]
+    _, before = circuit.simulate(init, stim)
+    _, after = result.circuit.simulate(result.initial_state, stim)
+    assert before == after
+    print("32-cycle output sequences before/after retiming: identical.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Useful clock skew: sequential timing as a synthesis lever.
+
+The paper closes by pointing its TBF formulation at "the synthesis of
+high speed sequential circuits".  This example shows the smallest such
+application: an unbalanced two-stage pipeline whose minimum cycle time
+drops 33% when one latch's clock is intentionally delayed — and the
+analysis machinery (breakpoints, decision algorithm, interval algebra)
+handles the skewed machine unchanged, because a phase difference just
+shifts every effective path delay.
+
+Run:  python examples/useful_skew.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
+from repro.logic.delays import widen_to_intervals
+from repro.mct import minimum_cycle_time
+from repro.sim import ClockedSimulator
+
+
+def build_pipe() -> tuple[Circuit, DelayMap]:
+    """u -(6ns)-> q1 -(2ns)-> q2."""
+    gates = [
+        Gate("d1", GateType.BUF, ("u",)),
+        Gate("d2", GateType.BUF, ("q1",)),
+    ]
+    circuit = Circuit(
+        "pipe", ["u"], ["q2"], gates, [Latch("q1", "d1"), Latch("q2", "d2")]
+    )
+    pins = {("d1", 0): PinTiming.symmetric(6), ("d2", 0): PinTiming.symmetric(2)}
+    return circuit, DelayMap(circuit, pins)
+
+
+def main() -> None:
+    circuit, delays = build_pipe()
+    print(f"Design: {circuit!r} — stage delays 6 ns and 2 ns\n")
+
+    base = minimum_cycle_time(circuit, delays)
+    print(f"common clock          : minimum cycle time = {base.mct_upper_bound} ns")
+
+    print("\nsweeping the skew on q1's clock:")
+    best = (base.mct_upper_bound, Fraction(0))
+    for phi in [Fraction(1), Fraction(2), Fraction(3)]:
+        try:
+            result = minimum_cycle_time(circuit, delays.with_phases({"q1": phi}))
+        except Exception as exc:  # race guard
+            print(f"  φ(q1) = {phi} ns -> rejected ({exc})")
+            continue
+        print(f"  φ(q1) = {phi} ns -> minimum cycle time = "
+              f"{result.mct_upper_bound} ns")
+        if result.mct_upper_bound < best[0]:
+            best = (result.mct_upper_bound, phi)
+    bound, phi = best
+    print(f"\nbest: φ(q1) = {phi} ns gives {bound} ns "
+          f"({float((1 - bound / base.mct_upper_bound) * 100):.0f}% faster)\n")
+
+    # Validate with event-driven simulation under 90%-100% variation.
+    skewed = widen_to_intervals(delays.with_phases({"q1": phi}))
+    result = minimum_cycle_time(circuit, skewed)
+    print(f"with delay variation the certified bound is {result.mct_upper_bound} ns")
+    from repro.sim import sample_delay_map
+
+    rng = random.Random(7)
+    stimulus = [{"u": rng.random() < 0.5} for _ in range(64)]
+    init = {"q1": False, "q2": False}
+    realization = sample_delay_map(skewed, rng)
+    sim = ClockedSimulator(circuit, realization)
+    ok = sim.matches_ideal(result.mct_upper_bound, init, stimulus)
+    print(f"simulation at the bound over 64 cycles: "
+          f"{'exact sampled behaviour' if ok else 'DIVERGED (bug!)'}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment has no `wheel` package, so PEP 517 editable
+installs cannot build a wheel; this file lets pip fall back to
+`setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

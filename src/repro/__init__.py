@@ -1,0 +1,76 @@
+"""repro — Exact Minimum Cycle Times for Finite State Machines.
+
+A faithful, self-contained reproduction of Lam, Brayton &
+Sangiovanni-Vincentelli, *"Exact Minimum Cycle Times for Finite State
+Machines"*, DAC 1994 — including every substrate the paper relies on:
+an ROBDD package, a gate-level netlist with ISCAS'89 I/O, a Timed
+Boolean Function algebra, exact combinational delay baselines
+(topological / floating / transition), the sequential minimum-cycle-
+time algorithm itself (Decision Algorithm 6.1, interval algebra,
+feasibility LPs), FSM reachability & equivalence, an event-driven
+timing simulator, and a benchmark-circuit generator.
+
+Quickstart (the paper's Example 2)::
+
+    >>> from repro import benchgen, minimum_cycle_time, floating_delay
+    >>> circuit, delays = benchgen.paper_example2()
+    >>> floating_delay(circuit, delays).delay
+    Fraction(4, 1)
+    >>> minimum_cycle_time(circuit, delays).mct_upper_bound
+    Fraction(5, 2)
+"""
+
+from repro.delay import (
+    floating_delay,
+    longest_topological_delay,
+    shortest_topological_delay,
+    transition_delay,
+    validity_report,
+)
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+)
+from repro.mct import (
+    MctOptions,
+    MctResult,
+    find_witness,
+    level_sensitive_mct,
+    minimum_cycle_time,
+    optimize_skew,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "DelayMap",
+    "Gate",
+    "GateType",
+    "Interval",
+    "Latch",
+    "PinTiming",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "floating_delay",
+    "transition_delay",
+    "longest_topological_delay",
+    "shortest_topological_delay",
+    "validity_report",
+    "minimum_cycle_time",
+    "MctOptions",
+    "MctResult",
+    "optimize_skew",
+    "level_sensitive_mct",
+    "find_witness",
+    "__version__",
+]

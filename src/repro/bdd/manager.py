@@ -1,0 +1,625 @@
+"""The BDD manager: node storage, unique table, and core operations.
+
+Implementation notes
+--------------------
+* Nodes are integers indexing parallel lists (``_level``, ``_low``,
+  ``_high``).  Node ``0`` is the constant FALSE, node ``1`` the constant
+  TRUE; both live at a sentinel level below every variable.
+* No complement edges: simpler invariants, and profiling on our
+  workloads showed the canonical-NOT cache recovers most of the win.
+* All Boolean operations are routed through a memoized Shannon-style
+  ``ite`` (if-then-else) with standard triple normalisation.
+* The manager charges an optional :class:`repro.errors.Budget` one unit
+  per *created* node, so runaway analyses fail deterministically with
+  :class:`repro.errors.ResourceBudgetExceeded` (the paper's "memory
+  out") instead of thrashing the host.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import BddError, Budget
+from repro.bdd.function import Function
+
+# The memoized recursions (_ite, _not, quantify, ...) descend one level
+# per variable in a function's support; wide-support conjunctions (e.g.
+# transition relations of large machines) exceed CPython's default 1000
+# frames long before they exceed memory.
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+
+#: Sentinel level for the two terminal nodes; compares *greater* than any
+#: variable level so terminals sort below all variables in the order.
+TERMINAL_LEVEL = 1 << 60
+
+FALSE = 0
+TRUE = 1
+
+
+class BddManager:
+    """Owns a shared node table and provides Boolean-function algebra.
+
+    Parameters
+    ----------
+    budget:
+        Optional node-creation budget.  When exhausted, operations raise
+        :class:`~repro.errors.ResourceBudgetExceeded`.
+    """
+
+    def __init__(self, budget: Budget | None = None):
+        self._budget = budget
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: list[int] = [FALSE, TRUE]
+        self._high: list[int] = [FALSE, TRUE]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        # Variable bookkeeping.
+        self._var_level: dict[str, int] = {}
+        self._level_var: list[str] = []
+        self._var_node: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def var(self, name: str) -> Function:
+        """Return the function of variable ``name``, creating it if new.
+
+        Variables are ordered by creation time: earlier-created variables
+        sit closer to the root of every BDD in this manager.
+        """
+        if name not in self._var_level:
+            level = len(self._level_var)
+            self._var_level[name] = level
+            self._level_var.append(name)
+            self._var_node[name] = self._mk(level, FALSE, TRUE)
+        return Function(self, self._var_node[name])
+
+    def add_vars(self, names: Iterable[str]) -> list[Function]:
+        """Declare several variables in order; returns their functions."""
+        return [self.var(name) for name in names]
+
+    def has_var(self, name: str) -> bool:
+        """True if ``name`` has already been declared in this manager."""
+        return name in self._var_level
+
+    def level_of(self, name: str) -> int:
+        """The variable's position in the global order (0 = topmost)."""
+        try:
+            return self._var_level[name]
+        except KeyError:
+            raise BddError(f"unknown variable {name!r}") from None
+
+    def var_at_level(self, level: int) -> str:
+        """Inverse of :meth:`level_of`."""
+        try:
+            return self._level_var[level]
+        except IndexError:
+            raise BddError(f"no variable at level {level}") from None
+
+    @property
+    def var_names(self) -> list[str]:
+        """All declared variables, in order."""
+        return list(self._level_var)
+
+    # ------------------------------------------------------------------
+    # Constants and sizes
+    # ------------------------------------------------------------------
+    @property
+    def false(self) -> Function:
+        """The constant-0 function."""
+        return Function(self, FALSE)
+
+    @property
+    def true(self) -> Function:
+        """The constant-1 function."""
+        return Function(self, TRUE)
+
+    def constant(self, value: bool) -> Function:
+        """The constant function for ``value``."""
+        return self.true if value else self.false
+
+    def __len__(self) -> int:
+        """Total number of nodes ever created (including terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Core node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the canonical node ``(level, low, high)``."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            if self._budget is not None:
+                self._budget.charge()
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def _check(self, f: Function) -> int:
+        """Validate that ``f`` belongs to this manager; return its node."""
+        if f.manager is not self:
+            raise BddError("function belongs to a different BddManager")
+        return f.node
+
+    # ------------------------------------------------------------------
+    # NOT / ITE — the core memoized recursions
+    # ------------------------------------------------------------------
+    def _not(self, u: int) -> int:
+        if u == FALSE:
+            return TRUE
+        if u == TRUE:
+            return FALSE
+        cached = self._not_cache.get(u)
+        if cached is not None:
+            return cached
+        result = self._mk(self._level[u], self._not(self._low[u]), self._not(self._high[u]))
+        self._not_cache[u] = result
+        self._not_cache[result] = u
+        return result
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal shortcuts.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self._not(f)
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(level, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> tuple[int, int]:
+        """(low, high) cofactors of ``u`` with respect to ``level``."""
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------
+    # Public Boolean algebra (used by Function operators)
+    # ------------------------------------------------------------------
+    def ite(self, f: Function, g: Function, h: Function) -> Function:
+        """If-then-else: ``f & g | ~f & h``."""
+        return Function(self, self._ite(self._check(f), self._check(g), self._check(h)))
+
+    def apply_not(self, f: Function) -> Function:
+        """Complement of ``f``."""
+        return Function(self, self._not(self._check(f)))
+
+    def apply_and(self, f: Function, g: Function) -> Function:
+        """Conjunction of ``f`` and ``g``."""
+        return Function(self, self._ite(self._check(f), self._check(g), FALSE))
+
+    def apply_or(self, f: Function, g: Function) -> Function:
+        """Disjunction of ``f`` and ``g``."""
+        return Function(self, self._ite(self._check(f), TRUE, self._check(g)))
+
+    def apply_xor(self, f: Function, g: Function) -> Function:
+        """Exclusive-or of ``f`` and ``g``."""
+        gn = self._check(g)
+        return Function(self, self._ite(self._check(f), self._not(gn), gn))
+
+    def apply_xnor(self, f: Function, g: Function) -> Function:
+        """Equivalence (complement of xor)."""
+        gn = self._check(g)
+        return Function(self, self._ite(self._check(f), gn, self._not(gn)))
+
+    def apply_implies(self, f: Function, g: Function) -> Function:
+        """Implication ``f -> g``."""
+        return Function(self, self._ite(self._check(f), self._check(g), TRUE))
+
+    def conjoin(self, functions: Iterable[Function]) -> Function:
+        """AND of an iterable of functions (TRUE for empty input)."""
+        acc = TRUE
+        for f in functions:
+            acc = self._ite(self._check(f), acc, FALSE)
+            if acc == FALSE:
+                break
+        return Function(self, acc)
+
+    def disjoin(self, functions: Iterable[Function]) -> Function:
+        """OR of an iterable of functions (FALSE for empty input)."""
+        acc = FALSE
+        for f in functions:
+            acc = self._ite(self._check(f), TRUE, acc)
+            if acc == TRUE:
+                break
+        return Function(self, acc)
+
+    # ------------------------------------------------------------------
+    # Restriction, composition, quantification
+    # ------------------------------------------------------------------
+    def restrict(self, f: Function, assignment: Mapping[str, bool]) -> Function:
+        """Cofactor ``f`` by fixing the variables in ``assignment``."""
+        by_level = {self.level_of(name): bool(val) for name, val in assignment.items()}
+        cache: dict[int, int] = {}
+
+        def rec(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level = self._level[u]
+            if level in by_level:
+                result = rec(self._high[u] if by_level[level] else self._low[u])
+            else:
+                result = self._mk(level, rec(self._low[u]), rec(self._high[u]))
+            cache[u] = result
+            return result
+
+        return Function(self, rec(self._check(f)))
+
+    def compose(self, f: Function, name: str, g: Function) -> Function:
+        """Substitute function ``g`` for variable ``name`` in ``f``."""
+        return self.vector_compose(f, {name: g})
+
+    def vector_compose(self, f: Function, substitution: Mapping[str, Function]) -> Function:
+        """Simultaneously substitute functions for variables in ``f``.
+
+        The substitution is simultaneous: substituted results are not
+        re-substituted, so ``{x: y, y: x}`` swaps the two variables.
+        """
+        subs_by_level = {
+            self.level_of(name): self._check(g) for name, g in substitution.items()
+        }
+        if not subs_by_level:
+            return f
+        cache: dict[int, int] = {}
+
+        def rec(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level = self._level[u]
+            low = rec(self._low[u])
+            high = rec(self._high[u])
+            branch = subs_by_level.get(level)
+            if branch is None:
+                branch = self._var_node[self._level_var[level]]
+            result = self._ite(branch, high, low)
+            cache[u] = result
+            return result
+
+        return Function(self, rec(self._check(f)))
+
+    def rename(self, f: Function, mapping: Mapping[str, str]) -> Function:
+        """Rename variables (a special case of vector composition)."""
+        return self.vector_compose(f, {old: self.var(new) for old, new in mapping.items()})
+
+    def exists(self, names: Iterable[str], f: Function) -> Function:
+        """Existential quantification over ``names``."""
+        return self._quantify(f, names, conj=False)
+
+    def forall(self, names: Iterable[str], f: Function) -> Function:
+        """Universal quantification over ``names``."""
+        return self._quantify(f, names, conj=True)
+
+    def _quantify(self, f: Function, names: Iterable[str], conj: bool) -> Function:
+        levels = frozenset(self.level_of(name) for name in names)
+        if not levels:
+            return f
+        cache: dict[int, int] = {}
+
+        def rec(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level = self._level[u]
+            low = rec(self._low[u])
+            high = rec(self._high[u])
+            if level in levels:
+                if conj:
+                    result = self._ite(low, high, FALSE)
+                else:
+                    result = self._ite(low, TRUE, high)
+            else:
+                result = self._mk(level, low, high)
+            cache[u] = result
+            return result
+
+        return Function(self, rec(self._check(f)))
+
+    def and_exists(self, names: Iterable[str], f: Function, g: Function) -> Function:
+        """Relational product ``exists names . f & g`` in one recursion.
+
+        The workhorse of BDD reachability (image computation): fusing the
+        conjunction with the quantification avoids building the full
+        conjunct, which is often the peak-memory step.
+        """
+        levels = frozenset(self.level_of(name) for name in names)
+        cache: dict[tuple[int, int], int] = {}
+
+        def rec(u: int, v: int) -> int:
+            if u == FALSE or v == FALSE:
+                return FALSE
+            if u == TRUE and v == TRUE:
+                return TRUE
+            if u == TRUE or v == TRUE:
+                # Reduce to single-operand quantification.
+                w = v if u == TRUE else u
+                return self._check(self._quantify(Function(self, w),
+                                                  (self._level_var[l] for l in levels),
+                                                  conj=False))
+            key = (u, v) if u <= v else (v, u)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            level = min(self._level[u], self._level[v])
+            u0, u1 = self._cofactors(u, level)
+            v0, v1 = self._cofactors(v, level)
+            low = rec(u0, v0)
+            if level in levels and low == TRUE:
+                result = TRUE
+            else:
+                high = rec(u1, v1)
+                if level in levels:
+                    result = self._ite(low, TRUE, high)
+                else:
+                    result = self._mk(level, low, high)
+            cache[key] = result
+            return result
+
+        return Function(self, rec(self._check(f), self._check(g)))
+
+    def constrain(self, f: Function, c: Function) -> Function:
+        """Coudert–Madre generalized cofactor ``f ↓ c``.
+
+        Agrees with ``f`` everywhere ``c`` holds; off ``c`` it takes
+        whatever values shrink the BDD (the image-restrictor used in
+        reachability optimizations).  ``c`` must be satisfiable.
+        """
+        fn, cn = self._check(f), self._check(c)
+        if cn == FALSE:
+            raise BddError("constrain by the empty care set")
+        cache: dict[tuple[int, int], int] = {}
+
+        def rec(u: int, k: int) -> int:
+            if k == TRUE or u <= TRUE:
+                return u
+            if u == k:
+                return TRUE
+            key = (u, k)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            level = min(self._level[u], self._level[k])
+            k0, k1 = self._cofactors(k, level)
+            u0, u1 = self._cofactors(u, level)
+            if k0 == FALSE:
+                result = rec(u1, k1)
+            elif k1 == FALSE:
+                result = rec(u0, k0)
+            else:
+                result = self._mk(level, rec(u0, k0), rec(u1, k1))
+            cache[key] = result
+            return result
+
+        return Function(self, rec(fn, cn))
+
+    def restrict_care(self, f: Function, c: Function) -> Function:
+        """The "restrict" heuristic: like :meth:`constrain` but a care
+        variable absent from ``f``'s support never enters the result
+        (restrict quantifies it out of the care set instead)."""
+        fn, cn = self._check(f), self._check(c)
+        if cn == FALSE:
+            raise BddError("restrict by the empty care set")
+        cache: dict[tuple[int, int], int] = {}
+
+        def rec(u: int, k: int) -> int:
+            if k == TRUE or u <= TRUE:
+                return u
+            key = (u, k)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            u_level, k_level = self._level[u], self._level[k]
+            if k_level < u_level:
+                # Care splits on a variable f ignores: drop it.
+                result = rec(u, self._ite(self._low[k], TRUE, self._high[k]))
+            else:
+                level = u_level
+                k0, k1 = self._cofactors(k, level)
+                if k0 == FALSE:
+                    result = rec(self._high[u], k1)
+                elif k1 == FALSE:
+                    result = rec(self._low[u], k0)
+                else:
+                    result = self._mk(
+                        level, rec(self._low[u], k0), rec(self._high[u], k1)
+                    )
+            cache[key] = result
+            return result
+
+        return Function(self, rec(fn, cn))
+
+    # ------------------------------------------------------------------
+    # Inspection: support, evaluation, satisfiability, counting
+    # ------------------------------------------------------------------
+    def support(self, f: Function) -> set[str]:
+        """The set of variables ``f`` actually depends on."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [self._check(f)]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            levels.add(self._level[u])
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return {self._level_var[level] for level in levels}
+
+    def evaluate(self, f: Function, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate ``f`` under a (complete-on-support) assignment."""
+        u = self._check(f)
+        while u > TRUE:
+            name = self._level_var[self._level[u]]
+            try:
+                branch = assignment[name]
+            except KeyError:
+                raise BddError(f"assignment missing variable {name!r}") from None
+            u = self._high[u] if branch else self._low[u]
+        return u == TRUE
+
+    def pick_one(self, f: Function) -> dict[str, bool] | None:
+        """One satisfying assignment over ``f``'s support, or ``None``."""
+        u = self._check(f)
+        if u == FALSE:
+            return None
+        result: dict[str, bool] = {}
+        while u > TRUE:
+            name = self._level_var[self._level[u]]
+            if self._low[u] != FALSE:
+                result[name] = False
+                u = self._low[u]
+            else:
+                result[name] = True
+                u = self._high[u]
+        return result
+
+    def sat_iter(self, f: Function, care_vars: Iterable[str] | None = None) -> Iterator[dict[str, bool]]:
+        """Iterate all satisfying assignments over ``care_vars``.
+
+        ``care_vars`` defaults to the support of ``f``; variables in
+        ``care_vars`` that ``f`` does not depend on are enumerated both
+        ways, so the iteration is exhaustive over the named cube space.
+        """
+        names = sorted(
+            self.support(f) if care_vars is None else set(care_vars),
+            key=self.level_of,
+        )
+        order = {name: i for i, name in enumerate(names)}
+        node = self._check(f)
+
+        def rec(u: int, idx: int) -> Iterator[dict[str, bool]]:
+            if u == FALSE:
+                return
+            if idx == len(names):
+                if u == TRUE:
+                    yield {}
+                return
+            name = names[idx]
+            level = self._var_level[name]
+            if u > TRUE and self._level[u] == level:
+                low, high = self._low[u], self._high[u]
+            elif u > TRUE and self._level[u] < level:
+                # f depends on a variable outside care_vars: refuse.
+                raise BddError(
+                    f"function depends on {self._level_var[self._level[u]]!r}, "
+                    "which is not in care_vars"
+                )
+            else:
+                low = high = u
+            for value, child in ((False, low), (True, high)):
+                for tail in rec(child, idx + 1):
+                    tail[name] = value
+                    yield tail
+
+        # Guard: support must be within care_vars.
+        extra = self.support(f) - set(names)
+        if extra:
+            raise BddError(f"function depends on {sorted(extra)} outside care_vars")
+        for assignment in rec(node, 0):
+            yield dict(sorted(assignment.items(), key=lambda kv: order[kv[0]]))
+
+    def sat_count(self, f: Function, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to the size of ``f``'s support.
+        """
+        u = self._check(f)
+        support_levels = sorted(
+            self._var_level[name] for name in self.support(Function(self, u))
+        )
+        if nvars is None:
+            nvars = len(support_levels)
+        if nvars < len(support_levels):
+            raise BddError("nvars smaller than the function's support")
+        cache: dict[int, int] = {}
+        # Count over the support only, then scale by free variables.
+        index_of = {level: i for i, level in enumerate(support_levels)}
+
+        def rec(u: int, depth: int) -> int:
+            """Assignments of support vars from position ``depth`` on."""
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1 << (len(support_levels) - depth)
+            position = index_of[self._level[u]]
+            hit = cache.get(u)
+            if hit is None:
+                hit = rec(self._low[u], position + 1) + rec(self._high[u], position + 1)
+                cache[u] = hit
+            return hit << (position - depth)
+
+        return rec(u, 0) << (nvars - len(support_levels))
+
+    def node_count(self, f: Function) -> int:
+        """Number of nodes in ``f``'s DAG (terminals included)."""
+        seen: set[int] = set()
+        stack = [self._check(f)]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u > TRUE:
+                stack.append(self._low[u])
+                stack.append(self._high[u])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (keeps the node table and variables)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+
+    def to_dot(self, f: Function, name: str = "bdd") -> str:
+        """Graphviz dot text for ``f`` (debugging / documentation aid)."""
+        lines = [f"digraph {name} {{", '  node [shape=circle];']
+        lines.append('  n0 [shape=box, label="0"];')
+        lines.append('  n1 [shape=box, label="1"];')
+        seen: set[int] = set()
+        stack = [self._check(f)]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            label = self._level_var[self._level[u]]
+            lines.append(f'  n{u} [label="{label}"];')
+            lines.append(f"  n{u} -> n{self._low[u]} [style=dashed];")
+            lines.append(f"  n{u} -> n{self._high[u]};")
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        lines.append("}")
+        return "\n".join(lines)

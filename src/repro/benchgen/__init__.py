@@ -1,0 +1,49 @@
+"""Benchmark circuits: the paper's workloads, reconstructed.
+
+The original evaluation ran on the ISCAS'89 suite with an unspecified
+technology delay assignment; neither is shippable here (see DESIGN.md
+§2).  This package provides:
+
+* :func:`~repro.benchgen.circuits.paper_example2` — the exact Fig. 2
+  circuit (floating 4, transition 2, MCT 2.5);
+* :func:`~repro.benchgen.circuits.s27` — the real ISCAS'89 s27 netlist
+  (public domain, embedded);
+* :mod:`~repro.benchgen.generators` — parameterized circuit families
+  exhibiting each timing phenomenon the paper reports: sequentially
+  false paths (MCT < floating), combinationally false paths
+  (floating < topological), multi-cycle propagation (MCT < topo/4),
+  and well-behaved circuits where every bound coincides;
+* :mod:`~repro.benchgen.compose` — renaming/merging so large suite
+  members are built from verified blocks;
+* :mod:`~repro.benchgen.suite` — the named ``g*`` suite mirroring each
+  row class of the paper's results table.
+"""
+
+from repro.benchgen.circuits import paper_example2, s27, S27_BENCH
+from repro.benchgen.compose import merge, prefix_circuit
+from repro.benchgen.generators import (
+    counter,
+    fig2_rung,
+    lfsr,
+    random_fsm,
+    shift_register,
+    toggle_loop,
+)
+from repro.benchgen.suite import SuiteCase, build_case, suite_cases
+
+__all__ = [
+    "paper_example2",
+    "s27",
+    "S27_BENCH",
+    "merge",
+    "prefix_circuit",
+    "toggle_loop",
+    "fig2_rung",
+    "counter",
+    "shift_register",
+    "lfsr",
+    "random_fsm",
+    "SuiteCase",
+    "suite_cases",
+    "build_case",
+]

@@ -1,0 +1,73 @@
+"""Fixed reference circuits: the paper's Fig. 2 and ISCAS'89 s27."""
+
+from __future__ import annotations
+
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
+from repro.logic.bench import parse_bench
+from repro.logic.delays import fanout_loaded_delays
+
+
+def paper_example2() -> tuple[Circuit, DelayMap]:
+    """The circuit of the paper's Fig. 2 / Examples 1–2.
+
+    One edge-triggered latch ``f`` fed by
+    ``g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2)``.  Ground truth from
+    the paper: topological delay 5, floating (single-vector) delay 4,
+    transition (2-vector) delay 2 (an *incorrect* cycle bound), and
+    minimum cycle time exactly 2.5.
+    """
+    gates = [
+        Gate("c", GateType.BUF, ("f",)),
+        Gate("d", GateType.NOT, ("f",)),
+        Gate("e", GateType.BUF, ("f",)),
+        Gate("b", GateType.NOT, ("f",)),
+        Gate("a", GateType.AND, ("c", "d", "e")),
+        Gate("g", GateType.OR, ("a", "b")),
+    ]
+    circuit = Circuit("example2", [], ["g"], gates, [Latch("f", "g")])
+    pins = {
+        ("c", 0): PinTiming.symmetric("3/2"),
+        ("d", 0): PinTiming.symmetric(4),
+        ("e", 0): PinTiming.symmetric(5),
+        ("b", 0): PinTiming.symmetric(2),
+        ("a", 0): PinTiming.symmetric(0),
+        ("a", 1): PinTiming.symmetric(0),
+        ("a", 2): PinTiming.symmetric(0),
+        ("g", 0): PinTiming.symmetric(0),
+        ("g", 1): PinTiming.symmetric(0),
+    }
+    return circuit, DelayMap(circuit, pins)
+
+
+#: The ISCAS'89 s27 benchmark (public domain), verbatim.
+S27_BENCH = """\
+# ISCAS'89 benchmark s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27(delay_model=fanout_loaded_delays) -> tuple[Circuit, DelayMap]:
+    """The real ISCAS'89 s27 with the deterministic delay model.
+
+    ``delay_model`` maps a circuit to a :class:`DelayMap`; the default
+    is the fanout-loaded model documented in DESIGN.md.
+    """
+    circuit = parse_bench(S27_BENCH, name="s27")
+    return circuit, delay_model(circuit)

@@ -1,0 +1,97 @@
+"""Renaming and merging of annotated circuits.
+
+Suite members are built as disjoint unions of small, individually
+verified blocks: the merged machine's minimum cycle time is the max
+over blocks (state spaces are independent), which lets the suite target
+a row's qualitative profile exactly while growing to realistic sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import CircuitError
+from repro.logic import Circuit, DelayMap, Gate, Latch
+from repro.logic.delays import Interval
+
+
+def prefix_circuit(
+    circuit: Circuit, delays: DelayMap, prefix: str
+) -> tuple[Circuit, DelayMap]:
+    """Rename every net with ``prefix`` (keeps structure and timing)."""
+
+    def ren(net: str) -> str:
+        return f"{prefix}{net}"
+
+    gates = [
+        Gate(ren(g.output), g.gtype, tuple(ren(i) for i in g.inputs))
+        for g in circuit.gates.values()
+    ]
+    latches = [Latch(ren(l.output), ren(l.data)) for l in circuit.latches.values()]
+    renamed = Circuit(
+        name=f"{prefix}{circuit.name}",
+        inputs=[ren(i) for i in circuit.inputs],
+        outputs=[ren(o) for o in circuit.outputs],
+        gates=gates,
+        latches=latches,
+    )
+    pins = {
+        (ren(net), pin): delays.pin(net, pin)
+        for net, gate in circuit.gates.items()
+        for pin in range(len(gate.inputs))
+    }
+    latch_delay = {ren(q): delays.latch(q) for q in circuit.latches}
+    phase = {ren(q): delays.phase(q) for q in circuit.latches}
+    renamed_delays = DelayMap(
+        renamed, pins, latch_delay,
+        setup=delays.setup, hold=delays.hold, phase=phase,
+    )
+    return renamed, renamed_delays
+
+
+def merge(
+    name: str,
+    blocks: Sequence[tuple[Circuit, DelayMap]],
+    prefixes: Sequence[str] | None = None,
+) -> tuple[Circuit, DelayMap]:
+    """Disjoint union of annotated blocks under fresh prefixes.
+
+    All blocks must agree on setup/hold (they become the merged map's).
+    """
+    if not blocks:
+        raise CircuitError("cannot merge zero blocks")
+    if prefixes is None:
+        prefixes = [f"b{i}_" for i in range(len(blocks))]
+    if len(prefixes) != len(blocks):
+        raise CircuitError("one prefix per block required")
+    renamed = [
+        prefix_circuit(circuit, delays, prefix)
+        for (circuit, delays), prefix in zip(blocks, prefixes)
+    ]
+    setup = renamed[0][1].setup
+    hold = renamed[0][1].hold
+    if any(d.setup != setup or d.hold != hold for _, d in renamed):
+        raise CircuitError("blocks disagree on setup/hold times")
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    latches: list[Latch] = []
+    pins: dict[tuple[str, int], object] = {}
+    latch_delay: dict[str, Interval] = {}
+    phase: dict[str, object] = {}
+    for circuit, delays in renamed:
+        inputs.extend(circuit.inputs)
+        outputs.extend(circuit.outputs)
+        gates.extend(circuit.gates.values())
+        latches.extend(circuit.latches.values())
+        for net, gate in circuit.gates.items():
+            for pin in range(len(gate.inputs)):
+                pins[(net, pin)] = delays.pin(net, pin)
+        for q in circuit.latches:
+            latch_delay[q] = delays.latch(q)
+            phase[q] = delays.phase(q)
+    merged = Circuit(name, inputs, outputs, gates, latches)
+    merged_delays = DelayMap(
+        merged, pins, latch_delay, setup=setup, hold=hold, phase=phase
+    )
+    return merged, merged_delays

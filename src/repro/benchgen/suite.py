@@ -1,0 +1,250 @@
+"""The named benchmark suite mirroring the paper's results table.
+
+Every row of the paper's Sec. 8 table is represented by a synthetic
+``g*`` circuit whose *timing profile class* matches the original row
+(see DESIGN.md §2 for the substitution argument):
+
+* ``equal`` — all four numbers coincide (a real critical loop);
+* ``comb_false`` (the paper's §) — floating < topological via a
+  combinationally false long path; MCT equals floating;
+* ``seq_gain`` (the paper's ‡) — MCT < floating = topological via an
+  unrealizable transition (hold-register long path);
+* combined and memory-out variants for s15850 / s9234 / s38417 /
+  s38584.
+
+The *numeric* targets (loop delays) are set to the paper's reported
+values, so the analyses — which see only the netlist and its delays —
+should recompute exactly the published columns.  The generators place
+the delays; the algorithms earn the numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.benchgen.compose import merge
+from repro.benchgen.generators import (
+    counter,
+    false_path_block,
+    hold_loop,
+    shift_register,
+    toggle_loop,
+)
+from repro.logic import Circuit, DelayMap
+from repro.logic.delays import as_fraction
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteCase:
+    """One row of the reproduction table."""
+
+    name: str                #: synthetic circuit name (g444, ...)
+    paper_name: str          #: the ISCAS'89 row it mirrors
+    profile: str             #: equal | comb_false | seq_gain | ...
+    paper_top: Fraction | None
+    paper_float: Fraction | None
+    paper_trans: Fraction | None
+    paper_mct: Fraction | None
+    #: work budget for the MCT sweep (None = unlimited); small values
+    #: reproduce the paper's "-" (memory out) entries.
+    mct_budget: int | None = None
+    #: work budget for floating/transition analyses.
+    comb_budget: int | None = None
+    #: approximate structural size knob (chain stages).
+    size: int = 20
+    flags: str = ""
+
+    @property
+    def expects_seq_gain(self) -> bool:
+        """True when the paper marks this row ‡ (MCT < combinational)."""
+        return "‡" in self.flags
+
+
+def _frac(text: str | None) -> Fraction | None:
+    return None if text is None else as_fraction(text)
+
+
+_ROWS: list[dict] = [
+    dict(name="g444", paper_name="s444", profile="equal",
+         top="22.8", flt="22.8", trans="22.8", mct="22.8", size=24),
+    dict(name="g526", paper_name="s526", profile="seq_gain",
+         top="22.5", flt="22.5", trans="22.5", mct="18.4", size=28,
+         flags="‡"),
+    dict(name="g526n", paper_name="s526n", profile="seq_gain",
+         top="23.4", flt="23.4", trans="23.4", mct="18.8", size=28,
+         flags="‡"),
+    dict(name="g641", paper_name="s641", profile="comb_false",
+         top="42.7", flt="42.5", trans="42.5", mct="42.5", size=32,
+         flags="§"),
+    dict(name="g713", paper_name="s713", profile="comb_false",
+         top="44.5", flt="43.4", trans="43.4", mct="43.4", size=34,
+         flags="§"),
+    dict(name="g820", paper_name="s820", profile="seq_gain",
+         top="29.6", flt="29.6", trans="29.6", mct="27.9", size=40,
+         flags="‡"),
+    dict(name="g832", paper_name="s832", profile="seq_gain",
+         top="29.1", flt="29.1", trans="29.1", mct="28.8", size=40,
+         flags="‡"),
+    dict(name="g953", paper_name="s953", profile="seq_gain",
+         top="29.7", flt="29.7", trans="29.7", mct="28.2", size=44,
+         flags="‡"),
+    dict(name="g1196", paper_name="s1196", profile="comb_false",
+         top="37", flt="35.8", trans="35.8", mct="35.8", size=52,
+         flags="§"),
+    dict(name="g1238", paper_name="s1238", profile="comb_false",
+         top="42.9", flt="41", trans="41", mct="41", size=56,
+         flags="§"),
+    dict(name="g1423", paper_name="s1423", profile="equal",
+         top="119.8", flt="119.8", trans="119.8", mct="119.8", size=64),
+    dict(name="g1494", paper_name="s1494", profile="equal",
+         top="36.2", flt="36.2", trans="36.2", mct="36.2", size=64),
+    dict(name="g5378", paper_name="s5378", profile="comb_false",
+         top="42.4", flt="42", trans="42", mct="42", size=96,
+         flags="§"),
+    dict(name="g9234", paper_name="s9234", profile="comb_false",
+         top="58.4", flt="56.7", trans="56.7", mct=None, size=120,
+         mct_budget=200, flags="§"),
+    dict(name="g15850", paper_name="s15850", profile="comb_false_seq_gain",
+         top="128.8", flt="127.4", trans="127.4", mct="127.2", size=140,
+         flags="§‡"),
+    dict(name="g35932", paper_name="s35932", profile="equal",
+         top="436.3", flt="436.3", trans="436.3", mct="436.3", size=200),
+    dict(name="g38417", paper_name="s38417", profile="equal",
+         top="128.8", flt="128.8", trans="128.8", mct=None, size=180,
+         mct_budget=200),
+    dict(name="g38584", paper_name="s38584", profile="deep_multicycle",
+         top="378.4", flt=None, trans=None, mct="82", size=240,
+         comb_budget=1_200, flags="‡"),
+]
+
+
+#: ISCAS'89 circuits the paper *omits* from its table with the remark
+#: "those not given have equal topological delays, single vector
+#: delays, transition delays, and the bounds on minimum cycle time".
+#: They are reproduced as equal-profile rows (no published numeric
+#: reference; the loop-delay targets below are this repo's choices) so
+#: the suite-level "about 20% of the benchmark suite" claim can be
+#: checked against a full-size suite: 7 improving rows out of 31.
+_UNPUBLISHED_EQUAL_ROWS: list[tuple[str, str, int]] = [
+    ("g208", "s208", "12.6"),
+    ("g298", "s298", "14.2"),
+    ("g344", "s344", "19.5"),
+    ("g349", "s349", "19.8"),
+    ("g382", "s382", "15.4"),
+    ("g386", "s386", "17.6"),
+    ("g400", "s400", "15.9"),
+    ("g420", "s420", "21.4"),
+    ("g510", "s510", "16.8"),
+    ("g635", "s635", "63.2"),
+    ("g838", "s838", "38.9"),
+    ("g1488", "s1488", "35.5"),
+    ("g13207", "s13207", "61.7"),
+]
+
+
+def suite_cases(include_unpublished: bool = False) -> list[SuiteCase]:
+    """The table suite, in the paper's row order.
+
+    ``include_unpublished=True`` appends equal-profile rows for the
+    ISCAS circuits the paper's table omits, growing the suite to the
+    full 31 circuits behind the "about 20%" claim.
+    """
+    cases = [
+        SuiteCase(
+            name=row["name"],
+            paper_name=row["paper_name"],
+            profile=row["profile"],
+            paper_top=_frac(row["top"]),
+            paper_float=_frac(row["flt"]),
+            paper_trans=_frac(row["trans"]),
+            paper_mct=_frac(row["mct"]),
+            mct_budget=row.get("mct_budget"),
+            comb_budget=row.get("comb_budget"),
+            size=row["size"],
+            flags=row.get("flags", ""),
+        )
+        for row in _ROWS
+    ]
+    if include_unpublished:
+        for name, paper_name, top in _UNPUBLISHED_EQUAL_ROWS:
+            cases.append(
+                SuiteCase(
+                    name=name,
+                    paper_name=paper_name,
+                    profile="equal",
+                    paper_top=_frac(top),
+                    paper_float=_frac(top),
+                    paper_trans=_frac(top),
+                    paper_mct=_frac(top),
+                    size=20 + len(name),
+                )
+            )
+    return cases
+
+
+def build_case(case: SuiteCase) -> tuple[Circuit, DelayMap]:
+    """Instantiate one suite row's circuit and delay annotation."""
+    top = case.paper_top
+    if top is None:
+        raise ValueError(f"case {case.name} has no topological target")
+    fillers = _fillers(case.size)
+    if case.profile == "equal":
+        target = case.paper_mct or case.paper_float or top
+        blocks = [toggle_loop(target, chain_len=_odd(case.size), name="crit")]
+        if top != target:  # pragma: no cover - not used by current rows
+            blocks.append(hold_loop(top, chain_len=case.size, name="slack"))
+    elif case.profile == "seq_gain":
+        blocks = [
+            hold_loop(top, chain_len=case.size, name="cfg"),
+            toggle_loop(case.paper_mct, chain_len=_odd(case.size // 2), name="crit"),
+        ]
+    elif case.profile == "comb_false":
+        flt = case.paper_float
+        mct = case.paper_mct or flt
+        blocks = [
+            false_path_block(top, flt, chain_len=max(3, case.size // 2), name="fp"),
+            toggle_loop(mct, chain_len=_odd(case.size // 2), name="crit"),
+        ]
+    elif case.profile == "comb_false_seq_gain":
+        # The fp block's own bound degrades to its floating value under
+        # interval delays (a slow-F/fast-T realization breaks the
+        # parity cancellation), so the § gap uses an fp block capped at
+        # the MCT target while the ‡ gap comes from the hold register.
+        blocks = [
+            false_path_block(
+                top, case.paper_mct, chain_len=max(3, case.size // 2), name="fp"
+            ),
+            hold_loop(case.paper_float, chain_len=case.size // 2, name="cfg"),
+            toggle_loop(case.paper_mct, chain_len=_odd(case.size // 2), name="crit"),
+        ]
+    elif case.profile == "deep_multicycle":
+        blocks = [
+            hold_loop(top, chain_len=case.size, name="cfg"),
+            toggle_loop(case.paper_mct, chain_len=_odd(case.size // 3), name="crit"),
+        ]
+    else:
+        raise ValueError(f"unknown profile {case.profile!r}")
+    blocks.extend(fillers)
+    circuit, delays = merge(case.name, blocks)
+    return circuit, delays
+
+
+def _odd(n: int) -> int:
+    """The nearest odd count >= max(n, 1)."""
+    n = max(n, 1)
+    return n if n % 2 == 1 else n + 1
+
+
+def _fillers(size: int) -> list:
+    """Realistic small sequential blocks; loop delays well under every
+    row's MCT target so they never dominate a bound."""
+    blocks = [
+        counter(4, stage_delay=1, name="cnt4"),
+        shift_register(6, stage_delay=2, name="sh6"),
+    ]
+    if size >= 60:
+        blocks.append(counter(6, stage_delay=1, name="cnt6"))
+    if size >= 120:
+        blocks.append(shift_register(12, stage_delay=2, name="sh12"))
+    return blocks

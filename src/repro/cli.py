@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+::
+
+    repro-mct analyze path/to/circuit.bench --delay-model fanout --widen 0.9
+    repro-mct table                      # regenerate the paper's table
+    repro-mct example2                   # walk through the paper's Example 2
+    repro-mct simulate circuit.bench --tau 5 --cycles 20
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from fractions import Fraction
+
+from repro.benchgen.circuits import paper_example2
+from repro.benchgen.suite import suite_cases
+from repro.delay import floating_delay, transition_delay, validity_report
+from repro.logic import parse_bench_file, parse_blif_file
+from repro.logic.delays import (
+    as_fraction,
+    fanout_loaded_delays,
+    typed_delays,
+    unit_delays,
+)
+from repro.mct import (
+    MctOptions,
+    level_sensitive_mct,
+    minimum_cycle_time,
+    optimize_skew,
+)
+from repro.report import analyze_circuit, render_rows, run_suite
+from repro.report.tables import format_fraction
+from repro.sim import ClockedSimulator, sample_delay_map
+
+_DELAY_MODELS = {
+    "unit": unit_delays,
+    "typed": typed_delays,
+    "fanout": fanout_loaded_delays,
+}
+
+
+def _load(args) -> tuple:
+    if str(args.bench).endswith(".blif"):
+        circuit = parse_blif_file(args.bench)
+    else:
+        circuit = parse_bench_file(args.bench)
+    delays = _DELAY_MODELS[args.delay_model](circuit)
+    if args.widen is not None:
+        delays = delays.widen(as_fraction(args.widen))
+    if args.setup or args.hold:
+        delays = delays.with_setup_hold(args.setup or 0, args.hold or 0)
+    return circuit, delays
+
+
+def cmd_analyze(args) -> int:
+    circuit, delays = _load(args)
+    print(f"{circuit.name}: {circuit.stats}")
+    report = validity_report(circuit, delays)
+    print(f"  topological delay : {format_fraction(report.topological)}")
+    print(f"  floating delay    : {format_fraction(report.floating)}"
+          f"  (Thm.1 bound {'valid' if report.hold_ok else 'VOID: hold violated'})")
+    print(f"  transition delay  : {format_fraction(report.transition)}"
+          f"  ({'certified' if report.transition_certified else 'UNCERTIFIED (Thm.2): may be incorrect'})")
+    options = MctOptions(
+        use_reachability=args.reachability,
+        work_budget=args.budget,
+    )
+    result = minimum_cycle_time(circuit, delays, options)
+    marker = "" if result.failure_found else " (no failing window found; bound from sweep floor)"
+    print(f"  minimum cycle time: {format_fraction(result.mct_upper_bound)}{marker}")
+    if result.failing_window:
+        low, high = result.failing_window
+        print(f"    failing window  : [{format_fraction(low)}, {format_fraction(high)})")
+    if result.failing_roots:
+        print(f"    pinned by       : {', '.join(result.failing_roots)}")
+    if args.witness and result.failure_found:
+        from repro.mct import find_witness
+
+        witness = find_witness(circuit, delays, result)
+        if witness is None:
+            print("    witness         : none found (C_x failure may be conservative)")
+        else:
+            init = "".join(
+                "1" if witness.initial_state[q] else "0" for q in circuit.state_nets
+            )
+            print(f"    witness         : tau={format_fraction(witness.tau)}, "
+                  f"init={init}, diverges at cycle {witness.diverged_at}")
+    print(f"    candidates      : {len(result.candidates)}"
+          f" ({result.decisions_run} decisions, {result.elapsed_seconds:.2f}s)")
+    if result.budget_exceeded:
+        print("    NOTE: work budget exhausted; bound is partial (†)")
+    return 0
+
+
+def cmd_table(args) -> int:
+    cases = suite_cases(include_unpublished=args.full)
+    if args.rows:
+        wanted = set(args.rows.split(","))
+        cases = [c for c in cases if c.name in wanted or c.paper_name in wanted]
+        if not cases:
+            print(f"no suite rows match {args.rows!r}", file=sys.stderr)
+            return 1
+    widen = None if args.fixed else Fraction(9, 10)
+    rows = run_suite(cases, include_s27=not args.no_s27, widen=widen)
+    condition = "fixed delays" if args.fixed else "delays in [90%, 100%] of max"
+    if args.markdown:
+        from repro.report import HEADER
+        from repro.report.tables import format_markdown_table
+
+        print(format_markdown_table(HEADER, [r.cells() for r in rows]))
+    else:
+        print(render_rows(rows, title=f"Minimum cycle times ({condition})"))
+        print("\n‡ combinational delays pessimistic; § topological > floating;"
+              " - memory (budget) out; † partial sweep")
+    return 0
+
+
+def cmd_example2(args) -> int:
+    circuit, delays = paper_example2()
+    print("Paper Example 2 (Fig. 2): g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2)")
+    flt = floating_delay(circuit, delays).delay
+    trans = transition_delay(circuit, delays).delay
+    print(f"  single-vector (floating) delay = {format_fraction(flt)}   (paper: 4)")
+    print(f"  2-vector (transition) delay    = {format_fraction(trans)}   (paper: 2, an incorrect bound!)")
+    result = minimum_cycle_time(circuit, delays)
+    print(f"  minimum cycle time             = {format_fraction(result.mct_upper_bound)} (paper: 2.5)")
+    print("  examined candidates (with the discretized recurrences):")
+    from repro.timed import and_, lit, or_
+    from repro.timed.tbf import format_recurrence
+
+    expr = or_(
+        and_(lit("f", "3/2"), ~lit("f", 4), lit("f", 5)), ~lit("f", 2)
+    )
+    for record in result.candidates:
+        recurrence = format_recurrence(expr, record.tau)
+        print(f"    tau = {format_fraction(record.tau):>4}: {record.status:<6} {recurrence}")
+    return 0
+
+
+def cmd_exact(args) -> int:
+    from repro.fsm import exact_minimum_cycle_time
+
+    circuit, delays = _load(args)
+    if not delays.is_fixed:
+        delays = delays.at_max()
+        print("note: exact mode needs fixed delays; using maxima")
+    result = exact_minimum_cycle_time(
+        circuit, delays, max_age=args.max_age, work_budget=args.budget
+    )
+    kind = "exact minimum cycle time" if result.failure_found else \
+        "equivalent at every examined period; smallest examined"
+    print(f"{circuit.name}: {kind} = {format_fraction(result.exact_mct)}")
+    for tau, ok in result.candidates:
+        print(f"  tau = {format_fraction(tau):>6}: "
+              f"{'equivalent' if ok else 'INEQUIVALENT'}")
+    if result.budget_exceeded:
+        print("  NOTE: budget exhausted; result partial")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.delay import arrival_report
+    from repro.report.tables import format_table
+
+    circuit, delays = _load(args)
+    report = arrival_report(circuit, delays)
+    rows = [
+        [
+            t.net,
+            format_fraction(t.arrival.lo),
+            format_fraction(t.arrival.hi),
+            format_fraction(t.required_through),
+            format_fraction(t.slack(args.tau)) if args.tau else "-",
+        ]
+        for t in report.critical_nets(args.top)
+    ]
+    title = f"{circuit.name}: structural timing (top {args.top} nets"
+    title += f", tau={args.tau})" if args.tau else ")"
+    print(format_table(
+        ["Net", "Early", "Late", "Through", "Slack"], rows, title=title
+    ))
+    print(f"topological delay: {format_fraction(report.worst_path_delay())}")
+    return 0
+
+
+def cmd_skew(args) -> int:
+    circuit, delays = _load(args)
+    result = optimize_skew(circuit, delays, granularity=args.granularity)
+    print(f"{circuit.name}: common-clock bound {format_fraction(result.baseline)}")
+    if result.phases:
+        print(f"  optimized bound : {format_fraction(result.bound)} "
+              f"({float(result.improvement * 100):.0f}% faster, "
+              f"{result.evaluations} analyses)")
+        for q, phi in sorted(result.phases.items()):
+            print(f"    phase({q}) = {format_fraction(phi)}")
+    else:
+        print("  no useful skew found (design is balanced or loop-bound)")
+    return 0
+
+
+def cmd_level(args) -> int:
+    circuit, delays = _load(args)
+    result = level_sensitive_mct(
+        circuit, delays, duty=as_fraction(args.duty)
+    )
+    print(f"{circuit.name}: transparent latches, duty {args.duty}")
+    print(f"  sequential bound : {format_fraction(result.min_period)}")
+    print(f"  race limit       : {format_fraction(result.max_period)} "
+          f"(shortest path {format_fraction(result.shortest_path)})")
+    if result.feasible:
+        print(f"  certified periods: [{format_fraction(result.min_period)}, "
+              f"{format_fraction(result.max_period)}]")
+        return 0
+    print("  INFEASIBLE: add min-delay padding before level-sensitive clocking")
+    return 2
+
+
+def cmd_simulate(args) -> int:
+    circuit, delays = _load(args)
+    rng = random.Random(args.seed)
+    fixed = sample_delay_map(delays, rng)
+    sim = ClockedSimulator(circuit, fixed)
+    init = {q: False for q in circuit.latches}
+    stimulus = [
+        {u: rng.random() < 0.5 for u in circuit.inputs} for _ in range(args.cycles)
+    ]
+    tau = as_fraction(args.tau)
+    ok = sim.matches_ideal(tau, init, stimulus)
+    trace = sim.run(tau, init, stimulus)
+    print(f"{circuit.name} @ tau={format_fraction(tau)}: "
+          f"{'MATCHES ideal machine' if ok else 'DIVERGES from ideal machine'} "
+          f"over {args.cycles} cycles ({trace.events_processed} events)")
+    return 0 if ok else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mct",
+        description="Exact minimum cycle times for finite state machines (DAC'94).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_load_args(p):
+        p.add_argument("bench", help="netlist file (.bench or .blif)")
+        p.add_argument("--delay-model", choices=sorted(_DELAY_MODELS), default="fanout")
+        p.add_argument("--widen", default=None,
+                       help="scale delays into [factor, 1]·max (e.g. 0.9)")
+        p.add_argument("--setup", type=float, default=None)
+        p.add_argument("--hold", type=float, default=None)
+
+    p = sub.add_parser("analyze", help="all four timing analyses on a netlist")
+    add_load_args(p)
+    p.add_argument("--reachability", action="store_true",
+                   help="use reachable-state don't cares in the decision")
+    p.add_argument("--budget", type=int, default=None, help="work budget")
+    p.add_argument("--witness", action="store_true",
+                   help="search for a simulated divergence below the bound")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("table", help="regenerate the paper's results table")
+    p.add_argument("--rows", default=None, help="comma-separated row names")
+    p.add_argument("--fixed", action="store_true", help="no delay variation")
+    p.add_argument("--no-s27", action="store_true", help="skip the real s27 row")
+    p.add_argument("--full", action="store_true",
+                   help="include the equal-profile rows the paper omits")
+    p.add_argument("--markdown", action="store_true", help="markdown output")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("example2", help="walk through the paper's Example 2")
+    p.set_defaults(func=cmd_example2)
+
+    p = sub.add_parser("simulate", help="event-driven clocked simulation")
+    add_load_args(p)
+    p.add_argument("--tau", required=True, help="clock period")
+    p.add_argument("--cycles", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("exact", help="exact Def-2 minimum cycle time "
+                       "(symbolic product machine; fixed delays)")
+    add_load_args(p)
+    p.add_argument("--max-age", type=int, default=8)
+    p.add_argument("--budget", type=int, default=None)
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("report", help="structural arrival/slack report")
+    add_load_args(p)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--tau", default=None, help="period for the slack column")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("skew", help="useful-skew optimization")
+    add_load_args(p)
+    p.add_argument("--granularity", type=int, default=8)
+    p.set_defaults(func=cmd_skew)
+
+    p = sub.add_parser("level", help="level-sensitive (transparent latch) range")
+    add_load_args(p)
+    p.add_argument("--duty", default="1/2", help="transparency duty cycle")
+    p.set_defaults(func=cmd_level)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Combinational delay analyses (the paper's baselines, Sec. 2 & 5).
+
+All previous approaches bound a machine's minimum cycle time by a
+*combinational* delay of its next-state logic.  This package implements
+those baselines exactly, so the benchmark harness can reproduce the
+paper's comparison table:
+
+* :mod:`~repro.delay.topological` — longest/shortest structural path;
+* :mod:`~repro.delay.floating` — the single-vector (floating) delay
+  with exact BDD sensitization (viability coincides with it for our
+  gate-level model);
+* :mod:`~repro.delay.transition` — the 2-vector (transition) delay;
+* :mod:`~repro.delay.validity` — the Theorem 1 / Theorem 2 conditions
+  under which those delays are *valid* cycle-time upper bounds.
+"""
+
+from repro.delay.topological import (
+    longest_topological_delay,
+    shortest_topological_delay,
+    topological_profile,
+)
+from repro.delay.floating import (
+    FloatingResult,
+    floating_delay,
+    uncorrelated_floating_delay,
+)
+from repro.delay.transition import TransitionResult, transition_delay
+from repro.delay.validity import (
+    ValidityReport,
+    min_register_path,
+    validity_report,
+)
+from repro.delay.arrival import ArrivalReport, NetTiming, arrival_report
+from repro.delay.viability import viability_delay
+
+__all__ = [
+    "longest_topological_delay",
+    "shortest_topological_delay",
+    "topological_profile",
+    "floating_delay",
+    "uncorrelated_floating_delay",
+    "FloatingResult",
+    "transition_delay",
+    "TransitionResult",
+    "min_register_path",
+    "validity_report",
+    "ValidityReport",
+    "arrival_report",
+    "ArrivalReport",
+    "NetTiming",
+    "viability_delay",
+]

@@ -1,0 +1,85 @@
+"""Per-net arrival windows and slack: the user-facing timing report.
+
+A small structural (topological) report in the style every timing tool
+prints: for each net, the earliest/latest structural arrival after a
+clock edge, and — given a target period — the worst slack of the
+register/output paths through it.  This is deliberately *structural*
+(no sensitization): it is the map one reads before asking the exact
+analyses where the real wall is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.delay.topological import _arrival_times
+from repro.logic.delays import DelayMap, Interval, as_fraction
+from repro.logic.netlist import Circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class NetTiming:
+    """Structural timing of one net."""
+
+    net: str
+    #: earliest/latest arrival after the launching edge
+    arrival: Interval
+    #: latest arrival of any root this net can reach (its path ceiling)
+    required_through: Fraction
+
+    def slack(self, tau: Fraction | int | str) -> Fraction:
+        """Worst slack through this net at period ``tau``."""
+        return as_fraction(tau) - self.required_through
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalReport:
+    """Structural arrival/slack report for a whole circuit."""
+
+    circuit_name: str
+    nets: dict[str, NetTiming]
+
+    def critical_nets(self, count: int = 10) -> list[NetTiming]:
+        """Nets on the longest structural paths, worst first."""
+        ranked = sorted(
+            self.nets.values(),
+            key=lambda t: (-t.required_through, t.net),
+        )
+        return ranked[:count]
+
+    def worst_path_delay(self) -> Fraction:
+        """The topological delay (max required_through)."""
+        return max(t.required_through for t in self.nets.values())
+
+
+def arrival_report(circuit: Circuit, delays: DelayMap) -> ArrivalReport:
+    """Compute structural arrivals and path ceilings for every net.
+
+    ``required_through(net)`` = (latest arrival at net) + (longest
+    structural continuation from net to any combinational root); the
+    maximum over nets equals the topological delay.
+    """
+    latest = _arrival_times(circuit, delays, longest=True)
+    earliest = _arrival_times(circuit, delays, longest=False)
+    # Longest continuation to any root, by reverse DP.
+    continuation: dict[str, Fraction] = {
+        net: Fraction(0) for net in latest
+    }
+    order = circuit.topological_order()
+    for net in reversed(order):
+        gate = circuit.gates[net]
+        for pin, child in enumerate(gate.inputs):
+            edge = delays.pin(net, pin).envelope.hi
+            candidate = continuation[net] + edge
+            if candidate > continuation.get(child, Fraction(0)):
+                continuation[child] = candidate
+    nets = {
+        net: NetTiming(
+            net=net,
+            arrival=Interval(earliest[net], latest[net]),
+            required_through=latest[net] + continuation.get(net, Fraction(0)),
+        )
+        for net in latest
+    }
+    return ArrivalReport(circuit_name=circuit.name, nets=nets)

@@ -1,0 +1,35 @@
+"""Viability delay (the paper's third baseline name).
+
+The paper's table column "Float" cites both floating-delay and
+viability-delay computations ([3, 9]); Sec. 8 likewise groups
+"floating, viability, and transition delays".  For networks of simple
+(symmetric, unate-decomposable) gates under the bounded-delay model,
+the viability delay of McGeer–Brayton coincides with the floating-mode
+delay: every viable path is floating-sensitizable and vice versa
+(see [8, 9]; the viability conditions degenerate to floating-mode
+sensitization once gate delays may vary within intervals).  Our gate
+library is exactly that class, so the implementation *is* the floating
+engine; this module exists to make the identification explicit, keep
+the paper's terminology reachable in the API, and pin the equality in
+tests rather than folklore.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.delay.floating import FloatingResult, floating_delay
+from repro.errors import Budget
+from repro.logic.delays import DelayMap
+from repro.logic.netlist import Circuit
+
+
+def viability_delay(
+    circuit: Circuit,
+    delays: DelayMap,
+    roots: Iterable[str] | None = None,
+    budget: Budget | None = None,
+) -> FloatingResult:
+    """Viability delay — identical to :func:`floating_delay` for the
+    simple-gate networks this library models (see module docstring)."""
+    return floating_delay(circuit, delays, roots=roots, budget=budget)

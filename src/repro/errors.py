@@ -1,0 +1,101 @@
+"""Exception hierarchy and resource budgets for the repro library.
+
+The original implementation (DAC 1994) ran out of memory on the largest
+ISCAS benchmarks and reported ``-`` entries in its results table.  We
+reproduce that behaviour deterministically with explicit budgets: every
+potentially explosive computation (BDD construction, timed expansion,
+path enumeration, combination enumeration) charges against a
+:class:`Budget` and raises :class:`ResourceBudgetExceeded` when the
+budget is exhausted, instead of exhausting host memory.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed (dangling nets, cycles, duplicate drivers...)."""
+
+
+class BenchParseError(CircuitError):
+    """An ISCAS'89 ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class DelayModelError(ReproError):
+    """A delay annotation is missing or inconsistent (e.g. min > max)."""
+
+
+class BddError(ReproError):
+    """Invalid use of the BDD manager (foreign nodes, unknown variables...)."""
+
+
+class TbfError(ReproError):
+    """Invalid Timed Boolean Function construction or evaluation."""
+
+
+class AnalysisError(ReproError):
+    """A timing analysis was invoked on an unsupported circuit."""
+
+
+class InfeasibleError(ReproError):
+    """A linear program or interval system has no solution."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """A computation exceeded its node/path/combination budget.
+
+    Mirrors the paper's "memory out" table entries; callers such as the
+    benchmark harness catch this and report a partial result.
+    """
+
+    def __init__(self, resource: str, limit: int):
+        super().__init__(f"budget exceeded for {resource} (limit {limit})")
+        self.resource = resource
+        self.limit = limit
+
+
+class Budget:
+    """A simple countdown budget shared across a computation.
+
+    Parameters
+    ----------
+    limit:
+        Maximum number of units (BDD nodes, expansion entries, paths,
+        combinations...) that may be charged.  ``None`` means unlimited.
+    resource:
+        Human-readable resource name used in error messages.
+    """
+
+    __slots__ = ("limit", "used", "resource")
+
+    def __init__(self, limit: int | None = None, resource: str = "work"):
+        if limit is not None and limit <= 0:
+            raise ValueError("budget limit must be positive or None")
+        self.limit = limit
+        self.used = 0
+        self.resource = resource
+
+    def charge(self, amount: int = 1) -> None:
+        """Consume ``amount`` units, raising when the limit is crossed."""
+        self.used += amount
+        if self.limit is not None and self.used > self.limit:
+            raise ResourceBudgetExceeded(self.resource, self.limit)
+
+    @property
+    def remaining(self) -> int | None:
+        """Units left, or ``None`` for an unlimited budget."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.used)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Budget({self.used}/{self.limit or 'inf'} {self.resource})"

@@ -1,0 +1,108 @@
+"""Explicit state-transition graphs for small machines.
+
+Exhaustive enumeration over input vectors; practical up to a dozen or
+so input bits and a few thousand reachable states.  Used by examples,
+by the exact equivalence layer, and by tests that validate the
+symbolic reachability against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.errors import AnalysisError
+from repro.logic.netlist import Circuit
+
+#: A state is a tuple of latch-output bits in declaration order.
+State = tuple[bool, ...]
+
+
+def _state_of(circuit: Circuit, values: dict[str, bool]) -> State:
+    return tuple(bool(values[q]) for q in circuit.state_nets)
+
+
+def _input_vectors(circuit: Circuit, max_inputs: int) -> list[dict[str, bool]]:
+    if len(circuit.inputs) > max_inputs:
+        raise AnalysisError(
+            f"{len(circuit.inputs)} inputs exceed the explicit "
+            f"enumeration cap ({max_inputs})"
+        )
+    return [
+        dict(zip(circuit.inputs, bits))
+        for bits in itertools.product([False, True], repeat=len(circuit.inputs))
+    ]
+
+
+def enumerate_reachable(
+    circuit: Circuit,
+    initial_state: dict[str, bool] | None = None,
+    max_inputs: int = 16,
+    max_states: int = 1 << 16,
+) -> set[State]:
+    """Breadth-first reachable-state set by explicit simulation."""
+    if initial_state is None:
+        initial_state = {q: False for q in circuit.latches}
+    stimuli = _input_vectors(circuit, max_inputs)
+    start = _state_of(circuit, initial_state)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        new_frontier: list[State] = []
+        for state in frontier:
+            state_map = dict(zip(circuit.state_nets, state))
+            for stimulus in stimuli:
+                nxt, _ = circuit.step(state_map, stimulus)
+                key = _state_of(circuit, nxt)
+                if key not in seen:
+                    if len(seen) >= max_states:
+                        raise AnalysisError(
+                            f"more than {max_states} reachable states"
+                        )
+                    seen.add(key)
+                    new_frontier.append(key)
+        frontier = new_frontier
+    return seen
+
+
+def extract_stg(
+    circuit: Circuit,
+    initial_state: dict[str, bool] | None = None,
+    max_inputs: int = 16,
+    max_states: int = 1 << 12,
+) -> nx.MultiDiGraph:
+    """The reachable state-transition graph as a networkx MultiDiGraph.
+
+    Nodes are state tuples; each edge carries the input vector
+    (``input``) and the sampled output vector (``output``).
+    """
+    if initial_state is None:
+        initial_state = {q: False for q in circuit.latches}
+    stimuli = _input_vectors(circuit, max_inputs)
+    graph = nx.MultiDiGraph(name=circuit.name)
+    start = _state_of(circuit, initial_state)
+    graph.add_node(start, initial=True)
+    frontier = [start]
+    while frontier:
+        new_frontier: list[State] = []
+        for state in frontier:
+            state_map = dict(zip(circuit.state_nets, state))
+            for stimulus in stimuli:
+                nxt, outs = circuit.step(state_map, stimulus)
+                key = _state_of(circuit, nxt)
+                if key not in graph:
+                    if graph.number_of_nodes() >= max_states:
+                        raise AnalysisError(
+                            f"more than {max_states} reachable states"
+                        )
+                    graph.add_node(key, initial=False)
+                    new_frontier.append(key)
+                graph.add_edge(
+                    state,
+                    key,
+                    input=tuple(stimulus[u] for u in circuit.inputs),
+                    output=tuple(outs[o] for o in circuit.outputs),
+                )
+        frontier = new_frontier
+    return graph

@@ -1,0 +1,59 @@
+"""Gate-level synchronous circuits.
+
+This package provides the structural substrate of the reproduction:
+
+* :class:`~repro.logic.gate.GateType` — the primitive gate library and
+  its Boolean semantics;
+* :class:`~repro.logic.netlist.Circuit` — a synchronous netlist with
+  primary inputs/outputs, combinational gates, and edge-triggered
+  D-flip-flops on a single common clock (the paper's Fig. 3 machine
+  model);
+* :mod:`~repro.logic.bench` — ISCAS'89 ``.bench`` reader/writer;
+* :mod:`~repro.logic.delays` — pin-accurate delay annotations with
+  bounded intervals (Sec. 7's variable gate delays) and rise/fall
+  asymmetry (Fig. 1's buffer decomposition), plus the deterministic
+  delay models used by the benchmark suite.
+"""
+
+from repro.logic.gate import GateType, eval_gate
+from repro.logic.netlist import Circuit, Gate, Latch
+from repro.logic.bench import parse_bench, parse_bench_file, write_bench
+from repro.logic.blif import parse_blif, parse_blif_file, write_blif
+from repro.logic.transform import (
+    circuit_stats,
+    split_asymmetric_pins,
+    sweep_dead_logic,
+)
+from repro.logic.delays import (
+    DelayMap,
+    Interval,
+    PinTiming,
+    fanout_loaded_delays,
+    typed_delays,
+    unit_delays,
+    widen_to_intervals,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "Latch",
+    "DelayMap",
+    "Interval",
+    "PinTiming",
+    "eval_gate",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "parse_blif",
+    "parse_blif_file",
+    "write_blif",
+    "unit_delays",
+    "typed_delays",
+    "fanout_loaded_delays",
+    "widen_to_intervals",
+    "circuit_stats",
+    "split_asymmetric_pins",
+    "sweep_dead_logic",
+]

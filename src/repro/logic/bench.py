@@ -1,0 +1,89 @@
+"""ISCAS'89 ``.bench`` netlist reader and writer.
+
+Format summary (as used by the ISCAS'89 sequential benchmark suite the
+paper evaluates on)::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+    G14 = NOT(G0)
+
+Gate names are case-insensitive; ``BUFF`` is accepted for ``BUF``.
+``DFF`` entries become :class:`~repro.logic.netlist.Latch` elements on
+the implicit common clock.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import BenchParseError
+from repro.logic.gate import gate_type_from_name
+from repro.logic.netlist import Circuit, Gate, Latch
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(r"^([^\s=()]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    latches: list[Latch] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            (inputs if kind == "INPUT" else outputs).append(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(f"unrecognized line: {raw.strip()!r}", line_no)
+        out, type_name, args_text = assign.groups()
+        args = [a.strip() for a in args_text.split(",")] if args_text.strip() else []
+        if any(not a for a in args):
+            raise BenchParseError(f"empty operand in {raw.strip()!r}", line_no)
+        if type_name.upper() == "DFF":
+            if len(args) != 1:
+                raise BenchParseError(
+                    f"DFF takes exactly one input, got {len(args)}", line_no
+                )
+            latches.append(Latch(output=out, data=args[0]))
+        else:
+            try:
+                gtype = gate_type_from_name(type_name)
+            except Exception as exc:
+                raise BenchParseError(str(exc), line_no) from None
+            gates.append(Gate(output=out, gtype=gtype, inputs=tuple(args)))
+    return Circuit(name=name, inputs=inputs, outputs=outputs, gates=gates, latches=latches)
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit is named after the file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` text.
+
+    Round-trips with :func:`parse_bench` up to whitespace and ordering;
+    gates are emitted in topological order for readability.
+    """
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.outputs)
+    for latch in circuit.latches.values():
+        lines.append(f"{latch.output} = DFF({latch.data})")
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        type_name = "BUFF" if gate.gtype.value == "BUF" else gate.gtype.value
+        lines.append(f"{net} = {type_name}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,271 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+The paper's tool chain (SIS-era Berkeley CAD) spoke BLIF; this module
+lets the library consume those netlists.  Supported constructs:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end`` (continuation
+  lines with ``\\`` are handled);
+* ``.names`` single-output covers — each cover is synthesized into a
+  tree of AND/OR/NOT primitives (one AND per cube, an OR over cubes),
+  since the netlist layer deliberately models primitive gates only;
+* ``.latch`` with optional type/control/initial-value fields; only
+  edge-triggered semantics on the single global clock are modeled,
+  matching the paper's machine model.
+
+The writer emits one ``.names`` per primitive gate; reader(writer(c))
+is functionally equivalent to ``c`` (tested by simulation).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import BenchParseError
+from repro.logic.gate import GateType
+from repro.logic.netlist import Circuit, Gate, Latch
+
+
+def _logical_lines(text: str):
+    """Yield (line_no, line) with comments stripped and continuations
+    joined (BLIF uses a trailing backslash)."""
+    pending = ""
+    pending_no = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not pending:
+            pending_no = line_no
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        if pending.strip():
+            yield pending_no, pending.strip()
+        pending = ""
+    if pending.strip():
+        yield pending_no, pending.strip()
+
+
+class _CoverSynthesizer:
+    """Turns a .names cover into primitive gates."""
+
+    def __init__(self, output: str):
+        self.output = output
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"{self.output}$blif{self._counter}"
+
+    def synthesize(
+        self, inputs: list[str], cubes: list[tuple[str, str]], line_no: int
+    ) -> list[Gate]:
+        """Gates computing the cover; the last gate drives ``output``."""
+        if not cubes:
+            # Empty cover = constant 0 (SIS convention).
+            return [Gate(self.output, GateType.CONST0, ())]
+        polarities = {value for _, value in cubes}
+        if len(polarities) != 1:
+            raise BenchParseError(
+                "mixed on/off-set cubes in one cover", line_no
+            )
+        polarity = polarities.pop()
+        if polarity not in ("0", "1"):
+            raise BenchParseError(f"bad cover output {polarity!r}", line_no)
+        gates: list[Gate] = []
+        if not inputs:
+            # Constant cover: a single cube row like "1".
+            gtype = GateType.CONST1 if polarity == "1" else GateType.CONST0
+            return [Gate(self.output, gtype, ())]
+        term_nets: list[str] = []
+        for mask, _ in cubes:
+            if len(mask) != len(inputs):
+                raise BenchParseError(
+                    f"cube width {len(mask)} != {len(inputs)} inputs", line_no
+                )
+            literal_nets: list[str] = []
+            for bit, net in zip(mask, inputs):
+                if bit == "1":
+                    literal_nets.append(net)
+                elif bit == "0":
+                    inv = self.fresh()
+                    gates.append(Gate(inv, GateType.NOT, (net,)))
+                    literal_nets.append(inv)
+                elif bit == "-":
+                    continue
+                else:
+                    raise BenchParseError(f"bad cube character {bit!r}", line_no)
+            if not literal_nets:
+                # All-don't-care cube: the cover is a constant.
+                term = self.fresh()
+                gates.append(Gate(term, GateType.CONST1, ()))
+                literal_nets = [term]
+            if len(literal_nets) == 1:
+                term_nets.append(literal_nets[0])
+            else:
+                term = self.fresh()
+                gates.append(Gate(term, GateType.AND, tuple(literal_nets)))
+                term_nets.append(term)
+        # OR of terms, then polarity.
+        if polarity == "1":
+            if len(term_nets) == 1:
+                gates.append(Gate(self.output, GateType.BUF, (term_nets[0],)))
+            else:
+                gates.append(Gate(self.output, GateType.OR, tuple(term_nets)))
+        else:
+            if len(term_nets) == 1:
+                gates.append(Gate(self.output, GateType.NOT, (term_nets[0],)))
+            else:
+                gates.append(Gate(self.output, GateType.NOR, tuple(term_nets)))
+        return gates
+
+
+def parse_blif(text: str, name: str | None = None) -> Circuit:
+    """Parse BLIF source into a :class:`Circuit`.
+
+    Latch initial values are recorded in ``circuit.blif_initial_state``
+    (``None`` for the BLIF "don't know" values 2/3).
+    """
+    model_name = name or "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[Gate] = []
+    latches: list[Latch] = []
+    initial: dict[str, bool | None] = {}
+    current_cover: tuple[int, list[str]] | None = None  # (line, io list)
+    cubes: list[tuple[str, str]] = []
+
+    def flush_cover() -> None:
+        nonlocal current_cover, cubes
+        if current_cover is None:
+            return
+        line_no, io = current_cover
+        output = io[-1]
+        cover_inputs = io[:-1]
+        synth = _CoverSynthesizer(output)
+        gates.extend(synth.synthesize(cover_inputs, cubes, line_no))
+        current_cover = None
+        cubes = []
+
+    for line_no, line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            keyword = parts[0]
+            if keyword != ".names":
+                flush_cover()
+            if keyword == ".model":
+                if len(parts) > 1 and name is None:
+                    model_name = parts[1]
+            elif keyword == ".inputs":
+                inputs.extend(parts[1:])
+            elif keyword == ".outputs":
+                outputs.extend(parts[1:])
+            elif keyword == ".names":
+                flush_cover()
+                if len(parts) < 2:
+                    raise BenchParseError(".names needs at least an output", line_no)
+                current_cover = (line_no, parts[1:])
+            elif keyword == ".latch":
+                if len(parts) < 3:
+                    raise BenchParseError(".latch needs input and output", line_no)
+                data, out = parts[1], parts[2]
+                latches.append(Latch(output=out, data=data))
+                init_field = parts[-1] if len(parts) >= 4 else "3"
+                initial[out] = {"0": False, "1": True}.get(init_field)
+            elif keyword == ".end":
+                break
+            elif keyword in (".exdc", ".subckt", ".search", ".clock"):
+                raise BenchParseError(f"unsupported construct {keyword}", line_no)
+            else:
+                # Unknown dot-directives are skipped (SIS emits many).
+                continue
+        else:
+            if current_cover is None:
+                raise BenchParseError(f"cube outside .names: {line!r}", line_no)
+            fields = line.split()
+            if len(fields) == 1:
+                # Constant cover for a zero-input .names.
+                cubes.append(("", fields[0]))
+            elif len(fields) == 2:
+                cubes.append((fields[0], fields[1]))
+            else:
+                raise BenchParseError(f"bad cube line {line!r}", line_no)
+    flush_cover()
+    circuit = Circuit(model_name, inputs, outputs, gates, latches)
+    circuit.blif_initial_state = initial  # type: ignore[attr-defined]
+    return circuit
+
+
+def parse_blif_file(path: str | Path) -> Circuit:
+    """Parse a ``.blif`` file; falls back to the filename as model name."""
+    path = Path(path)
+    return parse_blif(path.read_text(), name=None) if _has_model(path) else parse_blif(
+        path.read_text(), name=path.stem
+    )
+
+
+def _has_model(path: Path) -> bool:
+    for _, line in _logical_lines(path.read_text()):
+        if line.startswith(".model"):
+            return True
+    return False
+
+
+_COVERS: dict[GateType, str] = {}
+
+
+def _gate_cover(gate: Gate) -> str:
+    """The .names body for one primitive gate."""
+    n = len(gate.inputs)
+    if gate.gtype is GateType.AND:
+        return "1" * n + " 1"
+    if gate.gtype is GateType.NAND:
+        return "1" * n + " 0"
+    if gate.gtype is GateType.OR:
+        return "\n".join(
+            "-" * i + "1" + "-" * (n - i - 1) + " 1" for i in range(n)
+        )
+    if gate.gtype is GateType.NOR:
+        return "0" * n + " 1"
+    if gate.gtype is GateType.NOT:
+        return "0 1"
+    if gate.gtype is GateType.BUF:
+        return "1 1"
+    if gate.gtype is GateType.CONST1:
+        return "1"
+    if gate.gtype is GateType.CONST0:
+        return ""  # empty cover = constant 0
+    if gate.gtype in (GateType.XOR, GateType.XNOR):
+        want = 1 if gate.gtype is GateType.XOR else 0
+        rows = []
+        for bits in range(1 << n):
+            ones = bin(bits).count("1")
+            if ones % 2 == want:
+                mask = "".join(
+                    "1" if bits & (1 << i) else "0" for i in range(n)
+                )
+                rows.append(f"{mask} 1")
+        return "\n".join(rows)
+    raise BenchParseError(f"cannot export gate type {gate.gtype}")
+
+
+def write_blif(circuit: Circuit, initial_state: dict[str, bool] | None = None) -> str:
+    """Serialize a circuit to BLIF text."""
+    lines = [f".model {circuit.name}"]
+    if circuit.inputs:
+        lines.append(".inputs " + " ".join(circuit.inputs))
+    if circuit.outputs:
+        lines.append(".outputs " + " ".join(circuit.outputs))
+    for latch in circuit.latches.values():
+        init = "3"
+        if initial_state is not None and latch.output in initial_state:
+            init = "1" if initial_state[latch.output] else "0"
+        lines.append(f".latch {latch.data} {latch.output} re clk {init}")
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        header = ".names " + " ".join(gate.inputs + (net,)) if gate.inputs else f".names {net}"
+        lines.append(header)
+        body = _gate_cover(gate)
+        if body:
+            lines.append(body)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,143 @@
+"""The primitive gate library and its Boolean semantics.
+
+Every analysis in the library (functional simulation, BDD cone
+construction, timed expansion) funnels gate semantics through this
+module, so adding a gate type here makes it available everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.errors import CircuitError
+
+
+class GateType(enum.Enum):
+    """Combinational primitives understood by the netlist.
+
+    The set matches what ISCAS'89 ``.bench`` files use (plus explicit
+    constants, which synthetic generators need).
+    """
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_constant(self) -> bool:
+        """True for the two zero-input constant generators."""
+        return self in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def min_arity(self) -> int:
+        """Smallest legal number of inputs."""
+        if self.is_constant:
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return 2
+
+    @property
+    def max_arity(self) -> int | None:
+        """Largest legal number of inputs (None = unbounded)."""
+        if self.is_constant:
+            return 0
+        if self in (GateType.NOT, GateType.BUF):
+            return 1
+        return None
+
+    def check_arity(self, n_inputs: int) -> None:
+        """Raise :class:`CircuitError` if ``n_inputs`` is illegal."""
+        if n_inputs < self.min_arity or (
+            self.max_arity is not None and n_inputs > self.max_arity
+        ):
+            raise CircuitError(
+                f"{self.value} gate cannot take {n_inputs} input(s)"
+            )
+
+
+#: ``.bench`` spellings that deviate from our canonical names.
+BENCH_ALIASES = {
+    "BUFF": GateType.BUF,
+    "INV": GateType.NOT,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Resolve a gate-type name as found in a ``.bench`` file."""
+    upper = name.upper()
+    if upper in BENCH_ALIASES:
+        return BENCH_ALIASES[upper]
+    try:
+        return GateType(upper)
+    except ValueError:
+        raise CircuitError(f"unknown gate type {name!r}") from None
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[bool]) -> bool:
+    """Evaluate a gate on concrete Boolean inputs."""
+    gtype.check_arity(len(inputs))
+    if gtype is GateType.AND:
+        return all(inputs)
+    if gtype is GateType.OR:
+        return any(inputs)
+    if gtype is GateType.NAND:
+        return not all(inputs)
+    if gtype is GateType.NOR:
+        return not any(inputs)
+    if gtype is GateType.XOR:
+        return sum(inputs) % 2 == 1
+    if gtype is GateType.XNOR:
+        return sum(inputs) % 2 == 0
+    if gtype is GateType.NOT:
+        return not inputs[0]
+    if gtype is GateType.BUF:
+        return bool(inputs[0])
+    if gtype is GateType.CONST0:
+        return False
+    if gtype is GateType.CONST1:
+        return True
+    raise CircuitError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+def gate_bdd(gtype: GateType, manager, inputs: Sequence):
+    """Build the gate function over BDD operand functions.
+
+    ``inputs`` are :class:`repro.bdd.Function` objects from ``manager``.
+    """
+    gtype.check_arity(len(inputs))
+    if gtype is GateType.AND:
+        return manager.conjoin(inputs)
+    if gtype is GateType.OR:
+        return manager.disjoin(inputs)
+    if gtype is GateType.NAND:
+        return ~manager.conjoin(inputs)
+    if gtype is GateType.NOR:
+        return ~manager.disjoin(inputs)
+    if gtype is GateType.XOR:
+        acc = manager.false
+        for f in inputs:
+            acc = acc ^ f
+        return acc
+    if gtype is GateType.XNOR:
+        acc = manager.false
+        for f in inputs:
+            acc = acc ^ f
+        return ~acc
+    if gtype is GateType.NOT:
+        return ~inputs[0]
+    if gtype is GateType.BUF:
+        return inputs[0]
+    if gtype is GateType.CONST0:
+        return manager.false
+    if gtype is GateType.CONST1:
+        return manager.true
+    raise CircuitError(f"unhandled gate type {gtype}")  # pragma: no cover

@@ -1,0 +1,319 @@
+"""Synchronous gate-level netlists (the paper's Fig. 3 machine model).
+
+A :class:`Circuit` is a single-clock synchronous sequential circuit:
+primary inputs and outputs, combinational gates, and edge-triggered
+D-flip-flops (:class:`Latch`).  External inputs are assumed synchronized
+to the clock, exactly as in the paper.
+
+Nets are plain strings; every net has exactly one driver (a primary
+input, a gate output, or a flip-flop output).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import CircuitError
+from repro.logic.gate import GateType, eval_gate
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """A combinational gate driving net ``output`` from ``inputs``."""
+
+    output: str
+    gtype: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.gtype.check_arity(len(self.inputs))
+
+
+@dataclasses.dataclass(frozen=True)
+class Latch:
+    """An edge-triggered D-flip-flop: ``output`` holds ``data`` sampled
+    at the previous active clock edge.
+
+    The paper models this element with the TBF
+    ``Q(t) = D(P * floor((t - d)/P))``; the flip-flop's own delay ``d``
+    lives in the delay annotation (:class:`repro.logic.delays.DelayMap`),
+    not in the structure.
+    """
+
+    output: str
+    data: str
+
+
+class Circuit:
+    """A synchronous sequential circuit.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    inputs / outputs:
+        Primary input and output net names.
+    gates:
+        Combinational gates; each output net must be unique.
+    latches:
+        Edge-triggered D-flip-flops on the common clock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+        latches: Iterable[Latch] = (),
+    ):
+        self.name = name
+        self.inputs: tuple[str, ...] = tuple(inputs)
+        self.outputs: tuple[str, ...] = tuple(outputs)
+        self.gates: dict[str, Gate] = {}
+        for gate in gates:
+            if gate.output in self.gates:
+                raise CircuitError(f"net {gate.output!r} driven by two gates")
+            self.gates[gate.output] = gate
+        self.latches: dict[str, Latch] = {}
+        for latch in latches:
+            if latch.output in self.latches:
+                raise CircuitError(f"net {latch.output!r} driven by two latches")
+            self.latches[latch.output] = latch
+        self._validate()
+        self._topo_cache: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def state_nets(self) -> tuple[str, ...]:
+        """Flip-flop output nets, in declaration order."""
+        return tuple(self.latches)
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        """Nets that feed the combinational logic: PIs + FF outputs."""
+        return self.inputs + self.state_nets
+
+    @property
+    def combinational_roots(self) -> tuple[str, ...]:
+        """Nets whose cones the analyses care about: FF data + POs."""
+        roots = [latch.data for latch in self.latches.values()]
+        roots.extend(self.outputs)
+        # Deduplicate preserving order (a PO may also feed a latch).
+        seen: set[str] = set()
+        unique = []
+        for net in roots:
+            if net not in seen:
+                seen.add(net)
+                unique.append(net)
+        return tuple(unique)
+
+    def driver_of(self, net: str) -> Gate | Latch | str:
+        """The driver of ``net``: a Gate, a Latch, or the PI name itself."""
+        if net in self.gates:
+            return self.gates[net]
+        if net in self.latches:
+            return self.latches[net]
+        if net in self._input_set:
+            return net
+        raise CircuitError(f"net {net!r} has no driver")
+
+    def is_leaf(self, net: str) -> bool:
+        """True for nets that are inputs to the combinational logic."""
+        return net in self._input_set or net in self.latches
+
+    def fanins(self, net: str) -> tuple[str, ...]:
+        """Combinational fanins of a gate output net (empty for leaves)."""
+        gate = self.gates.get(net)
+        return gate.inputs if gate is not None else ()
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate pins plus latch data pins reading ``net``."""
+        return self._fanout_counts.get(net, 0)
+
+    def _validate(self) -> None:
+        self._input_set = set(self.inputs)
+        if len(self._input_set) != len(self.inputs):
+            raise CircuitError("duplicate primary input")
+        overlap = self._input_set & set(self.gates)
+        if overlap:
+            raise CircuitError(f"nets driven by both PI and gate: {sorted(overlap)}")
+        overlap = self._input_set & set(self.latches)
+        if overlap:
+            raise CircuitError(f"nets driven by both PI and latch: {sorted(overlap)}")
+        overlap = set(self.gates) & set(self.latches)
+        if overlap:
+            raise CircuitError(f"nets driven by both gate and latch: {sorted(overlap)}")
+        known = self._input_set | set(self.gates) | set(self.latches)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in known:
+                    raise CircuitError(
+                        f"gate {gate.output!r} reads undriven net {net!r}"
+                    )
+        for latch in self.latches.values():
+            if latch.data not in known:
+                raise CircuitError(
+                    f"latch {latch.output!r} reads undriven net {latch.data!r}"
+                )
+        for net in self.outputs:
+            if net not in known:
+                raise CircuitError(f"primary output {net!r} is undriven")
+        self._fanout_counts: dict[str, int] = {}
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                self._fanout_counts[net] = self._fanout_counts.get(net, 0) + 1
+        for latch in self.latches.values():
+            self._fanout_counts[latch.data] = self._fanout_counts.get(latch.data, 0) + 1
+        # Cycle check happens lazily in topological_order().
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[str]:
+        """Gate output nets in topological (fanin-first) order.
+
+        Latch boundaries break cycles: a latch output is a leaf.  A
+        *combinational* cycle raises :class:`CircuitError`.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        for start in self.gates:
+            if state.get(start) == 1:
+                continue
+            stack: list[tuple[str, int]] = [(start, 0)]
+            while stack:
+                net, child_idx = stack.pop()
+                if net not in self.gates or state.get(net) == 1:
+                    continue
+                if child_idx == 0:
+                    if state.get(net) == 0:
+                        raise CircuitError(f"combinational cycle through {net!r}")
+                    state[net] = 0
+                fanins = self.gates[net].inputs
+                advanced = False
+                for i in range(child_idx, len(fanins)):
+                    child = fanins[i]
+                    if child in self.gates and state.get(child) != 1:
+                        if state.get(child) == 0:
+                            raise CircuitError(
+                                f"combinational cycle through {child!r}"
+                            )
+                        stack.append((net, i + 1))
+                        stack.append((child, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[net] = 1
+                    order.append(net)
+        self._topo_cache = order
+        return list(order)
+
+    def cone(self, root: str) -> list[str]:
+        """Gate output nets in the transitive fanin cone of ``root``,
+        in topological order (leaves excluded)."""
+        member: set[str] = set()
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in member or self.is_leaf(net):
+                continue
+            if net not in self.gates:
+                raise CircuitError(f"net {net!r} has no driver")
+            member.add(net)
+            stack.extend(self.gates[net].inputs)
+        return [net for net in self.topological_order() if net in member]
+
+    def cone_leaves(self, root: str) -> list[str]:
+        """Leaf nets (PIs / FF outputs) feeding ``root``'s cone, in
+        first-visit DFS order (good BDD variable order)."""
+        order: list[str] = []
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            if self.is_leaf(net):
+                order.append(net)
+            else:
+                # push reversed so leftmost fanin is visited first
+                stack.extend(reversed(self.gates[net].inputs))
+        return order
+
+    # ------------------------------------------------------------------
+    # Functional semantics
+    # ------------------------------------------------------------------
+    def eval_combinational(self, leaf_values: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate all gate nets given PI / FF-output values."""
+        values: dict[str, bool] = {net: bool(v) for net, v in leaf_values.items()}
+        missing = set(self.leaves) - set(values)
+        if missing:
+            raise CircuitError(f"missing leaf values for {sorted(missing)}")
+        for net in self.topological_order():
+            gate = self.gates[net]
+            values[net] = eval_gate(gate.gtype, [values[i] for i in gate.inputs])
+        return values
+
+    def step(
+        self, state: Mapping[str, bool], inputs: Mapping[str, bool]
+    ) -> tuple[dict[str, bool], dict[str, bool]]:
+        """One ideal (zero-delay) clock cycle.
+
+        Returns ``(next_state, outputs)`` where ``next_state`` maps FF
+        output nets to their new values and ``outputs`` maps POs to the
+        values computed *from the current state* (Mealy sampling at the
+        end of the cycle, matching the TBF sampling ``y(n)``).
+        """
+        leaf_values = dict(inputs)
+        for net in self.state_nets:
+            leaf_values[net] = bool(state[net])
+        values = self.eval_combinational(leaf_values)
+        next_state = {q: values[latch.data] for q, latch in self.latches.items()}
+        outputs = {net: values[net] for net in self.outputs}
+        return next_state, outputs
+
+    def simulate(
+        self,
+        initial_state: Mapping[str, bool],
+        input_sequence: Sequence[Mapping[str, bool]],
+    ) -> tuple[list[dict[str, bool]], list[dict[str, bool]]]:
+        """Ideal multi-cycle simulation.
+
+        Returns the list of states *after* each cycle and the outputs
+        sampled each cycle.
+        """
+        state = {net: bool(initial_state[net]) for net in self.state_nets}
+        states: list[dict[str, bool]] = []
+        outputs: list[dict[str, bool]] = []
+        for stimulus in input_sequence:
+            state, out = self.step(state, stimulus)
+            states.append(dict(state))
+            outputs.append(out)
+        return states, outputs
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Size summary used by reports and the CLI."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.gates),
+            "latches": len(self.latches),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"Circuit({self.name!r}, {s['inputs']} PI, {s['outputs']} PO, "
+            f"{s['gates']} gates, {s['latches']} FF)"
+        )

@@ -1,0 +1,163 @@
+"""Structural netlist transformations.
+
+Light-weight cleanups a netlist flow needs around the analyses:
+dead-logic sweeping, statistics, and rise/fall pin decomposition into
+explicit buffers (so tools that only understand symmetric pins — e.g.
+the event simulator — can handle Fig. 1(b) style annotations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.errors import CircuitError
+from repro.logic.delays import DelayMap, Interval, PinTiming
+from repro.logic.gate import GateType
+from repro.logic.netlist import Circuit, Gate, Latch
+
+
+def sweep_dead_logic(
+    circuit: Circuit, delays: DelayMap | None = None
+) -> tuple[Circuit, DelayMap | None]:
+    """Remove gates that no primary output or latch can observe.
+
+    Returns the swept circuit (and a matching delay map when one was
+    given).  Primary inputs are kept even if unused — they are part of
+    the interface.
+    """
+    live: set[str] = set()
+    stack = list(circuit.combinational_roots)
+    while stack:
+        net = stack.pop()
+        if net in live or circuit.is_leaf(net):
+            continue
+        live.add(net)
+        stack.extend(circuit.gates[net].inputs)
+    gates = [g for net, g in circuit.gates.items() if net in live]
+    swept = Circuit(
+        name=circuit.name,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        gates=gates,
+        latches=list(circuit.latches.values()),
+    )
+    if delays is None:
+        return swept, None
+    pins = {
+        (net, pin): delays.pin(net, pin)
+        for net in swept.gates
+        for pin in range(len(swept.gates[net].inputs))
+    }
+    latch_delay = {q: delays.latch(q) for q in swept.latches}
+    phase = {q: delays.phase(q) for q in swept.latches}
+    return swept, DelayMap(
+        swept, pins, latch_delay,
+        setup=delays.setup, hold=delays.hold, phase=phase,
+    )
+
+
+def split_asymmetric_pins(
+    circuit: Circuit, delays: DelayMap
+) -> tuple[Circuit, DelayMap]:
+    """Make every pin symmetric by inserting explicit Fig. 1(b) buffers.
+
+    A pin with rise ``r`` > fall ``f`` becomes
+    ``AND(buf_r(src), buf_f(src))``; the dual OR for ``r < f``.  The
+    result's flattened TBF is identical, so all analyses agree — and
+    the event simulator (symmetric-only) becomes applicable.
+    """
+    gates: list[Gate] = []
+    pins: dict[tuple[str, int], PinTiming] = {}
+    counter = 0
+
+    def fresh(base: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{base}$af{counter}"
+
+    for net, gate in circuit.gates.items():
+        new_inputs: list[str] = []
+        for pin, child in enumerate(gate.inputs):
+            timing = delays.pin(net, pin)
+            if timing.is_symmetric:
+                new_inputs.append(child)
+                continue
+            rise, fall = timing.rise, timing.fall
+            b_rise, b_fall = fresh(net), fresh(net)
+            gates.append(Gate(b_rise, GateType.BUF, (child,)))
+            pins[(b_rise, 0)] = PinTiming.symmetric(rise)
+            gates.append(Gate(b_fall, GateType.BUF, (child,)))
+            pins[(b_fall, 0)] = PinTiming.symmetric(fall)
+            combiner = fresh(net)
+            if rise.lo >= fall.hi:
+                gates.append(Gate(combiner, GateType.AND, (b_rise, b_fall)))
+            elif rise.hi <= fall.lo:
+                gates.append(Gate(combiner, GateType.OR, (b_rise, b_fall)))
+            else:
+                raise CircuitError(
+                    f"pin {pin} of {net!r}: overlapping rise/fall intervals"
+                )
+            pins[(combiner, 0)] = PinTiming.symmetric(0)
+            pins[(combiner, 1)] = PinTiming.symmetric(0)
+            new_inputs.append(combiner)
+        gates.append(Gate(net, gate.gtype, tuple(new_inputs)))
+        for pin in range(len(new_inputs)):
+            if (net, pin) not in pins:
+                timing = delays.pin(net, pin)
+                pins[(net, pin)] = (
+                    timing if timing.is_symmetric else PinTiming.symmetric(0)
+                )
+    # Asymmetric originals got a zero-delay pin into the combiner.
+    for net, gate in circuit.gates.items():
+        for pin in range(len(gate.inputs)):
+            if not delays.pin(net, pin).is_symmetric:
+                pins[(net, pin)] = PinTiming.symmetric(0)
+    split = Circuit(
+        name=circuit.name,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        gates=gates,
+        latches=list(circuit.latches.values()),
+    )
+    latch_delay = {q: delays.latch(q) for q in split.latches}
+    phase = {q: delays.phase(q) for q in split.latches}
+    return split, DelayMap(
+        split, pins, latch_delay,
+        setup=delays.setup, hold=delays.hold, phase=phase,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitStats:
+    """Extended structural statistics."""
+
+    inputs: int
+    outputs: int
+    gates: int
+    latches: int
+    depth: int
+    by_type: dict[str, int]
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Structural statistics incl. logic depth and per-type counts."""
+    depth: dict[str, int] = {leaf: 0 for leaf in circuit.leaves}
+    longest = 0
+    for net in circuit.topological_order():
+        gate = circuit.gates[net]
+        level = 1 + max((depth[c] for c in gate.inputs), default=0)
+        depth[net] = level
+        longest = max(longest, level)
+    by_type: dict[str, int] = {}
+    for gate in circuit.gates.values():
+        by_type[gate.gtype.value] = by_type.get(gate.gtype.value, 0) + 1
+    s = circuit.stats
+    return CircuitStats(
+        inputs=s["inputs"],
+        outputs=s["outputs"],
+        gates=s["gates"],
+        latches=s["latches"],
+        depth=longest,
+        by_type=by_type,
+    )

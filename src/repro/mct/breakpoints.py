@@ -1,0 +1,54 @@
+"""Critical values of the clock period τ (Secs. 6 and 7).
+
+Between two consecutive values of the form ``k/m`` (``k`` an interval
+endpoint of some total path delay, ``m`` a positive integer) every
+floor term ``⌊-k/τ⌋`` — and hence the whole discretized machine — is
+constant.  The sweep therefore only needs to examine the *left
+endpoint* of each such interval, in descending order.
+
+The stream is generated lazily with a heap so that the sweep can stop
+at the first failing breakpoint without materializing the (infinite)
+candidate set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from fractions import Fraction
+
+
+def tau_breakpoints(
+    endpoint_values: Iterable[Fraction],
+    tau_floor: Fraction | None = None,
+) -> Iterator[Fraction]:
+    """Yield the distinct breakpoints ``k/m`` in strictly descending
+    order, starting from the largest (``L = max k``).
+
+    Parameters
+    ----------
+    endpoint_values:
+        The positive interval endpoints of all total path delays.
+    tau_floor:
+        Stop once the next breakpoint would be ≤ this value; ``None``
+        streams forever (callers bound the sweep themselves).
+    """
+    endpoints = sorted({Fraction(v) for v in endpoint_values if v > 0})
+    if not endpoints:
+        return
+    # Max-heap of (-value, k, m).
+    heap: list[tuple[Fraction, Fraction, int]] = [(-k, k, 1) for k in endpoints]
+    heapq.heapify(heap)
+    previous: Fraction | None = None
+    while heap:
+        neg, k, m = heapq.heappop(heap)
+        value = -neg
+        if tau_floor is not None and value <= tau_floor:
+            # Every remaining entry from this k is even smaller, and the
+            # heap's top is the global max, so the whole stream is done.
+            return
+        heapq.heappush(heap, (-(k / (m + 1)), k, m + 1))
+        if previous is not None and value == previous:
+            continue  # deduplicate equal ratios from different k's
+        previous = value
+        yield value

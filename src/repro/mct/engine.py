@@ -1,0 +1,298 @@
+"""The τ-sweep: minimum-cycle-time upper bounds (Secs. 6–7).
+
+Starting from the steady-state constant ``L`` (where the machine is
+trivially equivalent to itself), τ is decreased through the critical
+breakpoints.  Each breakpoint is the left endpoint of a half-open
+window on which the discretized machine is constant; the decision
+algorithm is run once per window (memoized by age regime).  The sweep
+stops at the first window containing a *feasible* failing combination:
+
+* fixed delays — the bound is the previous (passing) breakpoint;
+* interval delays — the bound is ``D̄_s = max_{σ∈Ω} τ(σ)``, the
+  supremum over the feasible failing combinations (the paper's linear
+  program in its ε→0 limit).
+
+Resource budgets turn the paper's "memory out" rows into clean partial
+results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from fractions import Fraction
+
+from repro.bdd import Function
+from repro.errors import AnalysisError, Budget, ResourceBudgetExceeded
+from repro.logic.delays import DelayMap
+from repro.logic.netlist import Circuit
+from repro.mct.breakpoints import tau_breakpoints
+from repro.mct.decision import DecisionContext
+from repro.mct.discretize import DiscretizedMachine, build_discretized_machine
+from repro.mct.feasibility import sigma_sup_tau
+
+
+@dataclasses.dataclass(frozen=True)
+class MctOptions:
+    """Tuning knobs of the sweep (all optional)."""
+
+    #: Initial state (default all-False); Sec. 3 lists initial states
+    #: among the sequential properties combinational delays ignore.
+    initial_state: dict[str, bool] | None = None
+    #: Include primary-output equality (condition C_x part 2).
+    check_outputs: bool = True
+    #: Restrict the inductive comparison to reachable states
+    #: (sequential don't cares).
+    use_reachability: bool = False
+    #: Stop sweeping below this τ; default L / max_age.
+    tau_floor: Fraction | None = None
+    #: Cap on any leaf's age (how many cycles a wave may stay in
+    #: flight); bounds the unrolling depth m.
+    max_age: int = 16
+    #: Cap on examined breakpoints.
+    max_candidates: int = 2000
+    #: BDD-node / expansion-work budget (None = unlimited).
+    work_budget: int | None = None
+    #: Cap on decoded failing combinations per decision.
+    max_failing_options: int = 256
+    #: Soft wall-clock limit in seconds (None = unlimited).
+    time_limit: float | None = None
+    #: Use the paper's gate-coupled LP (Sec. 7) instead of the relaxed
+    #: per-path-independent interval model when filtering failing
+    #: combinations.  Requires explicit path enumeration: small
+    #: circuits only.  Falls back to the relaxed model per-σ when the
+    #: combination product exceeds ``max_exact_combinations``.
+    exact_feasibility: bool = False
+    max_exact_paths: int = 10_000
+    max_exact_combinations: int = 256
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateRecord:
+    """One examined breakpoint and what happened there."""
+
+    tau: Fraction
+    #: "steady" | "pass" | "pass-infeasible" | "fail"
+    status: str
+    m: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MctResult:
+    """Outcome of a minimum-cycle-time analysis."""
+
+    circuit_name: str
+    #: The steady-state constant L (max total loop delay).
+    L: Fraction
+    #: The computed upper bound on the minimum cycle time, or None if
+    #: the analysis could not establish one (budget blown immediately).
+    mct_upper_bound: Fraction | None
+    #: True when the sweep found an actual failing window (the bound is
+    #: tight against C_x); False when the sweep ran out of candidates,
+    #: age cap, time or budget while still passing.
+    failure_found: bool
+    #: The failing window [low, high) when failure_found.
+    failing_window: tuple[Fraction, Fraction] | None
+    #: Feasible failing combinations (σ age-options) with their τ sups.
+    failing_sigmas: tuple = ()
+    #: Cones (latch names / primary outputs) whose comparison failed in
+    #: the failing window — the structures that pin the bound.
+    failing_roots: tuple[str, ...] = ()
+    candidates: tuple[CandidateRecord, ...] = ()
+    decisions_run: int = 0
+    elapsed_seconds: float = 0.0
+    budget_exceeded: bool = False
+    exhausted: bool = False
+    notes: str = ""
+
+    @property
+    def improves_on(self) -> Fraction | None:
+        """Alias of the bound, for report code symmetry."""
+        return self.mct_upper_bound
+
+
+def minimum_cycle_time(
+    circuit: Circuit,
+    delays: DelayMap,
+    options: MctOptions | None = None,
+) -> MctResult:
+    """Compute an upper bound on the machine's minimum cycle time.
+
+    This is the paper's full algorithm: TBF discretization, steady
+    state at τ = L, critical-τ sweep with Decision Algorithm 6.1 at
+    every regime, interval algebra + feasibility for variable delays.
+    """
+    options = options or MctOptions()
+    start = time.monotonic()
+    budget = (
+        Budget(limit=options.work_budget, resource="mct work")
+        if options.work_budget
+        else None
+    )
+    try:
+        machine = build_discretized_machine(circuit, delays, budget=budget)
+    except ResourceBudgetExceeded:
+        return MctResult(
+            circuit_name=circuit.name,
+            L=Fraction(0),
+            mct_upper_bound=None,
+            failure_found=False,
+            failing_window=None,
+            budget_exceeded=True,
+            elapsed_seconds=time.monotonic() - start,
+            notes="budget exhausted during path collection",
+        )
+    reachable = _reachable_care(circuit, options) if options.use_reachability else None
+    context = DecisionContext(
+        machine,
+        initial_state=options.initial_state,
+        check_outputs=options.check_outputs,
+        reachable=reachable,
+        budget=budget,
+        max_failing_options=options.max_failing_options,
+    )
+    tau_floor = options.tau_floor
+    if tau_floor is None:
+        tau_floor = machine.L / options.max_age
+    steady = machine.steady_regime()
+
+    records: list[CandidateRecord] = []
+    prev_tau: Fraction | None = None
+    prev_regime = None
+    mct_ub: Fraction | None = None
+    failure_found = False
+    failing_window = None
+    failing_sigmas: tuple = ()
+    failing_roots: tuple[str, ...] = ()
+    exhausted = False
+    budget_exceeded = False
+    notes = ""
+    try:
+        for tau in tau_breakpoints(machine.endpoint_values, tau_floor):
+            if len(records) >= options.max_candidates:
+                exhausted, notes = True, "candidate cap reached"
+                break
+            if (
+                options.time_limit is not None
+                and time.monotonic() - start > options.time_limit
+            ):
+                exhausted, notes = True, "time limit reached"
+                break
+            regime = machine.regime(tau)
+            m = max(max(ages) for ages in regime.values())
+            if m > options.max_age:
+                exhausted, notes = True, f"age cap {options.max_age} reached"
+                break
+            if regime == prev_regime:
+                prev_tau = tau
+                continue
+            prev_regime = regime
+            if regime == steady:
+                records.append(CandidateRecord(tau, "steady", m))
+                prev_tau = tau
+                continue
+            outcome = context.decide(regime)
+            if outcome.passed_structurally:
+                records.append(CandidateRecord(tau, "pass", outcome.m))
+                prev_tau = tau
+                continue
+            # Structural failure: the window is [tau, prev_tau).
+            window_top = prev_tau if prev_tau is not None else machine.L
+            window = (tau, window_top)
+            if not outcome.has_choices:
+                records.append(CandidateRecord(tau, "fail", outcome.m))
+                mct_ub = window_top
+                failure_found = True
+                failing_window = window
+                failing_sigmas = tuple(
+                    (sigma, window_top) for sigma in outcome.failing_options
+                )
+                failing_roots = outcome.failing_roots
+                break
+            oracle = _exact_oracle(machine, options) if options.exact_feasibility else None
+            feasible = []
+            for sigma in outcome.failing_options:
+                sup = sigma_sup_tau(sigma, window)
+                if sup is None:
+                    continue
+                if oracle is not None:
+                    exact_sup = _exact_sup(oracle, sigma, window, options)
+                    if exact_sup is _RELAXED:
+                        pass  # fell back: keep the relaxed sup
+                    elif exact_sup is None:
+                        continue  # coupled LP proves σ unrealizable
+                    else:
+                        sup = exact_sup
+                feasible.append((sigma, sup))
+            if not feasible:
+                records.append(CandidateRecord(tau, "pass-infeasible", outcome.m))
+                prev_tau = tau
+                continue
+            records.append(CandidateRecord(tau, "fail", outcome.m))
+            mct_ub = max(sup for _, sup in feasible)
+            failure_found = True
+            failing_window = window
+            failing_sigmas = tuple(feasible)
+            failing_roots = outcome.failing_roots
+            break
+        else:
+            exhausted, notes = True, "breakpoint stream exhausted (τ floor)"
+    except ResourceBudgetExceeded:
+        budget_exceeded = True
+        notes = "work budget exhausted; last passing bound reported"
+
+    if mct_ub is None:
+        # Never failed: report the last *examined* breakpoint — the
+        # machine is proven equivalent for every τ ≥ that value.
+        passing = [r.tau for r in records if r.status != "fail"]
+        mct_ub = min(passing) if passing else (machine.L if not budget_exceeded else None)
+        if mct_ub is not None and not notes:
+            exhausted = True
+            notes = "no failing window found down to the sweep floor"
+    return MctResult(
+        circuit_name=circuit.name,
+        L=machine.L,
+        mct_upper_bound=mct_ub,
+        failure_found=failure_found,
+        failing_window=failing_window,
+        failing_sigmas=failing_sigmas,
+        failing_roots=failing_roots,
+        candidates=tuple(records),
+        decisions_run=context.decisions_run,
+        elapsed_seconds=time.monotonic() - start,
+        budget_exceeded=budget_exceeded,
+        exhausted=exhausted,
+        notes=notes,
+    )
+
+
+def _reachable_care(circuit: Circuit, options: MctOptions) -> Function:
+    """Reachable-state BDD over plain state-variable names."""
+    from repro.fsm.reachability import reachable_states
+
+    return reachable_states(circuit, initial_state=options.initial_state)
+
+
+#: Sentinel: the exact oracle punted and the relaxed bound applies.
+_RELAXED = object()
+
+
+def _exact_oracle(machine: DiscretizedMachine, options: MctOptions):
+    """Build the gate-coupled LP oracle, or None when enumeration
+    blows the path cap (the relaxed model then stays in force)."""
+    from repro.mct.lp_exact import ExactFeasibility
+
+    try:
+        return ExactFeasibility(machine, max_paths=options.max_exact_paths)
+    except AnalysisError:
+        return None
+
+
+def _exact_sup(oracle, sigma, window, options: MctOptions):
+    """Exact τ(σ) over an age-option set; ``_RELAXED`` on fallback."""
+    try:
+        return oracle.sup_tau_options(
+            sigma, window, max_combinations=options.max_exact_combinations
+        )
+    except AnalysisError:
+        return _RELAXED

@@ -1,0 +1,110 @@
+"""Level-sensitive (transparent) latches — the paper's future work.
+
+The paper closes with: "Extensions to circuits with level-sensitive
+latches are another direction for the future."  This module implements
+the *conservative, borrow-free* version of that extension and states
+its assumptions precisely:
+
+Model
+-----
+Every storage element is a transparent latch on one single-phase clock
+of period τ with duty cycle ``D`` (default 1/2): transparent during
+``[nτ, nτ + Dτ)``, opaque otherwise, output holding the data value
+captured at the closing edge ``nτ + Dτ``.
+
+Reduction
+---------
+If **no time borrowing** occurs — every latch's data input settles
+before its own closing edge — the machine sampled at the closing edges
+is exactly the edge-triggered machine of the main analysis, so the
+sequential minimum-cycle-time bound applies verbatim.  Transparency
+then adds only a *race* hazard: a value launched when a latch opens
+must not flush through the *next* latch while it is still transparent,
+which requires the shortest register-to-register path to exceed the
+transparency window:
+
+    k_min  ≥  D·τ        ⇔        τ  ≤  k_min / D.
+
+The analysis therefore returns a *range* of certified periods
+``[mct_bound, k_min/D]`` instead of a single lower bound; an empty
+range means the circuit needs min-delay padding before level-sensitive
+clocking is safe at any speed.  (Borrowing-aware analysis — where slow
+paths may steal from the next phase — would tighten the lower end; it
+remains future work here exactly as it did in 1994.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.delay.validity import min_register_path
+from repro.errors import AnalysisError
+from repro.logic.delays import DelayMap, as_fraction
+from repro.logic.netlist import Circuit
+from repro.mct.engine import MctOptions, MctResult, minimum_cycle_time
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelSensitiveResult:
+    """Certified clock-period range for a transparent-latch machine."""
+
+    #: Lower end: the edge-equivalent sequential bound (inclusive).
+    min_period: Fraction | None
+    #: Upper end: the flush-through race limit ``k_min / duty``
+    #: (inclusive); None when there is no finite limit (no latches).
+    max_period: Fraction | None
+    duty: Fraction
+    #: Shortest register-to-register path (drives the race limit).
+    shortest_path: Fraction
+    #: The underlying edge-triggered analysis.
+    edge_result: MctResult
+
+    @property
+    def feasible(self) -> bool:
+        """True when some period satisfies both constraints."""
+        if self.min_period is None:
+            return False
+        if self.max_period is None:
+            return True
+        return self.min_period <= self.max_period
+
+    def valid_at(self, tau: Fraction | int | str) -> bool:
+        """Is period ``tau`` inside the certified range?"""
+        t = as_fraction(tau)
+        if self.min_period is None or t < self.min_period:
+            return False
+        return self.max_period is None or t <= self.max_period
+
+
+def level_sensitive_mct(
+    circuit: Circuit,
+    delays: DelayMap,
+    duty: Fraction | int | str = Fraction(1, 2),
+    options: MctOptions | None = None,
+) -> LevelSensitiveResult:
+    """Borrow-free certified period range for transparent latches.
+
+    ``duty`` is the fraction of the period the latches are transparent
+    (0 < duty < 1).  Clock phases (useful skew) are not supported in
+    the level-sensitive model.
+    """
+    duty_f = as_fraction(duty)
+    if not 0 < duty_f < 1:
+        raise AnalysisError("duty cycle must lie strictly between 0 and 1")
+    if delays.has_phases:
+        raise AnalysisError(
+            "level-sensitive analysis models a single un-skewed phase"
+        )
+    if not circuit.latches:
+        raise AnalysisError("no latches: level-sensitive timing is vacuous")
+    edge = minimum_cycle_time(circuit, delays, options)
+    shortest = min_register_path(circuit, delays)
+    max_period = shortest / duty_f if shortest > 0 else Fraction(0)
+    return LevelSensitiveResult(
+        min_period=edge.mct_upper_bound,
+        max_period=max_period,
+        duty=duty_f,
+        shortest_path=shortest,
+        edge_result=edge,
+    )

@@ -1,0 +1,216 @@
+"""The paper's gate-coupled linear programs (Sec. 7, exact form).
+
+The relaxed model of :mod:`repro.mct.feasibility` treats each flattened
+path delay as an independent interval.  The paper's LP is finer: a path
+delay is the *sum of the delays of the gates on the path*, and paths
+that share gates share variables, so some relaxed-feasible failing
+combinations are actually unrealizable.  This module builds and solves
+that program:
+
+    τ(σ) = max τ
+           τ(a_p - 1) + ε ≤ Σ_{pin ∈ p} d_pin (+ d_ff + τ_s) ≤ τ·a_p
+           d_min ≤ d_pin ≤ d_max            for every pin variable
+
+with one constraint pair per *concrete path* ``p`` (a timed leaf may
+cover several paths; σ assigns them all the same age, exactly as the
+flattened TBF does).  Solved with scipy's HiGHS; exponential path
+enumeration is budget-capped, so this is an opt-in refinement for
+small circuits (``MctOptions(exact_feasibility=True)``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import AnalysisError
+from repro.logic.delays import Interval
+from repro.mct.discretize import DiscretizedMachine, TimedLeaf
+from repro.mct.feasibility import TauRange
+from repro.timed.paths import TimedPath, enumerate_paths
+
+#: Strictness slack for the τ(a-1) < k constraints.  Must sit above the
+#: LP solver's feasibility tolerance (HiGHS defaults to 1e-7) or strict
+#: inequalities silently degrade to non-strict ones.
+EPSILON = 1e-6
+
+
+class ExactFeasibility:
+    """Path-coupled feasibility/τ(σ) oracle for one discretized machine.
+
+    Enumerate the machine's paths once; then answer per-σ queries.
+    """
+
+    def __init__(
+        self,
+        machine: DiscretizedMachine,
+        max_paths: int = 10_000,
+    ):
+        self.machine = machine
+        circuit = machine.circuit
+        delays = machine.delays
+        if delays.has_phases:
+            raise AnalysisError(
+                "the gate-coupled LP does not model clock phases yet; "
+                "use the relaxed feasibility model"
+            )
+        setup = Interval.point(machine.setup)
+        all_paths: list[tuple[TimedLeaf, TimedPath]] = []
+        for latch in circuit.latches.values():
+            for path in enumerate_paths(
+                circuit, delays, latch.data, extra=setup, max_paths=max_paths
+            ):
+                all_paths.append((self._fold(path), path))
+        for po in circuit.outputs:
+            for path in enumerate_paths(
+                circuit, delays, po, max_paths=max_paths
+            ):
+                all_paths.append((self._fold(path), path))
+        self._paths = all_paths
+        # Variable index assignment: pin variables + latch variables.
+        self._var_index: dict[tuple, int] = {}
+        self._bounds: list[tuple[float, float]] = []
+        for _, path in all_paths:
+            for edge in path.edges:
+                self._pin_var(edge)
+            if path.leaf in circuit.latches:
+                self._latch_var(path.leaf)
+
+    def _fold(self, path: TimedPath) -> TimedLeaf:
+        total = path.total
+        if path.leaf in self.machine.circuit.latches:
+            total = total + self.machine.delays.latch(path.leaf)
+        return TimedLeaf(path.leaf, total)
+
+    def _pin_var(self, edge: tuple) -> int:
+        key = ("pin", edge)
+        if key not in self._var_index:
+            net, pin, kind = edge
+            timing = self.machine.delays.pin(net, pin)
+            interval = {
+                "s": timing.rise,
+                "r": timing.rise,
+                "f": timing.fall,
+            }[kind]
+            self._var_index[key] = len(self._bounds)
+            self._bounds.append((float(interval.lo), float(interval.hi)))
+        return self._var_index[key]
+
+    def _latch_var(self, q: str) -> int:
+        key = ("latch", q)
+        if key not in self._var_index:
+            interval = self.machine.delays.latch(q)
+            self._var_index[key] = len(self._bounds)
+            self._bounds.append((float(interval.lo), float(interval.hi)))
+        return self._var_index[key]
+
+    # ------------------------------------------------------------------
+    def sup_tau(
+        self,
+        sigma: dict[TimedLeaf, int],
+        window: TauRange | None = None,
+    ) -> Fraction | None:
+        """The paper's ``τ(σ) = max τ`` LP; ``None`` when infeasible.
+
+        ``sigma`` must assign a single age per timed leaf.  The result
+        is a float-precision supremum converted back to Fraction; it is
+        always ≤ the relaxed bound, never more optimistic than exact.
+        """
+        n_delay_vars = len(self._bounds)
+        tau_index = n_delay_vars
+        rows: list[list[float]] = []
+        rhs: list[float] = []
+
+        def add_constraint(coeffs: dict[int, float], upper: float) -> None:
+            row = [0.0] * (n_delay_vars + 1)
+            for idx, value in coeffs.items():
+                row[idx] = value
+            rows.append(row)
+            rhs.append(upper)
+
+        matched_any = False
+        for tl, path in self._paths:
+            age = sigma.get(tl)
+            if age is None:
+                raise AnalysisError(f"σ misses timed leaf {tl}")
+            matched_any = True
+            var_ids = [self._pin_var(e) for e in path.edges]
+            if path.leaf in self.machine.circuit.latches:
+                var_ids.append(self._latch_var(path.leaf))
+            if age == 0:
+                # Only a genuinely zero path can have age 0; its sum is
+                # identically 0 within bounds, nothing to constrain.
+                continue
+            # Σ d - a·τ ≤ 0
+            coeffs = {tau_index: -float(age)}
+            for vid in var_ids:
+                coeffs[vid] = coeffs.get(vid, 0.0) + 1.0
+            add_constraint(dict(coeffs), 0.0)
+            # (a-1)·τ - Σ d ≤ -ε
+            coeffs = {tau_index: float(age - 1)}
+            for vid in var_ids:
+                coeffs[vid] = coeffs.get(vid, 0.0) - 1.0
+            add_constraint(dict(coeffs), -EPSILON if age > 1 else 0.0)
+        if not matched_any:
+            return None
+        bounds = [b for b in self._bounds]
+        tau_lo = 0.0
+        tau_hi = None
+        if window is not None:
+            tau_lo = float(window[0])
+            tau_hi = float(window[1]) if window[1] is not None else None
+        bounds.append((tau_lo, tau_hi))
+        cost = np.zeros(n_delay_vars + 1)
+        cost[tau_index] = -1.0  # maximize τ
+        result = linprog(
+            cost,
+            A_ub=np.array(rows) if rows else None,
+            b_ub=np.array(rhs) if rhs else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        return Fraction(result.x[tau_index]).limit_denominator(10**9)
+
+    def feasible(
+        self,
+        sigma: dict[TimedLeaf, int],
+        window: TauRange | None = None,
+    ) -> bool:
+        """Path-coupled feasibility of a full combination σ."""
+        return self.sup_tau(sigma, window) is not None
+
+    def sup_tau_options(
+        self,
+        options: dict[TimedLeaf, tuple[int, ...]],
+        window: TauRange | None = None,
+        max_combinations: int = 256,
+    ) -> Fraction | None:
+        """Max τ(σ) over the cartesian product of age options.
+
+        The decision procedure reports *option sets* (a partial choice
+        assignment); the exact bound is the max over the full σ's they
+        cover.  Returns ``None`` for "all infeasible"; raises
+        :class:`AnalysisError` when the product exceeds the cap (the
+        caller should fall back to the relaxed bound).
+        """
+        leaves = list(options)
+        total = 1
+        for tl in leaves:
+            total *= len(options[tl])
+            if total > max_combinations:
+                raise AnalysisError(
+                    f"{total} combinations exceed the exact-LP cap"
+                )
+        best: Fraction | None = None
+        import itertools
+
+        for combo in itertools.product(*(options[tl] for tl in leaves)):
+            sigma = dict(zip(leaves, combo))
+            value = self.sup_tau(sigma, window)
+            if value is not None and (best is None or value > best):
+                best = value
+        return best

@@ -1,0 +1,137 @@
+"""Useful-skew optimization: the paper's "synthesis" direction.
+
+The closing section points the exact TBF formulation at "the synthesis
+of high speed sequential circuits".  This module provides the smallest
+such synthesis step built directly on the analysis engine: search
+per-latch clock phases that minimize the certified minimum-cycle-time
+bound.
+
+The search is coordinate descent over a finite candidate set derived
+from the machine's own path delays (phase changes only matter when they
+move some effective delay across a breakpoint, so path-delay
+differences are the natural grid).  Each candidate assignment is scored
+by running the full analysis — expensive but exact, and adequate for
+the latch counts where hand skewing is plausible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+from repro.logic.delays import DelayMap
+from repro.logic.netlist import Circuit
+from repro.mct.discretize import build_discretized_machine
+from repro.mct.engine import MctOptions, minimum_cycle_time
+
+
+@dataclasses.dataclass(frozen=True)
+class SkewResult:
+    """Outcome of a skew search."""
+
+    #: Phase per latch (latches omitted keep phase 0).
+    phases: dict[str, Fraction]
+    #: The certified bound at those phases.
+    bound: Fraction
+    #: The bound at all-zero phases, for comparison.
+    baseline: Fraction
+    evaluations: int
+
+    @property
+    def improvement(self) -> Fraction:
+        """Relative reduction of the cycle-time bound."""
+        if self.baseline == 0:
+            return Fraction(0)
+        return 1 - self.bound / self.baseline
+
+
+def _phase_candidates(
+    circuit: Circuit, delays: DelayMap, granularity: int
+) -> list[Fraction]:
+    """Candidate phase values.
+
+    A phase only helps by re-balancing two paths, so the useful values
+    are path-delay differences and their midpoints (``(k_a - k_b)/2``
+    equalizes an incoming/outgoing pair).  A coarse grid over the delay
+    span is added as a safety net; the set is capped at a size the
+    coordinate descent can afford.
+    """
+    machine = build_discretized_machine(circuit, delays)
+    endpoints = sorted({tl.total.hi for tl in machine.timed_leaves}
+                       | {tl.total.lo for tl in machine.timed_leaves})
+    top = endpoints[-1]
+    values: set[Fraction] = {Fraction(0)}
+    for a, b in itertools.combinations(endpoints, 2):
+        diff = abs(a - b)
+        if diff > 0:
+            values.add(diff)
+            values.add(diff / 2)
+    values |= {top * Fraction(i, 2 * granularity) for i in range(granularity + 1)}
+    candidates = sorted(v for v in values if 0 <= v <= top)
+    if len(candidates) > 64:
+        step = len(candidates) / 64
+        candidates = [candidates[int(i * step)] for i in range(64)]
+        if Fraction(0) not in candidates:
+            candidates.insert(0, Fraction(0))
+    return candidates
+
+
+def optimize_skew(
+    circuit: Circuit,
+    delays: DelayMap,
+    options: MctOptions | None = None,
+    granularity: int = 8,
+    max_rounds: int = 3,
+) -> SkewResult:
+    """Coordinate-descent search for cycle-time-minimizing phases.
+
+    Latches are visited round-robin; each takes the best value from the
+    candidate grid while the others stay fixed.  Candidate assignments
+    that create races (non-positive effective path delays) are skipped.
+    """
+    if delays.has_phases:
+        raise AnalysisError("start the search from a zero-phase delay map")
+    if not circuit.latches:
+        raise AnalysisError("no latches to skew")
+    evaluations = 0
+
+    def bound_for(phases: dict[str, Fraction]) -> Fraction | None:
+        nonlocal evaluations
+        try:
+            annotated = delays.with_phases(phases) if any(phases.values()) else delays
+            result = minimum_cycle_time(circuit, annotated, options)
+        except AnalysisError:
+            return None  # race: infeasible phase assignment
+        evaluations += 1
+        return result.mct_upper_bound
+
+    phases: dict[str, Fraction] = {q: Fraction(0) for q in circuit.latches}
+    baseline = bound_for(phases)
+    if baseline is None:  # pragma: no cover - zero phases always legal
+        raise AnalysisError("baseline analysis failed")
+    best = baseline
+    candidates = _phase_candidates(circuit, delays, granularity)
+    for _ in range(max_rounds):
+        improved = False
+        for q in circuit.latches:
+            current = phases[q]
+            for value in candidates:
+                if value == current:
+                    continue
+                trial = dict(phases)
+                trial[q] = value
+                bound = bound_for(trial)
+                if bound is not None and bound < best:
+                    phases = trial
+                    best = bound
+                    improved = True
+        if not improved:
+            break
+    return SkewResult(
+        phases={q: v for q, v in phases.items() if v},
+        bound=best,
+        baseline=baseline,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,113 @@
+"""Concrete divergence witnesses for failing clock periods.
+
+A failing decision says the discretized machine differs from the steady
+machine *symbolically*.  For debugging (and for honest reporting —
+``C_x`` is only sufficient, so a symbolic failure need not be
+realizable) it helps to hold an actual run in hand: an initial state, a
+stimulus, a clock period, and the cycle where the sampled state departs
+from the ideal machine.  This module searches for one with the event
+simulator, seeding the search with assignments picked from the decision
+procedure's base-step mismatch when available.
+
+For Fig. 2 at τ = 2 the witness is found immediately (initial state 1,
+divergence at cycle 3); for conservative failures the search can come
+back empty, which is itself informative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+from repro.logic.delays import DelayMap
+from repro.logic.netlist import Circuit
+from repro.mct.engine import MctResult
+from repro.sim.event_sim import ClockedSimulator, sample_delay_map
+
+
+@dataclasses.dataclass(frozen=True)
+class Witness:
+    """A simulator-validated divergence."""
+
+    tau: Fraction
+    initial_state: dict[str, bool]
+    stimulus: tuple[dict[str, bool], ...]
+    #: first cycle (1-based) where the sampled state differs
+    diverged_at: int
+    #: the sampled and ideal states at that cycle
+    sampled: dict[str, bool]
+    ideal: dict[str, bool]
+
+
+def _first_divergence(sim, tau, init, stimulus):
+    trace = sim.run(tau, init, stimulus)
+    ideal, _ = sim.circuit.simulate(init, stimulus)
+    for n, (got, want) in enumerate(zip(trace.sampled_states, ideal), start=1):
+        if got != want:
+            return n, got, want
+    return None
+
+
+def find_witness(
+    circuit: Circuit,
+    delays: DelayMap,
+    result: MctResult,
+    max_cycles: int = 24,
+    tries: int = 64,
+    realizations: int = 4,
+    seed: int = 0,
+) -> Witness | None:
+    """Search for a run demonstrating the failing window of ``result``.
+
+    Tries every initial state for small machines (else random ones),
+    random stimuli, and — for interval delay maps — several sampled
+    delay realizations.  Returns ``None`` when no divergence is found
+    within the budget; a symbolic C_x failure does not guarantee a
+    behavioural one.
+    """
+    if not result.failure_found or result.failing_window is None:
+        raise AnalysisError("result has no failing window to witness")
+    low, high = result.failing_window
+    tau = (low + high) / 2
+    rng = random.Random(seed)
+    n_state = len(circuit.latches)
+    if n_state <= 6:
+        initials = [
+            dict(zip(circuit.state_nets, bits))
+            for bits in itertools.product([False, True], repeat=n_state)
+        ]
+    else:
+        initials = [
+            {q: rng.random() < 0.5 for q in circuit.state_nets}
+            for _ in range(16)
+        ]
+    delay_samples = (
+        [delays]
+        if delays.is_fixed
+        else [sample_delay_map(delays, rng) for _ in range(realizations)]
+    )
+    attempts = 0
+    for realization in delay_samples:
+        sim = ClockedSimulator(circuit, realization)
+        for init in initials:
+            for _ in range(max(1, tries // max(1, len(initials)))):
+                attempts += 1
+                stimulus = tuple(
+                    {u: rng.random() < 0.5 for u in circuit.inputs}
+                    for _ in range(max_cycles)
+                )
+                hit = _first_divergence(sim, tau, init, stimulus)
+                if hit is not None:
+                    n, got, want = hit
+                    return Witness(
+                        tau=tau,
+                        initial_state=dict(init),
+                        stimulus=stimulus,
+                        diverged_at=n,
+                        sampled=got,
+                        ideal=want,
+                    )
+    return None

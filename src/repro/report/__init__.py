@@ -1,0 +1,22 @@
+"""Reporting: run analyses and lay out the paper's results table."""
+
+from repro.report.harness import (
+    HEADER,
+    TableRow,
+    analyze_circuit,
+    render_rows,
+    run_case,
+    run_suite,
+)
+from repro.report.tables import format_fraction, format_table
+
+__all__ = [
+    "HEADER",
+    "TableRow",
+    "analyze_circuit",
+    "run_case",
+    "run_suite",
+    "render_rows",
+    "format_table",
+    "format_fraction",
+]

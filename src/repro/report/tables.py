@@ -1,0 +1,70 @@
+"""Plain-text table layout mirroring the paper's Sec. 8 table."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from collections.abc import Sequence
+
+
+def format_fraction(value: Fraction | None, dash: str = "-") -> str:
+    """Compact decimal rendering of an exact Fraction.
+
+    Terminating decimals print exactly (``22.8``); non-terminating ones
+    fall back to 4 significant decimals; ``None`` prints as a dash
+    (the paper's "memory out" marker).
+    """
+    if value is None:
+        return dash
+    if value.denominator == 1:
+        return str(value.numerator)
+    scaled = value * 10_000
+    if scaled.denominator == 1:
+        text = f"{float(value):.4f}".rstrip("0").rstrip(".")
+        return text
+    return f"{float(value):.4g}"
+
+
+def format_seconds(value: float | None) -> str:
+    """CPU column rendering."""
+    if value is None:
+        return "-"
+    return f"{value:.2f}"
+
+
+def format_markdown_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """GitHub-flavoured markdown rendering of the same table."""
+    lines = ["| " + " | ".join(header) + " |"]
+    align = ["---"] + ["---:" for _ in header[1:]]
+    lines.append("| " + " | ".join(align) + " |")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column alignment (first column left)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def lay(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(lay(header))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(lay(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Plain-text waveform rendering for terminals and docs.
+
+Turns recorded simulation waveforms into the familiar two-row trace::
+
+    clk   _/‾\\_/‾\\_/‾\\_
+    q     ____/‾‾‾‾\\____
+
+Times are quantized onto a column grid; each column covers an equal
+slice of the displayed window, and a net is drawn high for a column if
+it is high at the column's start instant.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.logic.delays import as_fraction
+
+HIGH, LOW = "‾", "_"
+RISE, FALL = "/", "\\"
+
+
+def _value_at(history: list[tuple[Fraction, bool]], t: Fraction) -> bool:
+    value = history[0][1]
+    for when, new in history:
+        if when <= t:
+            value = new
+        else:
+            break
+    return value
+
+
+def render_waveforms(
+    waveforms: dict[str, list[tuple[Fraction, bool]]],
+    nets: Sequence[str] | None = None,
+    end_time: Fraction | int | str | None = None,
+    columns: int = 64,
+) -> str:
+    """Render selected nets as aligned ASCII traces.
+
+    ``nets`` defaults to all recorded nets (sorted); ``end_time``
+    defaults to the last recorded change.
+    """
+    if not waveforms:
+        raise AnalysisError("no waveforms recorded (record_waveforms=True?)")
+    if nets is None:
+        nets = sorted(waveforms)
+    missing = [n for n in nets if n not in waveforms]
+    if missing:
+        raise AnalysisError(f"nets without waveforms: {missing}")
+    if end_time is None:
+        end = max(
+            (history[-1][0] for history in waveforms.values() if history),
+            default=Fraction(0),
+        )
+        if end == 0:
+            end = Fraction(1)
+    else:
+        end = as_fraction(end_time)
+        if end <= 0:
+            raise AnalysisError("end_time must be positive")
+    width = max(len(n) for n in nets) + 2
+    lines = []
+    for net in nets:
+        history = waveforms[net]
+        cells = []
+        previous: bool | None = None
+        for col in range(columns):
+            t = end * Fraction(col, columns)
+            value = _value_at(history, t)
+            if previous is None or previous == value:
+                cells.append(HIGH if value else LOW)
+            else:
+                cells.append(RISE if value else FALL)
+            previous = value
+        lines.append(net.ljust(width) + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,351 @@
+"""Transport-delay event simulation of clocked circuits.
+
+Semantics: a gate's output at time ``t`` is its Boolean function
+applied to each input pin's value at ``t - d_pin`` — the exact TBF gate
+model (Fig. 1a).  Implementation: every fanin change propagates to a
+*pin-view* event at ``t + d_pin``; when a pin view changes, the gate
+output is recomputed and, if different, changes at that same instant.
+
+Clocking: flip-flop data inputs are sampled at every edge ``nτ`` after
+all events with time ≤ nτ have been applied (the closed floor
+convention of the flip-flop TBF); new flip-flop output values appear at
+``nτ + d_ff`` but never before the sampling of the same edge.  Primary
+inputs change exactly at edges, synchronized to the clock (the paper's
+machine model, Fig. 3).
+
+Only fixed (point) delays are simulated; :func:`sample_delay_map`
+draws a random realization from an interval delay map so that tests can
+exercise manufacturing variation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import random
+from fractions import Fraction
+from collections.abc import Mapping, Sequence
+
+from repro.errors import AnalysisError
+from repro.logic.delays import DelayMap, Interval, PinTiming, as_fraction
+from repro.logic.gate import eval_gate
+from repro.logic.netlist import Circuit
+
+
+def sample_delay_map(delays: DelayMap, rng: random.Random) -> DelayMap:
+    """A fixed delay map drawn uniformly from an interval delay map.
+
+    Endpoints are included; the draw happens on a fine rational grid so
+    the result stays exact.
+    """
+
+    def draw(interval: Interval) -> Interval:
+        if interval.is_point:
+            return interval
+        # 1/1024 grid between the endpoints keeps Fractions small.
+        steps = 1024
+        pick = rng.randint(0, steps)
+        value = interval.lo + (interval.hi - interval.lo) * Fraction(pick, steps)
+        return Interval(value, value)
+
+    pins = {}
+    for key, t in delays._pins.items():
+        if t.is_symmetric:
+            drawn = draw(t.rise)
+            pins[key] = PinTiming(rise=drawn, fall=drawn)
+        else:
+            pins[key] = PinTiming(rise=draw(t.rise), fall=draw(t.fall))
+    latches = {q: draw(delays.latch(q)) for q in delays.circuit.latches}
+    return DelayMap(
+        delays.circuit, pins, latches,
+        setup=delays.setup, hold=delays.hold,
+        phase={q: delays.phase(q) for q in delays.circuit.latches},
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationTrace:
+    """Result of a clocked simulation."""
+
+    #: State sampled at each edge n = 1..N (FF output nets -> value).
+    sampled_states: list[dict[str, bool]]
+    #: Primary-output values observed at each edge (just before it).
+    sampled_outputs: list[dict[str, bool]]
+    #: Total combinational events processed (activity measure).
+    events_processed: int
+    #: Per-net change history [(time, value), ...] starting with the
+    #: settled value at time 0; only populated when the simulator was
+    #: run with ``record_waveforms=True``.
+    waveforms: dict[str, list[tuple[Fraction, bool]]] | None = None
+
+    def value_at(self, net: str, time: Fraction | int | str) -> bool:
+        """Waveform lookup: the net's value at (just after) ``time``."""
+        if self.waveforms is None:
+            raise AnalysisError("run with record_waveforms=True first")
+        t = as_fraction(time)
+        history = self.waveforms[net]
+        value = history[0][1]
+        for when, new in history:
+            if when <= t:
+                value = new
+            else:
+                break
+        return value
+
+
+class ClockedSimulator:
+    """Simulates a circuit at a concrete clock period.
+
+    Parameters
+    ----------
+    circuit, delays:
+        ``delays`` must be fixed (no intervals) and symmetric per pin;
+        draw a realization with :func:`sample_delay_map` first.
+    """
+
+    def __init__(self, circuit: Circuit, delays: DelayMap):
+        if delays.circuit is not circuit:
+            raise AnalysisError("delay map annotates a different circuit")
+        if not delays.is_fixed:
+            raise AnalysisError(
+                "simulation needs fixed delays; use sample_delay_map()"
+            )
+        if delays.has_asymmetric_pins:
+            raise AnalysisError(
+                "the simulator models symmetric pins only; decompose "
+                "rise/fall pins into explicit buffers first"
+            )
+        self.circuit = circuit
+        self.delays = delays
+        # Static fanout table: net -> [(gate_net, pin)].
+        self._fanout: dict[str, list[tuple[str, int]]] = {}
+        for net, gate in circuit.gates.items():
+            for pin, child in enumerate(gate.inputs):
+                self._fanout.setdefault(child, []).append((net, pin))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tau: Fraction | int | str,
+        initial_state: Mapping[str, bool],
+        input_sequence: Sequence[Mapping[str, bool]],
+        record_waveforms: bool = False,
+    ) -> SimulationTrace:
+        """Simulate ``len(input_sequence)`` clock cycles at period τ.
+
+        ``input_sequence[n]`` is ``u(n)``, applied exactly at ``t = nτ``
+        (``u(0)`` is assumed to have been stable since t = -∞, i.e. the
+        circuit starts settled — the paper's settled-circuit premise).
+        """
+        tau = as_fraction(tau)
+        if tau <= 0:
+            raise AnalysisError("clock period must be positive")
+        circuit = self.circuit
+        n_cycles = len(input_sequence)
+        if n_cycles == 0:
+            return SimulationTrace([], [], 0, waveforms={} if record_waveforms else None)
+
+        # --- settled initial condition ---------------------------------
+        leaf_values = {u: bool(input_sequence[0][u]) for u in circuit.inputs}
+        for q in circuit.state_nets:
+            leaf_values[q] = bool(initial_state[q])
+        net_values = circuit.eval_combinational(leaf_values)
+        # Pin views: value of each (gate, pin) as seen through its delay.
+        pin_view: dict[tuple[str, int], bool] = {}
+        for net, gate in circuit.gates.items():
+            for pin, child in enumerate(gate.inputs):
+                pin_view[(net, pin)] = net_values[child]
+
+        # --- event queue ------------------------------------------------
+        # Entries: (time, seq, kind, payload); kinds:
+        #   "pin"  -> payload (gate_net, pin, value)
+        #   "net"  -> payload (net, value)   (FF outputs / PIs)
+        queue: list[tuple[Fraction, int, str, tuple]] = []
+        seq = 0
+        events_processed = 0
+
+        def schedule(time: Fraction, kind: str, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(queue, (time, seq, kind, payload))
+            seq += 1
+
+        waveforms: dict[str, list[tuple[Fraction, bool]]] | None = None
+        if record_waveforms:
+            waveforms = {
+                net: [(Fraction(0), value)] for net, value in net_values.items()
+            }
+
+        def apply_net_change(time: Fraction, net: str, value: bool) -> None:
+            """A driver (PI, FF, or gate output) changed at ``time``."""
+            if net_values.get(net) == value:
+                return
+            net_values[net] = value
+            if waveforms is not None:
+                waveforms.setdefault(net, []).append((time, value))
+            for gate_net, pin in self._fanout.get(net, ()):
+                delay = self.delays.pin(gate_net, pin).rise.lo  # symmetric
+                schedule(time + delay, "pin", (gate_net, pin, value))
+
+        def process_until(deadline: Fraction) -> None:
+            """Apply all events with time ≤ deadline (closed)."""
+            nonlocal events_processed
+            while queue and queue[0][0] <= deadline:
+                time, _, kind, payload = heapq.heappop(queue)
+                events_processed += 1
+                if kind == "pin":
+                    gate_net, pin, value = payload
+                    if pin_view[(gate_net, pin)] == value:
+                        continue
+                    pin_view[(gate_net, pin)] = value
+                    gate = circuit.gates[gate_net]
+                    new_out = eval_gate(
+                        gate.gtype,
+                        [pin_view[(gate_net, p)] for p in range(len(gate.inputs))],
+                    )
+                    apply_net_change(time, gate_net, new_out)
+                else:  # "net"
+                    net, value = payload
+                    apply_net_change(time, net, value)
+
+        # --- the clocked loop --------------------------------------------
+        # Control timeline: per-latch sampling edges at nτ + φ_q plus
+        # primary-input switch points at nτ.  With the default zero
+        # phases this degenerates to the single common edge.
+        sampled_states: list[dict[str, bool]] = [
+            {} for _ in range(n_cycles)
+        ]
+        sampled_outputs: list[dict[str, bool]] = [
+            {} for _ in range(n_cycles)
+        ]
+        controls: list[tuple[Fraction, int, str, object, int]] = []
+        for n in range(1, n_cycles + 1):
+            for q in circuit.state_nets:
+                when = tau * n + self.delays.phase(q)
+                controls.append((when, 0, "sample", q, n))
+            controls.append((tau * n, 0, "observe", None, n))
+            if n < n_cycles:
+                controls.append((tau * n, 1, "inputs", None, n))
+        # Controls at the same instant form one group: every sample in
+        # the group reads the pre-group circuit state (queued flip-flop
+        # output updates and input switches only become visible to
+        # *later* instants, matching the closed floor convention).
+        controls.sort(key=lambda c: (c[0], c[1]))
+        index = 0
+        while index < len(controls):
+            when = controls[index][0]
+            group = []
+            while index < len(controls) and controls[index][0] == when:
+                group.append(controls[index])
+                index += 1
+            process_until(when)
+            deferred: list[tuple[Fraction, str, tuple]] = []
+            for _, _, kind, payload, n in group:
+                if kind == "sample":
+                    q = payload
+                    value = net_values[circuit.latches[q].data]
+                    sampled_states[n - 1][q] = value
+                    deferred.append(
+                        (when + self.delays.latch(q).lo, "net", (q, value))
+                    )
+                elif kind == "observe":
+                    sampled_outputs[n - 1] = {
+                        po: net_values[po] for po in circuit.outputs
+                    }
+                else:  # "inputs"
+                    for u in circuit.inputs:
+                        deferred.append(
+                            (when, "net", (u, bool(input_sequence[n][u])))
+                        )
+            for time, kind, payload in deferred:
+                schedule(time, kind, payload)
+        return SimulationTrace(
+            sampled_states, sampled_outputs, events_processed, waveforms=waveforms
+        )
+
+    # ------------------------------------------------------------------
+    def matches_ideal(
+        self,
+        tau: Fraction | int | str,
+        initial_state: Mapping[str, bool],
+        input_sequence: Sequence[Mapping[str, bool]],
+    ) -> bool:
+        """True iff the timed sampled states equal the ideal machine's."""
+        trace = self.run(tau, initial_state, input_sequence)
+        ideal_states, _ = self.circuit.simulate(initial_state, input_sequence)
+        return trace.sampled_states == ideal_states
+
+
+def last_output_transition(
+    circuit: Circuit,
+    delays: DelayMap,
+    v1: Mapping[str, bool],
+    v2: Mapping[str, bool],
+) -> Fraction:
+    """Brute-force 2-vector response of a *combinational* circuit.
+
+    The circuit is settled under ``v1`` (applied at t = -∞); at t = 0
+    the inputs switch to ``v2``.  Returns the time of the last change
+    on any primary output — the per-pair transition delay, by
+    definition.  Fixed, symmetric delays only.  Used as an independent
+    oracle for :func:`repro.delay.transition.transition_delay` on small
+    circuits.
+    """
+    if circuit.latches:
+        raise AnalysisError("transition response is defined on combinational circuits")
+    if not delays.is_fixed or delays.has_asymmetric_pins:
+        raise AnalysisError("need fixed symmetric delays")
+    net_values = circuit.eval_combinational(dict(v1))
+    pin_view: dict[tuple[str, int], bool] = {}
+    fanout: dict[str, list[tuple[str, int]]] = {}
+    for net, gate in circuit.gates.items():
+        for pin, child in enumerate(gate.inputs):
+            pin_view[(net, pin)] = net_values[child]
+            fanout.setdefault(child, []).append((net, pin))
+    queue: list[tuple[Fraction, int, str, tuple]] = []
+    seq = 0
+    last_po_change = Fraction(0)
+
+    def schedule(time: Fraction, kind: str, payload: tuple) -> None:
+        nonlocal seq
+        heapq.heappush(queue, (time, seq, kind, payload))
+        seq += 1
+
+    def change_net(time: Fraction, net: str, value: bool) -> None:
+        if net_values.get(net) == value:
+            return
+        net_values[net] = value
+        for gate_net, pin in fanout.get(net, ()):
+            delay = delays.pin(gate_net, pin).rise.lo
+            schedule(time + delay, "pin", (gate_net, pin, value))
+
+    for u in circuit.inputs:
+        if bool(v2[u]) != bool(v1[u]):
+            schedule(Fraction(0), "net", (u, bool(v2[u])))
+    # Process one *timestamp* at a time: TBF semantics assigns every
+    # instant a single value, so simultaneous cancelling events (zero-
+    # width glitches from reconvergent equal-delay paths) must not be
+    # counted as output transitions.
+    while queue:
+        now = queue[0][0]
+        po_before = {po: net_values[po] for po in circuit.outputs}
+        while queue and queue[0][0] == now:
+            _, _, kind, payload = heapq.heappop(queue)
+            if kind == "pin":
+                gate_net, pin, value = payload
+                if pin_view[(gate_net, pin)] == value:
+                    continue
+                pin_view[(gate_net, pin)] = value
+                gate = circuit.gates[gate_net]
+                new_out = eval_gate(
+                    gate.gtype,
+                    [pin_view[(gate_net, p)] for p in range(len(gate.inputs))],
+                )
+                change_net(now, gate_net, new_out)
+            else:
+                net, value = payload
+                change_net(now, net, value)
+        if any(net_values[po] != po_before[po] for po in circuit.outputs):
+            last_po_change = now
+    return last_po_change
+
+

@@ -1,0 +1,29 @@
+"""Sequential synthesis on top of the exact timing analysis.
+
+The paper closes by noting that the TBF formulation "opens the
+possibility of bringing these analysis techniques into the synthesis of
+high speed sequential circuits".  This package collects the synthesis
+moves built on the analysis engine:
+
+* :mod:`~repro.synthesis.retime` — forward retiming (Leiserson–Saxe
+  style register moves) with the minimum-cycle-time bound as the cost
+  function;
+* :func:`repro.mct.optimize_skew` (re-exported) — useful-skew search.
+"""
+
+from repro.mct.skew import SkewResult, optimize_skew
+from repro.synthesis.retime import (
+    RetimeResult,
+    forward_retime,
+    legal_forward_moves,
+    optimize_retiming,
+)
+
+__all__ = [
+    "SkewResult",
+    "optimize_skew",
+    "forward_retime",
+    "legal_forward_moves",
+    "optimize_retiming",
+    "RetimeResult",
+]

@@ -1,0 +1,186 @@
+"""Forward retiming driven by the minimum-cycle-time bound.
+
+A *forward retime across gate g* applies when every input of ``g`` is a
+latch output and none of those latches is read anywhere else: the input
+latches are deleted, a new latch is placed on ``g``'s output, and the
+new latch initializes to ``g`` evaluated on the old initial values.
+The machine's I/O behaviour is unchanged (the value on ``g``'s output
+at each sampled cycle is identical); only the *timing* moves — which is
+the whole point: the register migrates toward the timing-critical side.
+
+Legality conditions enforced here (conservative):
+
+* every fanin of ``g`` is a latch output with no other reader and is
+  not itself a primary output;
+* ``g``'s output is not a primary output (its observation time would
+  shift by one cycle otherwise);
+* all involved latches share clock phase and clock-to-output delay
+  (the moved latch keeps them).
+
+:func:`optimize_retiming` greedily applies the move that most improves
+the certified bound until none helps — the analysis engine is the cost
+function, exactly the paper's "analysis into synthesis" loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.errors import AnalysisError
+from repro.logic.delays import DelayMap
+from repro.logic.gate import eval_gate
+from repro.logic.netlist import Circuit, Gate, Latch
+from repro.mct.engine import MctOptions, minimum_cycle_time
+
+
+def legal_forward_moves(circuit: Circuit) -> list[str]:
+    """Gate output nets across which a forward retime is legal."""
+    moves: list[str] = []
+    po_set = set(circuit.outputs)
+    for net, gate in circuit.gates.items():
+        if not gate.inputs or net in po_set:
+            continue
+        if net in circuit.latches:  # cannot re-latch a latch output
+            continue
+        ok = True
+        for child in gate.inputs:
+            latch = circuit.latches.get(child)
+            if latch is None or child in po_set:
+                ok = False
+                break
+            if circuit.fanout_count(child) != 1:
+                ok = False
+                break
+        if ok and len(set(gate.inputs)) == len(gate.inputs):
+            moves.append(net)
+    return moves
+
+
+def forward_retime(
+    circuit: Circuit,
+    delays: DelayMap,
+    gate_net: str,
+    initial_state: dict[str, bool],
+) -> tuple[Circuit, DelayMap, dict[str, bool]]:
+    """Apply one forward retime across ``gate_net``.
+
+    Returns the transformed circuit, its delay map, and the new initial
+    state (the moved latch holds ``g(old initial values)``).
+    """
+    if gate_net not in legal_forward_moves(circuit):
+        raise AnalysisError(f"forward retime across {gate_net!r} is illegal")
+    gate = circuit.gates[gate_net]
+    old_latches = [circuit.latches[child] for child in gate.inputs]
+    phases = {delays.phase(l.output) for l in old_latches}
+    clk2q = {delays.latch(l.output) for l in old_latches}
+    if len(phases) > 1 or len(clk2q) > 1:
+        raise AnalysisError("fanin latches disagree on phase/clk-to-q")
+    new_q = f"{gate_net}$rt"
+    # The gate now reads the old latches' *data* nets; the new latch
+    # captures the gate and drives its old fanout under the old name.
+    new_gate = Gate(new_q + "_d", gate.gtype, tuple(l.data for l in old_latches))
+    gates = [g for net, g in circuit.gates.items() if net != gate_net]
+    gates.append(new_gate)
+    latches = [
+        l for l in circuit.latches.values()
+        if l.output not in {x.output for x in old_latches}
+    ]
+    latches.append(Latch(gate_net, new_gate.output))
+    retimed = Circuit(
+        name=circuit.name,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        gates=gates,
+        latches=latches,
+    )
+    pins = {}
+    for net, g in retimed.gates.items():
+        if net == new_gate.output:
+            for pin in range(len(g.inputs)):
+                pins[(net, pin)] = delays.pin(gate_net, pin)
+        else:
+            for pin in range(len(g.inputs)):
+                pins[(net, pin)] = delays.pin(net, pin)
+    latch_delay = {l.output: clk2q.pop() for l in [latches[-1]]}
+    for l in latches[:-1]:
+        latch_delay[l.output] = delays.latch(l.output)
+    phase = {l.output: delays.phase(l.output) for l in latches[:-1]}
+    phase[gate_net] = phases.pop()
+    new_delays = DelayMap(
+        retimed, pins, latch_delay,
+        setup=delays.setup, hold=delays.hold, phase=phase,
+    )
+    # New initial state.
+    new_init = {
+        q: v for q, v in initial_state.items()
+        if q not in {l.output for l in old_latches}
+    }
+    new_init[gate_net] = eval_gate(
+        gate.gtype, [initial_state[l.output] for l in old_latches]
+    )
+    return retimed, new_delays, new_init
+
+
+@dataclasses.dataclass(frozen=True)
+class RetimeResult:
+    """Outcome of the greedy retiming search."""
+
+    circuit: Circuit
+    delays: DelayMap
+    initial_state: dict[str, bool]
+    bound: Fraction
+    baseline: Fraction
+    moves: tuple[str, ...]
+
+    @property
+    def improvement(self) -> Fraction:
+        if self.baseline == 0:
+            return Fraction(0)
+        return 1 - self.bound / self.baseline
+
+
+def optimize_retiming(
+    circuit: Circuit,
+    delays: DelayMap,
+    initial_state: dict[str, bool] | None = None,
+    options: MctOptions | None = None,
+    max_moves: int = 16,
+) -> RetimeResult:
+    """Greedy forward retiming: apply the best legal move until the
+    certified minimum-cycle-time bound stops improving."""
+    if initial_state is None:
+        initial_state = {q: False for q in circuit.latches}
+    options = options or MctOptions()
+
+    def bound_of(c, d, init):
+        opts = dataclasses.replace(options, initial_state=init)
+        return minimum_cycle_time(c, d, opts).mct_upper_bound
+
+    current = (circuit, delays, dict(initial_state))
+    baseline = bound_of(*current)
+    best_bound = baseline
+    applied: list[str] = []
+    for _ in range(max_moves):
+        best_move = None
+        for net in legal_forward_moves(current[0]):
+            try:
+                candidate = forward_retime(current[0], current[1], net, current[2])
+            except AnalysisError:
+                continue
+            bound = bound_of(*candidate)
+            if bound is not None and bound < best_bound:
+                best_bound = bound
+                best_move = (net, candidate)
+        if best_move is None:
+            break
+        applied.append(best_move[0])
+        current = best_move[1]
+    return RetimeResult(
+        circuit=current[0],
+        delays=current[1],
+        initial_state=current[2],
+        bound=best_bound,
+        baseline=baseline,
+        moves=tuple(applied),
+    )

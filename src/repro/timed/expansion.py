@@ -1,0 +1,274 @@
+"""The timed-expansion engine shared by every timing analysis.
+
+The key observation behind the implementation: flattening a circuit's
+TBF (paper Sec. 3.2) assigns every appearance of a leaf signal ``x`` a
+*time argument* ``t - k`` where ``k`` is the accumulated delay of one
+root-to-leaf path.  All three analyses we need — floating delay,
+transition delay, and the minimum-cycle-time decision — only care about
+the leaf and its ``k``.  So the engine walks the cone once, accumulates
+the delay interval from the root downward, and asks a pluggable
+*resolver* for the BDD value of each ``(leaf, k-interval)`` pair (a
+:class:`LeafInstance`).  Memoizing on ``(net, accumulated interval)``
+keeps the walk polynomial in the number of distinct path-delay sums.
+
+Rise/fall-asymmetric pins are handled with the paper's Fig. 1(b) buffer
+decomposition: the pin value is ``x(t-τr)·x(t-τf)`` when ``τr > τf``
+and ``x(t-τr)+x(t-τf)`` when ``τr < τf``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.bdd import BddManager, Function
+from repro.errors import AnalysisError, Budget, TbfError
+from repro.logic.delays import DelayMap, Interval, ZERO
+from repro.logic.gate import gate_bdd
+from repro.logic.netlist import Circuit
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class LeafInstance:
+    """One timed appearance of a leaf in a flattened cone TBF.
+
+    ``offset`` is the accumulated combinational path delay interval from
+    the sampled root down to this leaf — the constant ``k`` in the
+    paper's ``x(t - k)`` (before folding in flip-flop clock-to-output
+    delay and setup time, which the MCT layer adds).
+    """
+
+    leaf: str
+    offset: Interval
+
+    def shifted(self, extra: Interval) -> "LeafInstance":
+        """The instance with ``extra`` added to its offset."""
+        return LeafInstance(self.leaf, self.offset + extra)
+
+
+#: A resolver maps a leaf instance to its BDD value.
+Resolver = Callable[[LeafInstance], Function]
+
+
+class TimedExpander:
+    """Expands circuit cones into BDDs over timed leaf instances.
+
+    Parameters
+    ----------
+    circuit, delays:
+        The netlist and its pin-accurate delay annotation.
+    manager:
+        The BDD manager in which values are built.
+    budget:
+        Optional work budget; one unit is charged per ``(net, offset)``
+        expansion entry, bounding the path-delay-sum explosion.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delays: DelayMap,
+        manager: BddManager,
+        budget: Budget | None = None,
+    ):
+        if delays.circuit is not circuit:
+            raise AnalysisError("delay map annotates a different circuit")
+        self.circuit = circuit
+        self.delays = delays
+        self.manager = manager
+        self.budget = budget
+
+    def expand(self, root: str, resolver: Resolver, extra: Interval = ZERO) -> Function:
+        """BDD value of ``root`` sampled with accumulated offset ``extra``.
+
+        ``extra`` is added to every path delay — used to fold in setup
+        time at the destination flip-flop.
+        """
+        cache: dict[tuple[str, Interval], Function] = {}
+        # Explicit work stack: deep gate chains must not hit Python's
+        # recursion limit.  Each entry is processed twice: first to push
+        # its dependencies, then (once they are cached) to combine them.
+        stack: list[tuple[str, Interval, bool]] = [(root, extra, False)]
+        while stack:
+            net, offset, ready = stack.pop()
+            key = (net, offset)
+            if key in cache:
+                continue
+            if self.circuit.is_leaf(net):
+                if self.budget is not None:
+                    self.budget.charge()
+                cache[key] = resolver(LeafInstance(net, offset))
+                continue
+            deps = self._pin_dependencies(net, offset)
+            if not ready:
+                stack.append((net, offset, True))
+                for dep_keys in deps:
+                    for dep in dep_keys:
+                        if dep not in cache:
+                            stack.append((dep[0], dep[1], False))
+                continue
+            if self.budget is not None:
+                self.budget.charge()
+            operands = [
+                self._combine_pin(net, pin, [cache[dep] for dep in dep_keys])
+                for pin, dep_keys in enumerate(deps)
+            ]
+            gate = self.circuit.gates[net]
+            cache[key] = gate_bdd(gate.gtype, self.manager, operands)
+        return cache[(root, extra)]
+
+    def _pin_dependencies(
+        self, net: str, offset: Interval
+    ) -> list[list[tuple[str, Interval]]]:
+        """Child (net, offset) keys each pin of ``net`` depends on."""
+        gate = self.circuit.gates[net]
+        deps: list[list[tuple[str, Interval]]] = []
+        for pin, child in enumerate(gate.inputs):
+            timing = self.delays.pin(net, pin)
+            if timing.is_symmetric:
+                deps.append([(child, offset + timing.rise)])
+            else:
+                deps.append(
+                    [(child, offset + timing.rise), (child, offset + timing.fall)]
+                )
+        return deps
+
+    def _combine_pin(self, net: str, pin: int, values: list[Function]) -> Function:
+        """Combine per-pin samples (Fig. 1(b) decomposition for asymmetry)."""
+        timing = self.delays.pin(net, pin)
+        if timing.is_symmetric:
+            return values[0]
+        rise, fall = timing.rise, timing.fall
+        v_rise, v_fall = values
+        if rise.lo >= fall.hi:
+            # Slow rise: output high only once both samples are high.
+            return v_rise & v_fall
+        if rise.hi <= fall.lo:
+            # Slow fall: output high if either sample is high.
+            return v_rise | v_fall
+        raise TbfError(
+            f"pin {pin} of gate {net!r} has overlapping rise/fall intervals; "
+            "the Fig. 1(b) decomposition needs an unambiguous ordering"
+        )
+
+
+def collect_leaf_instances(
+    circuit: Circuit,
+    delays: DelayMap,
+    roots: Iterable[str],
+    extra: Interval = ZERO,
+    budget: Budget | None = None,
+) -> dict[str, set[LeafInstance]]:
+    """All leaf instances of each root's flattened TBF.
+
+    Performs the same walk as :meth:`TimedExpander.expand` but collects
+    ``(leaf, offset)`` pairs instead of building BDDs; used to derive
+    the critical-τ breakpoints (Sec. 6/7) and the floating/transition
+    event times without paying for BDD construction.
+    """
+    if delays.circuit is not circuit:
+        raise AnalysisError("delay map annotates a different circuit")
+    result: dict[str, set[LeafInstance]] = {}
+    for root in roots:
+        # Forward-propagate reachable (net, offset) keys iteratively,
+        # then read off the leaf keys.  A seen-set per (net, offset)
+        # bounds the work by the number of distinct path-delay sums.
+        seen: set[tuple[str, Interval]] = set()
+        instances: set[LeafInstance] = set()
+        stack: list[tuple[str, Interval]] = [(root, extra)]
+        while stack:
+            net, offset = stack.pop()
+            key = (net, offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            if budget is not None:
+                budget.charge()
+            if circuit.is_leaf(net):
+                instances.add(LeafInstance(net, offset))
+                continue
+            gate = circuit.gates[net]
+            for pin, child in enumerate(gate.inputs):
+                timing = delays.pin(net, pin)
+                stack.append((child, offset + timing.rise))
+                if not timing.is_symmetric:
+                    stack.append((child, offset + timing.fall))
+        result[root] = instances
+    return result
+
+
+def combinational_bdd(
+    circuit: Circuit,
+    root: str,
+    leaf_map: Mapping[str, Function],
+    manager: BddManager,
+) -> Function:
+    """Plain (untimed) BDD of a cone with arbitrary leaf values.
+
+    The zero-delay companion of :meth:`TimedExpander.expand`: used for
+    the steady-state machine ``x̂(n) = g(x̂(n-1), u(n-1))``, for the
+    inductive unrolling of the decision algorithm, and by the FSM layer.
+    """
+    def leaf_value(net: str) -> Function:
+        try:
+            return leaf_map[net]
+        except KeyError:
+            raise AnalysisError(f"no leaf value supplied for {net!r}") from None
+
+    if circuit.is_leaf(root):
+        return leaf_value(root)
+    values: dict[str, Function] = {}
+    for net in circuit.cone(root):
+        gate = circuit.gates[net]
+        operands = [
+            values[c] if c in values else leaf_value(c) for c in gate.inputs
+        ]
+        values[net] = gate_bdd(gate.gtype, manager, operands)
+    return values[root]
+
+
+class CombinationalBdd:
+    """Convenience wrapper building all root cones of a circuit at once.
+
+    Leaves are mapped through ``leaf_map``; cones share a node cache, so
+    common subcircuits are built once.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        leaf_map: Mapping[str, Function],
+        manager: BddManager,
+    ):
+        self.circuit = circuit
+        self.manager = manager
+        self._leaf_map = dict(leaf_map)
+        self._cache: dict[str, Function] = {}
+
+    def root(self, net: str) -> Function:
+        """BDD of ``net`` in terms of the mapped leaves."""
+        hit = self._cache.get(net)
+        if hit is not None:
+            return hit
+        if self.circuit.is_leaf(net):
+            try:
+                result = self._leaf_map[net]
+            except KeyError:
+                raise AnalysisError(f"no leaf value supplied for {net!r}") from None
+            self._cache[net] = result
+            return result
+        for gate_net in self.circuit.cone(net):
+            if gate_net in self._cache:
+                continue
+            gate = self.circuit.gates[gate_net]
+            operands = [self.root(child) for child in gate.inputs]
+            self._cache[gate_net] = gate_bdd(gate.gtype, self.manager, operands)
+        return self._cache[net]
+
+    def next_state(self) -> dict[str, Function]:
+        """BDDs of every flip-flop's data input (the next-state function)."""
+        return {q: self.root(latch.data) for q, latch in self.circuit.latches.items()}
+
+    def outputs(self) -> dict[str, Function]:
+        """BDDs of every primary output."""
+        return {net: self.root(net) for net in self.circuit.outputs}

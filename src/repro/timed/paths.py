@@ -1,0 +1,94 @@
+"""Explicit register-to-register path enumeration.
+
+The relaxed interval model of :mod:`repro.mct.feasibility` treats each
+flattened path delay ``k_i`` as an independent interval variable.  The
+paper's linear program is finer: ``k_i = Σ d_g`` over the gates on the
+path, and different paths *share* gate-delay variables.  This module
+enumerates the concrete paths (with their pin-delay composition) so
+:mod:`repro.mct.lp_exact` can build that coupled program.
+
+Path counts are worst-case exponential; enumeration is capped by a
+:class:`~repro.errors.Budget`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.errors import AnalysisError, Budget
+from repro.logic.delays import DelayMap, Interval, ZERO
+from repro.logic.netlist import Circuit
+
+#: One pin traversal: (gate output net, pin index, "r"/"f"/"s" edge).
+PathEdge = tuple[str, int, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedPath:
+    """A concrete root-to-leaf path of a cone.
+
+    ``edges`` are listed root-first; ``total`` is the exact sum of the
+    traversed pin-delay intervals (matching the corresponding
+    :class:`~repro.timed.expansion.LeafInstance` offset).
+    """
+
+    root: str
+    leaf: str
+    edges: tuple[PathEdge, ...]
+    total: Interval
+
+
+def enumerate_paths(
+    circuit: Circuit,
+    delays: DelayMap,
+    root: str,
+    extra: Interval = ZERO,
+    budget: Budget | None = None,
+    max_paths: int = 10_000,
+) -> list[TimedPath]:
+    """All root-to-leaf paths of ``root``'s cone with delay composition.
+
+    Asymmetric pins contribute two paths (one per Fig. 1(b) buffer
+    copy), tagged ``"r"`` / ``"f"``; symmetric pins are tagged ``"s"``.
+    """
+    if delays.circuit is not circuit:
+        raise AnalysisError("delay map annotates a different circuit")
+    paths: list[TimedPath] = []
+    # Stack of partial paths: (net, accumulated, edges-so-far).
+    stack: list[tuple[str, Interval, tuple[PathEdge, ...]]] = [(root, extra, ())]
+    while stack:
+        net, acc, edges = stack.pop()
+        if budget is not None:
+            budget.charge()
+        if circuit.is_leaf(net):
+            if len(paths) >= max_paths:
+                raise AnalysisError(f"more than {max_paths} paths in cone {root!r}")
+            paths.append(TimedPath(root=root, leaf=net, edges=edges, total=acc))
+            continue
+        gate = circuit.gates[net]
+        for pin, child in enumerate(gate.inputs):
+            timing = delays.pin(net, pin)
+            if timing.is_symmetric:
+                stack.append(
+                    (child, acc + timing.rise, edges + ((net, pin, "s"),))
+                )
+            else:
+                stack.append(
+                    (child, acc + timing.rise, edges + ((net, pin, "r"),))
+                )
+                stack.append(
+                    (child, acc + timing.fall, edges + ((net, pin, "f"),))
+                )
+    return paths
+
+
+def paths_by_timed_leaf(
+    paths: Iterable[TimedPath],
+) -> dict[tuple[str, Interval], list[TimedPath]]:
+    """Group paths by their ``(leaf, total-interval)`` identity — the
+    same identity the decision procedure uses for its timed leaves."""
+    grouped: dict[tuple[str, Interval], list[TimedPath]] = {}
+    for path in paths:
+        grouped.setdefault((path.leaf, path.total), []).append(path)
+    return grouped

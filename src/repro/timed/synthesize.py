@@ -1,0 +1,110 @@
+"""Synthesize a circuit (netlist + delays) from a symbolic TBF.
+
+The inverse of flattening: Sec. 3.2 derives a circuit's TBF by
+composition; this module goes the other way, so a user can type a
+paper-style expression like
+
+    g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2)
+
+build the corresponding netlist, and hand it to any analysis.  Each
+timed literal becomes a buffer (or inverter) with the literal's shift
+as its pin delay; the Boolean structure becomes zero-delay gates.
+
+The synthesized circuit's flattened TBF (via the timed expansion) is
+the original expression by construction; tests verify it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import TbfError
+from repro.logic.delays import DelayMap, PinTiming
+from repro.logic.gate import GateType
+from repro.logic.netlist import Circuit, Gate, Latch
+from repro.timed.tbf import TbfExpr
+
+
+class _Builder:
+    def __init__(self, output: str):
+        self.output = output
+        self.gates: list[Gate] = []
+        self.pins: dict[tuple[str, int], PinTiming] = {}
+        self._counter = 0
+        self._literal_cache: dict[tuple[str, Fraction, bool], str] = {}
+
+    def fresh(self, kind: str) -> str:
+        self._counter += 1
+        return f"{self.output}${kind}{self._counter}"
+
+    def add(self, net: str, gtype: GateType, inputs: tuple[str, ...],
+            delay: Fraction | int = 0) -> str:
+        self.gates.append(Gate(net, gtype, inputs))
+        for pin in range(len(inputs)):
+            self.pins[(net, pin)] = PinTiming.symmetric(delay)
+        return net
+
+    def literal(self, signal: str, shift: Fraction, positive: bool) -> str:
+        key = (signal, shift, positive)
+        hit = self._literal_cache.get(key)
+        if hit is not None:
+            return hit
+        gtype = GateType.BUF if positive else GateType.NOT
+        net = self.add(self.fresh("lit"), gtype, (signal,), delay=shift)
+        self._literal_cache[key] = net
+        return net
+
+    def build(self, expr: TbfExpr, net: str | None = None) -> str:
+        if expr.kind == "lit":
+            lit_net = self.literal(expr.signal, expr.shift, positive=True)
+            if net is None:
+                return lit_net
+            return self.add(net, GateType.BUF, (lit_net,))
+        if expr.kind == "not":
+            child = expr.children[0]
+            if child.kind == "lit":
+                lit_net = self.literal(child.signal, child.shift, positive=False)
+                if net is None:
+                    return lit_net
+                return self.add(net, GateType.BUF, (lit_net,))
+            inner = self.build(child)
+            return self.add(net or self.fresh("not"), GateType.NOT, (inner,))
+        if expr.kind == "const":
+            gtype = GateType.CONST1 if expr.value else GateType.CONST0
+            return self.add(net or self.fresh("const"), gtype, ())
+        if expr.kind in ("and", "or"):
+            operands = tuple(self.build(child) for child in expr.children)
+            gtype = GateType.AND if expr.kind == "and" else GateType.OR
+            return self.add(net or self.fresh(expr.kind), gtype, operands)
+        raise TbfError(f"cannot synthesize node kind {expr.kind!r}")
+
+
+def tbf_to_circuit(
+    expr: TbfExpr,
+    output: str = "y",
+    name: str = "tbf",
+    feedback: str | None = None,
+) -> tuple[Circuit, DelayMap]:
+    """Build an annotated circuit computing ``expr`` on net ``output``.
+
+    Free signals of the expression become primary inputs, except
+    ``feedback``, which becomes the output of an edge-triggered latch
+    whose data input is ``output`` — exactly the paper's Fig. 2 shape
+    (``f(t) = g(⌊t/τ⌋τ)``).  Pass ``feedback="f"`` with the Example 1
+    expression and you get the Example 2 machine.
+    """
+    signals = sorted(expr.signals())
+    if feedback is not None and feedback not in signals:
+        raise TbfError(f"feedback signal {feedback!r} not in the expression")
+    builder = _Builder(output)
+    builder.build(expr, net=output)
+    inputs = [s for s in signals if s != feedback]
+    latches = [] if feedback is None else [Latch(feedback, output)]
+    circuit = Circuit(
+        name=name,
+        inputs=inputs,
+        outputs=[output],
+        gates=builder.gates,
+        latches=latches,
+    )
+    return circuit, DelayMap(circuit, builder.pins)

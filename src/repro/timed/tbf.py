@@ -1,0 +1,339 @@
+"""A symbolic Timed Boolean Function (TBF) algebra (paper Sec. 3).
+
+A TBF here is a Boolean expression over *timed literals* ``x(t - h)``:
+a signal name plus a constant shift ``h`` (an exact Fraction).  That is
+precisely the fragment the paper needs for combinational circuits
+("time arguments of the form t - h", Sec. 3.2 comment 1); flip-flop
+sampling (``floor`` time arguments) is handled separately by
+:func:`dff_sample_time` and by the discretization in :mod:`repro.mct`.
+
+The module supports the paper's component models:
+
+* simple gates with one delay per input-output pair (Fig. 1a),
+* buffers and pins with distinct rise/fall delays (Fig. 1b),
+* composition/flattening of circuit TBFs (Example 1),
+* evaluation against concrete waveforms,
+* canonical comparison via BDDs over the timed literals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Callable, Mapping
+from fractions import Fraction
+
+from repro.bdd import BddManager
+from repro.errors import TbfError
+from repro.logic.delays import DelayLike, as_fraction
+
+#: A waveform: maps real time to a Boolean signal value.
+Waveform = Callable[[Fraction], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class TbfExpr:
+    """An immutable TBF expression node.
+
+    ``kind`` is one of ``lit`` (timed literal), ``const``, ``not``,
+    ``and``, ``or``.  Use the module-level constructors rather than
+    instantiating directly.
+    """
+
+    kind: str
+    signal: str | None = None
+    shift: Fraction = Fraction(0)
+    value: bool | None = None
+    children: tuple["TbfExpr", ...] = ()
+
+    # -- constructors via operators ------------------------------------
+    def __invert__(self) -> "TbfExpr":
+        return not_(self)
+
+    def __and__(self, other: "TbfExpr") -> "TbfExpr":
+        return and_(self, other)
+
+    def __or__(self, other: "TbfExpr") -> "TbfExpr":
+        return or_(self, other)
+
+    # -- queries ---------------------------------------------------------
+    def literals(self) -> set[tuple[str, Fraction]]:
+        """All ``(signal, shift)`` pairs appearing in the expression."""
+        if self.kind == "lit":
+            return {(self.signal, self.shift)}
+        out: set[tuple[str, Fraction]] = set()
+        for child in self.children:
+            out |= child.literals()
+        return out
+
+    def signals(self) -> set[str]:
+        """All signal names appearing in the expression."""
+        return {signal for signal, _ in self.literals()}
+
+    def max_shift(self) -> Fraction:
+        """The largest time shift (the constant ``L`` of Definition 2)."""
+        shifts = [shift for _, shift in self.literals()]
+        if not shifts:
+            return Fraction(0)
+        return max(shifts)
+
+    # -- transformations --------------------------------------------------
+    def shifted(self, delta: DelayLike | float) -> "TbfExpr":
+        """Add ``delta`` to every literal's shift: the expression seen
+        through a wire of delay ``delta`` (argument transformation)."""
+        d = as_fraction(delta)
+        if self.kind == "lit":
+            return lit(self.signal, self.shift + d)
+        if self.kind == "const":
+            return self
+        return dataclasses.replace(
+            self, children=tuple(child.shifted(d) for child in self.children)
+        )
+
+    def substitute(self, signal: str, expr: "TbfExpr") -> "TbfExpr":
+        """Replace every literal ``signal(t - h)`` by ``expr`` shifted by
+        ``h`` (TBF composition, Def. 1 closure under composition)."""
+        if self.kind == "lit":
+            if self.signal == signal:
+                return expr.shifted(self.shift)
+            return self
+        if self.kind == "const":
+            return self
+        return dataclasses.replace(
+            self,
+            children=tuple(child.substitute(signal, expr) for child in self.children),
+        )
+
+    # -- semantics ---------------------------------------------------------
+    def evaluate(self, waveforms: Mapping[str, Waveform], t: DelayLike | float) -> bool:
+        """Value of the TBF at time ``t`` given input waveforms."""
+        time = as_fraction(t)
+        if self.kind == "const":
+            return self.value
+        if self.kind == "lit":
+            try:
+                wave = waveforms[self.signal]
+            except KeyError:
+                raise TbfError(f"no waveform for signal {self.signal!r}") from None
+            return bool(wave(time - self.shift))
+        if self.kind == "not":
+            return not self.children[0].evaluate(waveforms, time)
+        if self.kind == "and":
+            return all(child.evaluate(waveforms, time) for child in self.children)
+        if self.kind == "or":
+            return any(child.evaluate(waveforms, time) for child in self.children)
+        raise TbfError(f"unknown node kind {self.kind!r}")  # pragma: no cover
+
+    def to_bdd(self, manager: BddManager):
+        """Canonical form: a BDD over one variable per timed literal.
+
+        Two TBFs are *syntactically-timed* equivalent (equal as Boolean
+        functions of their timed literals) iff their BDDs in a shared
+        manager are equal.
+        """
+        if self.kind == "const":
+            return manager.constant(self.value)
+        if self.kind == "lit":
+            return manager.var(f"{self.signal}@{self.shift}")
+        if self.kind == "not":
+            return ~self.children[0].to_bdd(manager)
+        if self.kind == "and":
+            return manager.conjoin(c.to_bdd(manager) for c in self.children)
+        if self.kind == "or":
+            return manager.disjoin(c.to_bdd(manager) for c in self.children)
+        raise TbfError(f"unknown node kind {self.kind!r}")  # pragma: no cover
+
+    def equivalent(self, other: "TbfExpr") -> bool:
+        """Equality as Boolean functions of timed literals."""
+        manager = BddManager()
+        return self.to_bdd(manager) == other.to_bdd(manager)
+
+    # -- printing ------------------------------------------------------------
+    def __str__(self) -> str:
+        return self._fmt(parent="or")
+
+    def _fmt(self, parent: str) -> str:
+        if self.kind == "const":
+            return "1" if self.value else "0"
+        if self.kind == "lit":
+            if self.shift == 0:
+                return f"{self.signal}(t)"
+            return f"{self.signal}(t-{self.shift})"
+        if self.kind == "not":
+            child = self.children[0]
+            if child.kind == "lit":
+                base = child._fmt(parent="not")
+                return f"{base}'"
+            return f"({child._fmt(parent='or')})'"
+        if self.kind == "and":
+            text = "·".join(c._fmt(parent="and") for c in self.children)
+            return text
+        if self.kind == "or":
+            text = " + ".join(c._fmt(parent="or") for c in self.children)
+            if parent == "and":
+                return f"({text})"
+            return text
+        raise TbfError(f"unknown node kind {self.kind!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+def lit(signal: str, shift: DelayLike | float = 0) -> TbfExpr:
+    """The timed literal ``signal(t - shift)``."""
+    return TbfExpr(kind="lit", signal=signal, shift=as_fraction(shift))
+
+
+def const(value: bool) -> TbfExpr:
+    """A constant TBF."""
+    return TbfExpr(kind="const", value=bool(value))
+
+
+def not_(expr: TbfExpr) -> TbfExpr:
+    """Complement (with double-negation collapse)."""
+    if expr.kind == "not":
+        return expr.children[0]
+    if expr.kind == "const":
+        return const(not expr.value)
+    return TbfExpr(kind="not", children=(expr,))
+
+
+def _flatten(kind: str, exprs: tuple[TbfExpr, ...]) -> tuple[TbfExpr, ...]:
+    out: list[TbfExpr] = []
+    for e in exprs:
+        if e.kind == kind:
+            out.extend(e.children)
+        else:
+            out.append(e)
+    return tuple(out)
+
+
+def and_(*exprs: TbfExpr) -> TbfExpr:
+    """Conjunction (n-ary, flattening nested ANDs)."""
+    children = _flatten("and", exprs)
+    if not children:
+        return const(True)
+    if len(children) == 1:
+        return children[0]
+    return TbfExpr(kind="and", children=children)
+
+
+def or_(*exprs: TbfExpr) -> TbfExpr:
+    """Disjunction (n-ary, flattening nested ORs)."""
+    children = _flatten("or", exprs)
+    if not children:
+        return const(False)
+    if len(children) == 1:
+        return children[0]
+    return TbfExpr(kind="or", children=children)
+
+
+# ----------------------------------------------------------------------
+# Component models (Fig. 1)
+# ----------------------------------------------------------------------
+
+def buffer_tbf(signal: str, rise: DelayLike | float, fall: DelayLike | float) -> TbfExpr:
+    """Fig. 1(b): a buffer with distinct rise/fall delays.
+
+    ``rise > fall``  → ``x(t-τr) · x(t-τf)``;
+    ``rise < fall``  → ``x(t-τr) + x(t-τf)``;
+    equal delays degenerate to a plain literal.
+    """
+    r, f = as_fraction(rise), as_fraction(fall)
+    if r == f:
+        return lit(signal, r)
+    if r > f:
+        return and_(lit(signal, r), lit(signal, f))
+    return or_(lit(signal, r), lit(signal, f))
+
+
+def gate_pin_tbf(signal: str, rise: DelayLike | float, fall: DelayLike | float) -> TbfExpr:
+    """The per-pin buffer used to model a gate with rise/fall delays.
+
+    Identical to :func:`buffer_tbf`; named separately because the paper
+    composes one of these per input pin with a zero-delay functional
+    block (Fig. 1, item 3).
+    """
+    return buffer_tbf(signal, rise, fall)
+
+
+def dff_sample_time(
+    t: DelayLike | float, period: DelayLike | float, dff_delay: DelayLike | float = 0
+) -> Fraction:
+    """Edge-triggered D-flip-flop sampling time (Fig. 1, item 4).
+
+    The flip-flop TBF is ``Q(t) = D(P · floor((t - d) / P))``; this
+    helper returns the inner time ``P · floor((t - d) / P)``.
+    """
+    time, p, d = as_fraction(t), as_fraction(period), as_fraction(dff_delay)
+    if p <= 0:
+        raise TbfError("clock period must be positive")
+    return p * Fraction(math.floor((time - d) / p))
+
+
+def discretize_literals(
+    expr: TbfExpr, tau: DelayLike | float
+) -> dict[tuple[str, Fraction], int]:
+    """Ages of every timed literal at clock period τ (paper Sec. 3.2).
+
+    Sampling ``x(t - k)`` at ``t = nτ`` yields ``x(n + ⌊-k/τ⌋)``; the
+    returned map gives ``-⌊-k/τ⌋`` (the age) per ``(signal, k)``.
+    """
+    period = as_fraction(tau)
+    if period <= 0:
+        raise TbfError("clock period must be positive")
+    return {
+        (signal, shift): -math.floor(-shift / period)
+        for signal, shift in expr.literals()
+    }
+
+
+def format_recurrence(
+    expr: TbfExpr, tau: DelayLike | float, name: str = "g"
+) -> str:
+    """The paper's discretized-recurrence rendering of a TBF.
+
+    Example 2 at τ = 2.5 prints as::
+
+        g(n) = g(n-1)·g(n-2)'·g(n-2) + g(n-1)'
+
+    (every literal's signal is written as ``name`` because in the
+    single-latch setting all literals read the fed-back signal).
+    """
+    ages = discretize_literals(expr, tau)
+
+    def fmt(node: TbfExpr, parent: str) -> str:
+        if node.kind == "const":
+            return "1" if node.value else "0"
+        if node.kind == "lit":
+            age = ages[(node.signal, node.shift)]
+            return f"{name}(n-{age})" if age else f"{name}(n)"
+        if node.kind == "not":
+            child = node.children[0]
+            if child.kind == "lit":
+                return fmt(child, "not") + "'"
+            return f"({fmt(child, 'or')})'"
+        if node.kind == "and":
+            return "·".join(fmt(c, "and") for c in node.children)
+        if node.kind == "or":
+            text = " + ".join(fmt(c, "or") for c in node.children)
+            return f"({text})" if parent == "and" else text
+        raise TbfError(f"unknown node kind {node.kind!r}")  # pragma: no cover
+
+    return f"{name}(n) = {fmt(expr, 'or')}"
+
+
+def dff_output(
+    data: TbfExpr,
+    waveforms: Mapping[str, Waveform],
+    t: DelayLike | float,
+    period: DelayLike | float,
+    dff_delay: DelayLike | float = 0,
+) -> bool:
+    """Evaluate a flip-flop's output at time ``t``.
+
+    The data input is itself a TBF ``data`` evaluated at the sampling
+    instant returned by :func:`dff_sample_time`.
+    """
+    return data.evaluate(waveforms, dff_sample_time(t, period, dff_delay))

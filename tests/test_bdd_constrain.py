@@ -1,0 +1,88 @@
+"""Property tests for the generalized-cofactor operators."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BddManager
+from repro.errors import BddError
+
+from tests.test_bdd_properties import VARS, all_envs, build_bdd, eval_ast, exprs
+
+
+class TestBasics:
+    def test_constrain_on_true_is_identity(self):
+        mgr = BddManager()
+        f = mgr.var("a") ^ mgr.var("b")
+        assert f.constrain(mgr.true) == f
+        assert f.restrict_care(mgr.true) == f
+
+    def test_constrain_by_false_rejected(self):
+        mgr = BddManager()
+        f = mgr.var("a")
+        with pytest.raises(BddError):
+            f.constrain(mgr.false)
+        with pytest.raises(BddError):
+            f.restrict_care(mgr.false)
+
+    def test_constrain_collapses_on_literal_care(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a & b
+        assert f.constrain(a) == b
+        assert f.constrain(~a).is_zero()
+
+    def test_restrict_drops_foreign_care_vars(self):
+        mgr = BddManager()
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = a & b
+        # Care splits on c, which f ignores: restrict must not import c.
+        g = f.restrict_care(c | (a & b))
+        assert "c" not in g.support()
+
+    def test_constrain_self_is_true(self):
+        mgr = BddManager()
+        f = mgr.var("a") & mgr.var("b")
+        assert f.constrain(f).is_one()
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_constrain_agrees_on_care(ast_f, ast_c):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, c = build_bdd(mgr, ast_f), build_bdd(mgr, ast_c)
+    if c.is_zero():
+        return
+    g = f.constrain(c)
+    for env in all_envs():
+        if eval_ast(ast_c, env):
+            assert g.evaluate({v: env[v] for v in VARS}) == eval_ast(ast_f, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_restrict_agrees_on_care(ast_f, ast_c):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, c = build_bdd(mgr, ast_f), build_bdd(mgr, ast_c)
+    if c.is_zero():
+        return
+    g = f.restrict_care(c)
+    for env in all_envs():
+        if eval_ast(ast_c, env):
+            assert g.evaluate({v: env[v] for v in VARS}) == eval_ast(ast_f, env)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs(), exprs())
+def test_constrain_never_larger_support_than_union(ast_f, ast_c):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, c = build_bdd(mgr, ast_f), build_bdd(mgr, ast_c)
+    if c.is_zero():
+        return
+    assert f.constrain(c).support() <= f.support() | c.support()
+    # Restrict additionally never exceeds f's own support.
+    assert f.restrict_care(c).support() <= f.support()

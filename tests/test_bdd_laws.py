@@ -1,0 +1,86 @@
+"""Algebraic laws of the BDD operations (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+
+from tests.test_bdd_properties import VARS, build_bdd, exprs
+
+
+def pair():
+    return st.tuples(exprs(), exprs())
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_quantifier_duality(ast_f, ast_g):
+    """∀x.f == ¬∃x.¬f, on every subset of variables."""
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast_f)
+    for qvars in (["a"], ["b", "c"], VARS):
+        assert f.forall(qvars) == ~((~f).exists(qvars))
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_shannon_expansion(ast_f, ast_g):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast_f)
+    for name in VARS:
+        v = mgr.var(name)
+        hi = f.restrict({name: True})
+        lo = f.restrict({name: False})
+        assert f == (v & hi) | (~v & lo)
+        assert f == v.ite(hi, lo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_implication_and_iff_laws(ast_f, ast_g):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, g = build_bdd(mgr, ast_f), build_bdd(mgr, ast_g)
+    assert f.implies(g) == (~f | g)
+    assert f.iff(g) == (f.implies(g) & g.implies(f))
+    assert (f ^ g) == ~(f.iff(g))
+    # Contrapositive.
+    assert f.implies(g) == (~g).implies(~f)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_quantification_commutes_with_disjunction(ast_f, ast_g):
+    """∃ distributes over OR (and ∀ over AND)."""
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, g = build_bdd(mgr, ast_f), build_bdd(mgr, ast_g)
+    q = ["a", "d"]
+    assert (f | g).exists(q) == f.exists(q) | g.exists(q)
+    assert (f & g).forall(q) == f.forall(q) & g.forall(q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_support_respects_quantification(ast_f):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast_f)
+    for name in VARS:
+        assert name not in f.exists([name]).support()
+        assert name not in f.forall([name]).support()
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_sat_count_shannon_split(ast_f):
+    """#f = #f|x=0 + #f|x=1 over the full variable space."""
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast_f)
+    n = len(VARS)
+    total = f.sat_count(nvars=n)
+    lo = f.restrict({"a": False}).sat_count(nvars=n - 1)
+    hi = f.restrict({"a": True}).sat_count(nvars=n - 1)
+    assert total == lo + hi

@@ -1,0 +1,209 @@
+"""Property-based tests for the BDD package.
+
+Strategy: generate random Boolean expression trees over a small variable
+set, build them both as BDDs and as plain Python closures, and check
+that every BDD-level operation agrees with brute-force evaluation over
+all 2^n assignments.  This pins down canonicity, all connectives,
+restrict/compose/quantify, and the counting/enumeration queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager, dfs_variable_order, interleave_orders
+
+VARS = ["a", "b", "c", "d", "e"]
+
+
+def exprs(depth: int = 4):
+    """Hypothesis strategy producing expression ASTs as nested tuples."""
+    leaf = st.one_of(
+        st.sampled_from([("var", v) for v in VARS]),
+        st.sampled_from([("const", False), ("const", True)]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.sampled_from(["and", "or", "xor"]), children, children),
+            st.tuples(st.just("ite"), children, children, children),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+def build_bdd(mgr: BddManager, ast):
+    op = ast[0]
+    if op == "var":
+        return mgr.var(ast[1])
+    if op == "const":
+        return mgr.constant(ast[1])
+    if op == "not":
+        return ~build_bdd(mgr, ast[1])
+    if op == "and":
+        return build_bdd(mgr, ast[1]) & build_bdd(mgr, ast[2])
+    if op == "or":
+        return build_bdd(mgr, ast[1]) | build_bdd(mgr, ast[2])
+    if op == "xor":
+        return build_bdd(mgr, ast[1]) ^ build_bdd(mgr, ast[2])
+    if op == "ite":
+        return build_bdd(mgr, ast[1]).ite(build_bdd(mgr, ast[2]), build_bdd(mgr, ast[3]))
+    raise AssertionError(op)
+
+
+def eval_ast(ast, env) -> bool:
+    op = ast[0]
+    if op == "var":
+        return env[ast[1]]
+    if op == "const":
+        return ast[1]
+    if op == "not":
+        return not eval_ast(ast[1], env)
+    if op == "and":
+        return eval_ast(ast[1], env) and eval_ast(ast[2], env)
+    if op == "or":
+        return eval_ast(ast[1], env) or eval_ast(ast[2], env)
+    if op == "xor":
+        return eval_ast(ast[1], env) != eval_ast(ast[2], env)
+    if op == "ite":
+        return eval_ast(ast[2], env) if eval_ast(ast[1], env) else eval_ast(ast[3], env)
+    raise AssertionError(op)
+
+
+def all_envs():
+    for bits in itertools.product([False, True], repeat=len(VARS)):
+        yield dict(zip(VARS, bits))
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs())
+def test_bdd_matches_bruteforce_evaluation(ast):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    for env in all_envs():
+        assert f.evaluate(env) == eval_ast(ast, env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs(), exprs())
+def test_equality_iff_same_truth_table(ast1, ast2):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, g = build_bdd(mgr, ast1), build_bdd(mgr, ast2)
+    same_table = all(eval_ast(ast1, env) == eval_ast(ast2, env) for env in all_envs())
+    assert (f == g) == same_table
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs())
+def test_sat_count_matches_bruteforce(ast):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    expected = sum(eval_ast(ast, env) for env in all_envs())
+    assert f.sat_count(nvars=len(VARS)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), st.sampled_from(VARS), st.booleans())
+def test_restrict_matches_bruteforce(ast, var, value):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast).restrict({var: value})
+    for env in all_envs():
+        env2 = dict(env)
+        env2[var] = value
+        assert f.evaluate(env) == eval_ast(ast, env2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs(), st.sampled_from(VARS))
+def test_compose_matches_substituted_evaluation(ast, sub_ast, var):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    g = build_bdd(mgr, sub_ast)
+    composed = f.compose(var, g)
+    for env in all_envs():
+        env2 = dict(env)
+        env2[var] = eval_ast(sub_ast, env)
+        assert composed.evaluate(env) == eval_ast(ast, env2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), st.sets(st.sampled_from(VARS), min_size=1, max_size=3))
+def test_exists_forall_shannon(ast, qvars):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    ex, fa = f.exists(qvars), f.forall(qvars)
+    for env in all_envs():
+        cofactor_values = []
+        for bits in itertools.product([False, True], repeat=len(qvars)):
+            env2 = dict(env)
+            env2.update(zip(sorted(qvars), bits))
+            cofactor_values.append(eval_ast(ast, env2))
+        assert ex.evaluate(env) == any(cofactor_values)
+        assert fa.evaluate(env) == all(cofactor_values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs(), st.sets(st.sampled_from(VARS), min_size=1, max_size=3))
+def test_and_exists_equals_two_step(ast1, ast2, qvars):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f, g = build_bdd(mgr, ast1), build_bdd(mgr, ast2)
+    assert mgr.and_exists(qvars, f, g) == (f & g).exists(qvars)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_pick_one_is_a_model(ast):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    model = f.pick_one()
+    if model is None:
+        assert f.is_zero()
+    else:
+        env = {v: model.get(v, False) for v in VARS}
+        assert eval_ast(ast, env)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_sat_iter_enumerates_exactly_the_models(ast):
+    mgr = BddManager()
+    mgr.add_vars(VARS)
+    f = build_bdd(mgr, ast)
+    models = {
+        tuple(env[v] for v in VARS)
+        for env in f.sat_iter(care_vars=VARS)
+    }
+    expected = {
+        tuple(env[v] for v in VARS)
+        for env in all_envs()
+        if eval_ast(ast, env)
+    }
+    assert models == expected
+
+
+def test_dfs_variable_order_simple_dag():
+    # y = (a & b) | c with fanins modelled as a dict.
+    fanins = {"y": ["n1", "c"], "n1": ["a", "b"]}
+    order = dfs_variable_order(
+        ["y"],
+        fanins=lambda n: fanins.get(n, []),
+        is_leaf=lambda n: n in {"a", "b", "c"},
+    )
+    assert order == ["a", "b", "c"]
+
+
+def test_interleave_orders():
+    assert interleave_orders(["a", "b"], ["x", "y", "z"]) == ["a", "x", "b", "y", "z"]
+    assert interleave_orders(["a", "b"], ["a", "c"]) == ["a", "b", "c"]
+    assert interleave_orders() == []

@@ -1,0 +1,96 @@
+"""Tests for order search: the classic 2^n vs 3n comb function."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.bdd.reorder import order_size, reorder, sift_order
+from repro.errors import BddError
+
+
+def comb_function(mgr: BddManager, n: int, interleaved: bool):
+    """f = x1·y1 + x2·y2 + ... — exponential when all x's precede all
+    y's, linear when interleaved."""
+    if interleaved:
+        for i in range(n):
+            mgr.var(f"x{i}")
+            mgr.var(f"y{i}")
+    else:
+        for i in range(n):
+            mgr.var(f"x{i}")
+        for i in range(n):
+            mgr.var(f"y{i}")
+    f = mgr.false
+    for i in range(n):
+        f = f | (mgr.var(f"x{i}") & mgr.var(f"y{i}"))
+    return f
+
+
+class TestOrderSize:
+    def test_known_gap(self):
+        mgr = BddManager()
+        f = comb_function(mgr, 5, interleaved=False)
+        bad = [f"x{i}" for i in range(5)] + [f"y{i}" for i in range(5)]
+        good = [v for i in range(5) for v in (f"x{i}", f"y{i}")]
+        assert order_size([f], good) < order_size([f], bad)
+        # The interleaved order is linear: 2n + 2 nodes.
+        assert order_size([f], good) == 2 * 5 + 2
+
+    def test_missing_variable_rejected(self):
+        mgr = BddManager()
+        f = mgr.var("a") & mgr.var("b")
+        with pytest.raises(BddError):
+            order_size([f], ["a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BddError):
+            order_size([], ["a"])
+
+
+class TestReorder:
+    def test_semantics_preserved(self):
+        mgr = BddManager()
+        f = comb_function(mgr, 3, interleaved=False)
+        order = [v for i in range(3) for v in (f"x{i}", f"y{i}")]
+        new_mgr, (g,) = reorder([f], order)
+        for bits in itertools.product([False, True], repeat=6):
+            names = [f"x{i}" for i in range(3)] + [f"y{i}" for i in range(3)]
+            env = dict(zip(names, bits))
+            assert f.evaluate(env) == g.evaluate(env)
+
+    def test_multiple_functions_share_manager(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        new_mgr, (f, g) = reorder([a & b, a | b], ["b", "a"])
+        assert f.manager is new_mgr and g.manager is new_mgr
+        assert new_mgr.level_of("b") < new_mgr.level_of("a")
+
+
+class TestSifting:
+    def test_recovers_interleaved_order(self):
+        mgr = BddManager()
+        f = comb_function(mgr, 4, interleaved=False)
+        bad = [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)]
+        start = order_size([f], bad)
+        order, size = sift_order([f], max_passes=3, initial_order=bad)
+        assert size < start
+        assert size == 2 * 4 + 2  # the optimal linear size
+
+    def test_already_optimal_stays(self):
+        mgr = BddManager()
+        f = comb_function(mgr, 3, interleaved=True)
+        good = [v for i in range(3) for v in (f"x{i}", f"y{i}")]
+        order, size = sift_order([f], initial_order=good)
+        assert size == 2 * 3 + 2
+
+    def test_sift_multiple_functions(self):
+        mgr = BddManager()
+        f = comb_function(mgr, 3, interleaved=False)
+        g = mgr.var("x0") ^ mgr.var("y2")
+        order, size = sift_order([f, g])
+        assert size <= order_size([f, g], sorted(f.support() | g.support()))
+
+    def test_empty_rejected(self):
+        with pytest.raises(BddError):
+            sift_order([])

@@ -1,0 +1,191 @@
+"""Tests for per-latch clock phases (useful skew).
+
+The paper's closing remark points the TBF formulation at "the synthesis
+of high speed sequential circuits"; useful skew is the classic instance:
+delaying a latch's clock re-balances unequal register-to-register paths
+and lowers the minimum cycle time.  The extension folds the phase
+difference into every effective path delay (``k + φ_src - φ_dst``) and
+everything else — breakpoints, decision algorithm, interval algebra —
+applies unchanged.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError, DelayModelError
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
+from repro.mct import build_discretized_machine, minimum_cycle_time
+from repro.mct.discretize import TimedLeaf
+from repro.logic.delays import Interval
+from repro.sim import ClockedSimulator
+
+
+def unbalanced_pipe() -> tuple[Circuit, DelayMap]:
+    """u -(6)-> q1 -(2)-> q2: common-clock MCT is 6."""
+    gates = [
+        Gate("d1", GateType.BUF, ("u",)),
+        Gate("d2", GateType.BUF, ("q1",)),
+    ]
+    circuit = Circuit(
+        "pipe", ["u"], ["q2"], gates, [Latch("q1", "d1"), Latch("q2", "d2")]
+    )
+    pins = {("d1", 0): PinTiming.symmetric(6), ("d2", 0): PinTiming.symmetric(2)}
+    return circuit, DelayMap(circuit, pins)
+
+
+class TestDelayMapPhases:
+    def test_default_zero(self):
+        circuit, delays = unbalanced_pipe()
+        assert delays.phase("q1") == 0
+        assert not delays.has_phases
+
+    def test_with_phases(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        assert skewed.phase("q1") == 2
+        assert skewed.phase("q2") == 0
+        assert skewed.has_phases
+
+    def test_unknown_latch_rejected(self):
+        circuit, delays = unbalanced_pipe()
+        with pytest.raises(DelayModelError):
+            delays.with_phases({"ghost": 1})
+
+    def test_negative_phase_rejected(self):
+        circuit, delays = unbalanced_pipe()
+        with pytest.raises(DelayModelError):
+            delays.with_phases({"q1": -1})
+
+    def test_phases_survive_widen_and_setup(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        assert skewed.widen(Fraction(9, 10)).phase("q1") == 2
+        assert skewed.with_setup_hold(1, 0).phase("q1") == 2
+        assert skewed.at_max().phase("q1") == 2
+
+
+class TestDiscretizationWithPhases:
+    def test_effective_delays_folded(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        machine = build_discretized_machine(circuit, skewed)
+        totals = sorted(tl.total.lo for tl in machine.timed_leaves)
+        # u->q1: 6 - 2 = 4; q1->q2: 2 + 2 = 4; q2->PO: 0.
+        assert totals == [0, 4, 4]
+
+    def test_race_rejected(self):
+        circuit, delays = unbalanced_pipe()
+        # Destination clocked 6+ after launch: the data races through.
+        with pytest.raises(AnalysisError):
+            build_discretized_machine(circuit, delays.with_phases({"q1": 6}))
+
+    def test_fold_identity(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        machine = build_discretized_machine(circuit, skewed)
+        assert TimedLeaf("u", Interval.point(4)) in machine.timed_leaves
+
+
+class TestUsefulSkew:
+    def test_common_clock_bound(self):
+        circuit, delays = unbalanced_pipe()
+        assert minimum_cycle_time(circuit, delays).mct_upper_bound == 6
+
+    def test_skew_balances_pipeline(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        result = minimum_cycle_time(circuit, skewed)
+        assert result.mct_upper_bound == 4
+
+    def test_partial_skew_partial_gain(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 1})
+        result = minimum_cycle_time(circuit, skewed)
+        assert result.mct_upper_bound == 5  # u->q1 becomes the 5 path
+
+    def test_skew_with_interval_delays(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2}).widen(Fraction(9, 10))
+        result = minimum_cycle_time(circuit, skewed)
+        assert result.mct_upper_bound == 4  # sup of the failing window
+
+    def test_simulation_confirms_skewed_bound(self):
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        sim = ClockedSimulator(circuit, skewed)
+        rng = random.Random(11)
+        stimulus = [{"u": rng.random() < 0.5} for _ in range(24)]
+        init = {"q1": False, "q2": False}
+        # Safe at the skewed bound (4) where the common clock needs 6...
+        assert sim.matches_ideal(4, init, stimulus)
+        assert sim.matches_ideal(5, init, stimulus)
+        # ...and genuinely unsafe below it.
+        assert not sim.matches_ideal(3, init, stimulus)
+
+    def test_simulation_without_skew_fails_at_4(self):
+        circuit, delays = unbalanced_pipe()
+        sim = ClockedSimulator(circuit, delays)
+        rng = random.Random(12)
+        stimulus = [{"u": rng.random() < 0.5} for _ in range(24)]
+        init = {"q1": False, "q2": False}
+        assert not sim.matches_ideal(4, init, stimulus)
+        assert sim.matches_ideal(6, init, stimulus)
+
+
+class TestPhasePropagation:
+    """Regression: every DelayMap copy path must keep the phases."""
+
+    def test_sample_delay_map_keeps_phases(self):
+        from repro.sim import sample_delay_map
+
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2}).widen(Fraction(9, 10))
+        fixed = sample_delay_map(skewed, random.Random(0))
+        assert fixed.phase("q1") == 2
+
+    def test_compose_keeps_phases(self):
+        from repro.benchgen import merge, prefix_circuit
+
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        renamed, rdelays = prefix_circuit(circuit, skewed, "x_")
+        assert rdelays.phase("x_q1") == 2
+        merged, mdelays = merge("m", [(circuit, skewed)], prefixes=["a_"])
+        assert mdelays.phase("a_q1") == 2
+
+    def test_skewed_simulation_under_variation(self):
+        """End-to-end: skewed + widened + sampled realization at the
+        certified bound behaves ideally (the bug this guards against
+        made the realization silently drop the skew)."""
+        from repro.sim import sample_delay_map
+
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2}).widen(Fraction(9, 10))
+        bound = minimum_cycle_time(circuit, skewed).mct_upper_bound
+        rng = random.Random(7)
+        stimulus = [{"u": rng.random() < 0.5} for _ in range(32)]
+        for _ in range(3):
+            realization = sample_delay_map(skewed, rng)
+            sim = ClockedSimulator(circuit, realization)
+            assert sim.matches_ideal(bound, {"q1": False, "q2": False}, stimulus)
+
+
+class TestGuards:
+    def test_explicit_machines_reject_phases(self):
+        from repro.fsm import tau_machine
+
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        with pytest.raises(AnalysisError):
+            tau_machine(circuit, skewed, Fraction(6))
+
+    def test_exact_lp_rejects_phases(self):
+        from repro.mct.lp_exact import ExactFeasibility
+
+        circuit, delays = unbalanced_pipe()
+        skewed = delays.with_phases({"q1": 2})
+        machine = build_discretized_machine(circuit, skewed)
+        with pytest.raises(AnalysisError):
+            ExactFeasibility(machine)

@@ -1,0 +1,222 @@
+"""Tests for topological / floating / transition delays.
+
+The anchor is the paper's Example 2 (Fig. 2): topological 5, floating
+(single-vector) 4, transition (2-vector) 2 — exact published values.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.delay import (
+    FloatingResult,
+    floating_delay,
+    longest_topological_delay,
+    min_register_path,
+    shortest_topological_delay,
+    topological_profile,
+    transition_delay,
+    validity_report,
+)
+from repro.errors import Budget, ResourceBudgetExceeded
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+    unit_delays,
+)
+
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestTopological:
+    def test_fig2(self):
+        circuit, delays = fig2_circuit()
+        assert longest_topological_delay(circuit, delays) == 5
+        assert shortest_topological_delay(circuit, delays) == Fraction(3, 2)
+
+    def test_profile_per_root(self):
+        circuit, delays = fig2_circuit()
+        profile = topological_profile(circuit, delays)
+        assert profile["g"] == (Fraction(3, 2), Fraction(5))
+
+    def test_interval_delays_use_envelopes(self):
+        circuit, delays = fig2_circuit()
+        widened = delays.widen(Fraction(1, 2))  # 50%..100%
+        assert longest_topological_delay(circuit, widened) == 5
+        assert shortest_topological_delay(circuit, widened) == Fraction(3, 4)
+
+    def test_combinational_circuit(self):
+        gates = [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("n1", "a")),
+        ]
+        circuit = Circuit("cc", ["a", "b"], ["y"], gates)
+        delays = unit_delays(circuit)
+        assert longest_topological_delay(circuit, delays) == 2
+        assert shortest_topological_delay(circuit, delays) == 1
+
+    def test_empty_roots(self):
+        circuit = Circuit("nothing", ["a"], [], [])
+        delays = unit_delays(circuit)
+        assert longest_topological_delay(circuit, delays) == 0
+
+
+class TestFloating:
+    def test_fig2_matches_paper(self):
+        circuit, delays = fig2_circuit()
+        result = floating_delay(circuit, delays)
+        assert result.delay == 4
+        assert result.per_root == {"g": Fraction(4)}
+
+    def test_no_false_path_equals_topological(self):
+        # A plain AND: floating delay = topological delay.
+        gates = [Gate("y", GateType.AND, ("a", "b"))]
+        circuit = Circuit("and2", ["a", "b"], ["y"], gates)
+        pins = {("y", 0): PinTiming.symmetric(3), ("y", 1): PinTiming.symmetric(1)}
+        delays = DelayMap(circuit, pins)
+        assert floating_delay(circuit, delays).delay == 3
+
+    def test_constant_cone_has_zero_delay(self):
+        gates = [
+            Gate("n", GateType.NOT, ("a",)),
+            Gate("y", GateType.OR, ("a", "n")),  # tautology... but timed!
+        ]
+        circuit = Circuit("taut", ["a"], ["y"], gates)
+        pins = {
+            ("n", 0): PinTiming.symmetric(1),
+            ("y", 0): PinTiming.symmetric(1),
+            ("y", 1): PinTiming.symmetric(1),
+        }
+        delays = DelayMap(circuit, pins)
+        # y(t) = a(t-1) + a'(t-2): NOT a constant as a timed function —
+        # a rising a can glitch y low transiently; floating delay is 2.
+        assert floating_delay(circuit, delays).delay == 2
+
+    def test_truly_constant_cone(self):
+        gates = [
+            Gate("n", GateType.NOT, ("a",)),
+            Gate("y", GateType.OR, ("b", "c")),
+        ]
+        circuit = Circuit("cc", ["a", "b", "c"], ["y", "n"], gates)
+        pins = {
+            ("n", 0): PinTiming.symmetric(1),
+            ("y", 0): PinTiming.symmetric(2),
+            ("y", 1): PinTiming.symmetric(2),
+        }
+        delays = DelayMap(circuit, pins)
+        result = floating_delay(circuit, delays, roots=["y"])
+        assert result.delay == 2
+
+    def test_interval_delays_settle_at_latest(self):
+        gates = [Gate("y", GateType.BUF, ("a",))]
+        circuit = Circuit("b", ["a"], ["y"], gates)
+        pins = {("y", 0): PinTiming.symmetric(Interval.of(2, 3))}
+        delays = DelayMap(circuit, pins)
+        assert floating_delay(circuit, delays).delay == 3
+
+    def test_budget(self):
+        circuit, delays = fig2_circuit()
+        with pytest.raises(ResourceBudgetExceeded):
+            floating_delay(circuit, delays, budget=Budget(limit=2))
+
+    def test_result_type(self):
+        circuit, delays = fig2_circuit()
+        result = floating_delay(circuit, delays)
+        assert isinstance(result, FloatingResult)
+        assert result.comparisons >= 1
+
+
+class TestTransition:
+    def test_fig2_matches_paper(self):
+        """The famous incorrect bound: 2-vector delay = 2 < MCT 2.5."""
+        circuit, delays = fig2_circuit()
+        result = transition_delay(circuit, delays)
+        assert result.delay == 2
+        assert result.per_root == {"g": Fraction(2)}
+
+    def test_no_false_path_equals_topological(self):
+        gates = [Gate("y", GateType.AND, ("a", "b"))]
+        circuit = Circuit("and2", ["a", "b"], ["y"], gates)
+        pins = {("y", 0): PinTiming.symmetric(3), ("y", 1): PinTiming.symmetric(1)}
+        delays = DelayMap(circuit, pins)
+        assert transition_delay(circuit, delays).delay == 3
+
+    def test_static_cone_zero_delay(self):
+        # y = BUF(a) where V1 = V2 forced? No: delay is 1 because the
+        # vectors may differ. A cone ignoring its inputs has delay 0.
+        gates = [Gate("y", GateType.CONST1, ())]
+        circuit = Circuit("k", [], ["y"], gates)
+        delays = DelayMap(circuit, {})
+        assert transition_delay(circuit, delays).delay == 0
+
+    def test_interval_straddling_uses_choice(self):
+        # y = XOR(buf_fast(a), buf_slow(a)) with overlapping windows:
+        # transitions can appear until the slow copy's latest arrival.
+        gates = [
+            Gate("f", GateType.BUF, ("a",)),
+            Gate("s", GateType.BUF, ("a",)),
+            Gate("y", GateType.XOR, ("f", "s")),
+        ]
+        circuit = Circuit("x", ["a"], ["y"], gates)
+        pins = {
+            ("f", 0): PinTiming.symmetric(Interval.of(1, 2)),
+            ("s", 0): PinTiming.symmetric(Interval.of(3, 4)),
+            ("y", 0): PinTiming.symmetric(0),
+            ("y", 1): PinTiming.symmetric(0),
+        }
+        delays = DelayMap(circuit, pins)
+        assert transition_delay(circuit, delays).delay == 4
+
+    def test_transition_le_floating_on_fig2(self):
+        circuit, delays = fig2_circuit()
+        t = transition_delay(circuit, delays).delay
+        f = floating_delay(circuit, delays).delay
+        assert t <= f
+
+
+class TestValidity:
+    def test_fig2_report(self):
+        circuit, delays = fig2_circuit()
+        report = validity_report(circuit, delays)
+        assert report.topological == 5
+        assert report.floating == 4
+        assert report.transition == 2
+        assert report.shortest_path == Fraction(3, 2)
+        # Transition 2 < 5/2: NOT certified (and indeed incorrect).
+        assert not report.transition_certified
+        assert report.transition_bound is None
+        # Zero hold time: Theorem 1 bound valid.
+        assert report.hold_ok
+        assert report.floating_bound == 4
+
+    def test_hold_violation_voids_floating_bound(self):
+        circuit, delays = fig2_circuit()
+        tight = delays.with_setup_hold(setup=0, hold=2)
+        report = validity_report(circuit, tight)
+        assert not report.hold_ok          # shortest path 1.5 < hold 2
+        assert report.floating_bound is None
+
+    def test_setup_added_to_floating_bound(self):
+        circuit, delays = fig2_circuit()
+        report = validity_report(circuit, delays.with_setup_hold(setup=1, hold=0))
+        assert report.floating_bound == 5
+
+    def test_certified_transition(self):
+        gates = [Gate("y", GateType.AND, ("a", "b"))]
+        circuit = Circuit("and2", ["a", "b"], ["y"], gates)
+        delays = unit_delays(circuit)
+        report = validity_report(circuit, delays)
+        assert report.transition_certified
+        assert report.transition_bound == 1
+
+    def test_min_register_path_includes_latch_delay(self):
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        circuit = Circuit("t", [], [], gates, [Latch("q", "d")])
+        pins = {("d", 0): PinTiming.symmetric(2)}
+        delays = DelayMap(circuit, pins, latch_delay={"q": Interval.point(1)})
+        assert min_register_path(circuit, delays) == 3

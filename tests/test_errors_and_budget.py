@@ -1,0 +1,73 @@
+"""Unit tests for the exception hierarchy and resource budgets."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        for exc_type in (
+            errors.CircuitError,
+            errors.BenchParseError,
+            errors.DelayModelError,
+            errors.BddError,
+            errors.TbfError,
+            errors.AnalysisError,
+            errors.InfeasibleError,
+            errors.ResourceBudgetExceeded,
+        ):
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_bench_parse_error_carries_line(self):
+        err = errors.BenchParseError("bad token", line_no=42)
+        assert "line 42" in str(err)
+        assert err.line_no == 42
+
+    def test_bench_parse_error_without_line(self):
+        err = errors.BenchParseError("bad token")
+        assert str(err) == "bad token"
+        assert err.line_no is None
+
+    def test_budget_exceeded_message(self):
+        err = errors.ResourceBudgetExceeded("bdd nodes", 100)
+        assert "bdd nodes" in str(err)
+        assert err.limit == 100
+
+
+class TestBudget:
+    def test_charge_until_limit(self):
+        budget = errors.Budget(limit=3, resource="work")
+        budget.charge()
+        budget.charge(2)
+        assert budget.remaining == 0
+        with pytest.raises(errors.ResourceBudgetExceeded):
+            budget.charge()
+
+    def test_unlimited(self):
+        budget = errors.Budget()
+        budget.charge(10**9)
+        assert budget.remaining is None
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            errors.Budget(limit=0)
+        with pytest.raises(ValueError):
+            errors.Budget(limit=-5)
+
+    def test_shared_across_phases(self):
+        """One budget bounds a multi-phase computation end to end."""
+        budget = errors.Budget(limit=10)
+        for _ in range(2):
+            budget.charge(4)
+        assert budget.remaining == 2
+        with pytest.raises(errors.ResourceBudgetExceeded):
+            budget.charge(3)
+
+    def test_used_keeps_counting(self):
+        budget = errors.Budget(limit=2)
+        budget.charge(2)
+        with pytest.raises(errors.ResourceBudgetExceeded):
+            budget.charge(5)
+        assert budget.used == 7  # records the attempted total
+        assert budget.remaining == 0

@@ -1,0 +1,36 @@
+"""Every shipped example must run clean (they are part of the API)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # says something
+
+
+def test_example_inventory():
+    """At least the documented quartet plus the extension demos."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "iscas_table",
+        "config_register_pessimism",
+        "bench_netlist_flow",
+        "useful_skew",
+        "level_sensitive_clocking",
+    } <= names

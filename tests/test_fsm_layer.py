@@ -1,0 +1,165 @@
+"""Tests for reachability, STG extraction, and exact equivalence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.errors import AnalysisError
+from repro.fsm import (
+    enumerate_reachable,
+    equivalent_to_steady,
+    extract_stg,
+    machines_equivalent,
+    minimize_mealy,
+    reachable_state_count,
+    reachable_states,
+    steady_machine,
+    tau_machine,
+)
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming, unit_delays
+
+from tests.test_logic_netlist import make_sr_counter, make_toggle
+from tests.test_timed_expansion import fig2_circuit
+
+
+def make_onehot_ring() -> Circuit:
+    """3-bit ring shifter: from 100 only rotations are reachable."""
+    gates = [
+        Gate("d0", GateType.BUF, ("q2",)),
+        Gate("d1", GateType.BUF, ("q0",)),
+        Gate("d2", GateType.BUF, ("q1",)),
+    ]
+    return Circuit(
+        "ring3", [], ["q0"], gates,
+        [Latch("q0", "d0"), Latch("q1", "d1"), Latch("q2", "d2")],
+    )
+
+
+class TestReachability:
+    def test_counter_reaches_everything(self):
+        c = make_sr_counter()
+        assert reachable_state_count(c) == 4
+
+    def test_ring_reaches_three_states(self):
+        c = make_onehot_ring()
+        count = reachable_state_count(
+            c, initial_state={"q0": True, "q1": False, "q2": False}
+        )
+        assert count == 3
+
+    def test_ring_from_zero_is_stuck(self):
+        c = make_onehot_ring()
+        assert reachable_state_count(c) == 1  # all-zero rotates to itself
+
+    def test_reachable_bdd_semantics(self):
+        c = make_onehot_ring()
+        mgr = BddManager()
+        reached = reachable_states(
+            c, initial_state={"q0": True, "q1": False, "q2": False}, manager=mgr
+        )
+        assert reached.evaluate({"q0": True, "q1": False, "q2": False})
+        assert reached.evaluate({"q0": False, "q1": True, "q2": False})
+        assert not reached.evaluate({"q0": True, "q1": True, "q2": False})
+
+    def test_matches_explicit_enumeration(self):
+        c = make_sr_counter()
+        mgr = BddManager()
+        reached = reachable_states(c, manager=mgr)
+        explicit = enumerate_reachable(c)
+        for q0 in (False, True):
+            for q1 in (False, True):
+                symbolic = reached.evaluate({"q0": q0, "q1": q1})
+                assert symbolic == ((q0, q1) in explicit)
+
+    def test_combinational_rejected(self):
+        c = Circuit("comb", ["a"], ["a"], [])
+        with pytest.raises(AnalysisError):
+            reachable_states(c)
+
+    def test_iteration_cap(self):
+        c = make_sr_counter()
+        with pytest.raises(AnalysisError):
+            reachable_states(c, max_iterations=1)
+
+
+class TestStg:
+    def test_toggle_stg(self):
+        g = extract_stg(make_toggle())
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2
+        assert g.has_edge((False,), (True,))
+        assert g.has_edge((True,), (False,))
+
+    def test_counter_stg_edges_carry_io(self):
+        g = extract_stg(make_sr_counter())
+        assert g.number_of_nodes() == 4
+        # Each state has 2 outgoing edges (en = 0 / 1).
+        assert all(g.out_degree(n) == 2 for n in g.nodes)
+        edge = next(iter(g.edges(data=True)))
+        assert "input" in edge[2] and "output" in edge[2]
+
+    def test_input_cap(self):
+        c = Circuit(
+            "wide", [f"u{i}" for i in range(20)], [],
+            [Gate("d", GateType.OR, tuple(f"u{i}" for i in range(20)))],
+            [Latch("q", "d")],
+        )
+        with pytest.raises(AnalysisError):
+            enumerate_reachable(c, max_inputs=8)
+
+
+class TestExplicitMachines:
+    def test_steady_machine_matches_ideal_simulation(self):
+        c = make_sr_counter()
+        delays = unit_delays(c)
+        m = steady_machine(c, delays)
+        state = m.initial
+        # Drive en=1 for 4 cycles; outputs are the *sampled* FF values.
+        outs = []
+        for _ in range(4):
+            state, out = m.step(state, (True,))
+            outs.append(out)
+        # PO = (q0, q1) read combinationally at age 1 -> previous state.
+        states, _ = c.simulate({"q0": False, "q1": False}, [{"en": True}] * 4)
+        expected = [(False, False)] + [
+            (s["q0"], s["q1"]) for s in states[:-1]
+        ]
+        assert outs == expected
+
+    def test_tau_machine_at_L_equals_steady(self):
+        circuit, delays = fig2_circuit()
+        left = tau_machine(circuit, delays, Fraction(5))
+        right = steady_machine(circuit, delays)
+        assert machines_equivalent(left, right)
+
+    def test_fig2_exact_equivalence_boundary(self):
+        """Ground truth for Example 2: equivalent at 2.5, not at 2."""
+        circuit, delays = fig2_circuit()
+        assert equivalent_to_steady(circuit, delays, Fraction(5, 2))
+        assert equivalent_to_steady(circuit, delays, Fraction(4))
+        assert not equivalent_to_steady(circuit, delays, Fraction(2))
+
+    def test_interval_delays_rejected(self):
+        circuit, delays = fig2_circuit()
+        with pytest.raises(AnalysisError):
+            tau_machine(circuit, delays.widen(Fraction(9, 10)), Fraction(4))
+
+    def test_minimize_toggle(self):
+        c = make_toggle()
+        delays = unit_delays(c)
+        n, classes = minimize_mealy(steady_machine(c, delays))
+        assert n == 2
+        assert len(classes) == 2
+
+    def test_minimize_collapses_equivalent_states(self):
+        # A 2-bit machine whose output ignores q1: q1 differences are
+        # unobservable -> minimization halves the state count.
+        gates = [
+            Gate("d0", GateType.NOT, ("q0",)),
+            Gate("d1", GateType.XOR, ("q0", "q1")),
+            Gate("y", GateType.BUF, ("q0",)),
+        ]
+        c = Circuit("half", [], ["y"], gates, [Latch("q0", "d0"), Latch("q1", "d1")])
+        n, _ = minimize_mealy(steady_machine(c, unit_delays(c)))
+        assert n == 2

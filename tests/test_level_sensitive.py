@@ -1,0 +1,93 @@
+"""Tests for the borrow-free level-sensitive (transparent latch) model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
+from repro.mct.level_sensitive import LevelSensitiveResult, level_sensitive_mct
+
+from tests.test_clock_phases import unbalanced_pipe
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestRange:
+    def test_fig2_range(self):
+        circuit, delays = fig2_circuit()
+        result = level_sensitive_mct(circuit, delays)
+        # Edge bound 2.5; shortest path 1.5 -> race limit 1.5 / 0.5 = 3.
+        assert result.min_period == Fraction(5, 2)
+        assert result.max_period == 3
+        assert result.feasible
+        assert result.valid_at(Fraction(5, 2))
+        assert result.valid_at(3)
+        assert not result.valid_at(2)      # below the sequential bound
+        assert not result.valid_at(4)      # flush-through race
+
+    def test_duty_trades_the_window(self):
+        circuit, delays = fig2_circuit()
+        narrow = level_sensitive_mct(circuit, delays, duty=Fraction(1, 4))
+        wide = level_sensitive_mct(circuit, delays, duty=Fraction(3, 4))
+        # Narrower transparency -> larger race limit.
+        assert narrow.max_period == 6
+        assert wide.max_period == 2
+        assert narrow.feasible
+        assert not wide.feasible           # 2 < 2.5: no safe period
+
+    def test_pipe_infeasible_without_padding(self):
+        circuit, delays = unbalanced_pipe()
+        result = level_sensitive_mct(circuit, delays)
+        # Edge bound 6; shortest path is the 2ns stage -> limit 4 < 6.
+        assert result.min_period == 6
+        assert result.max_period == 4
+        assert not result.feasible
+
+    def test_padding_restores_feasibility(self):
+        # Pad the fast stage to 4ns: limit 8 >= bound 6.
+        gates = [
+            Gate("d1", GateType.BUF, ("u",)),
+            Gate("d2", GateType.BUF, ("q1",)),
+        ]
+        circuit = Circuit(
+            "pipe", ["u"], ["q2"], gates, [Latch("q1", "d1"), Latch("q2", "d2")]
+        )
+        pins = {("d1", 0): PinTiming.symmetric(6), ("d2", 0): PinTiming.symmetric(4)}
+        delays = DelayMap(circuit, pins)
+        result = level_sensitive_mct(circuit, delays)
+        assert result.feasible
+        assert result.min_period == 6 and result.max_period == 8
+
+    def test_interval_delays_use_worst_case_ends(self):
+        circuit, delays = fig2_circuit()
+        widened = delays.widen(Fraction(9, 10))
+        result = level_sensitive_mct(circuit, widened)
+        # Race limit from the *minimum* short path: 0.9·1.5/0.5 = 2.7.
+        assert result.max_period == Fraction(27, 10)
+        assert result.min_period <= Fraction(5, 2)
+
+
+class TestGuards:
+    def test_bad_duty(self):
+        circuit, delays = fig2_circuit()
+        for duty in (0, 1, Fraction(3, 2)):
+            with pytest.raises(AnalysisError):
+                level_sensitive_mct(circuit, delays, duty=duty)
+
+    def test_phases_rejected(self):
+        circuit, delays = unbalanced_pipe()
+        with pytest.raises(AnalysisError):
+            level_sensitive_mct(circuit, delays.with_phases({"q1": 1}))
+
+    def test_combinational_rejected(self):
+        circuit = Circuit("c", ["a"], ["y"], [Gate("y", GateType.NOT, ("a",))])
+        delays = DelayMap(circuit, {("y", 0): PinTiming.symmetric(1)})
+        with pytest.raises(AnalysisError):
+            level_sensitive_mct(circuit, delays)
+
+    def test_result_carries_edge_analysis(self):
+        circuit, delays = fig2_circuit()
+        result = level_sensitive_mct(circuit, delays)
+        assert isinstance(result, LevelSensitiveResult)
+        assert result.edge_result.failure_found
+        assert result.shortest_path == Fraction(3, 2)

@@ -1,0 +1,165 @@
+"""Tests for the BLIF reader/writer."""
+
+import itertools
+
+import pytest
+
+from repro.errors import BenchParseError
+from repro.logic import Circuit, Gate, GateType, Latch, parse_bench
+from repro.logic.blif import parse_blif, write_blif
+
+from tests.test_logic_bench import S27_TEXT
+
+
+SIMPLE = """\
+# a tiny mealy machine
+.model tiny
+.inputs a b
+.outputs y
+.latch d q re clk 0
+.names a b t
+11 1
+.names t q d
+1- 1
+-1 1
+.names q y
+0 1
+.end
+"""
+
+
+class TestParse:
+    def test_simple_structure(self):
+        c = parse_blif(SIMPLE)
+        assert c.name == "tiny"
+        assert c.inputs == ("a", "b")
+        assert c.outputs == ("y",)
+        assert set(c.latches) == {"q"}
+        assert c.blif_initial_state == {"q": False}
+
+    def test_cover_semantics(self):
+        c = parse_blif(SIMPLE)
+        # t = a AND b; d = t OR q; y = NOT q.
+        values = c.eval_combinational({"a": True, "b": True, "q": False})
+        assert values["t"] is True
+        assert values["d"] is True
+        assert values["y"] is True
+        values = c.eval_combinational({"a": True, "b": False, "q": False})
+        assert values["d"] is False
+
+    def test_offset_cover(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        c = parse_blif(text)
+        # Single cube with output 0: y = NOT(a AND b).
+        for a, b in itertools.product([False, True], repeat=2):
+            assert c.eval_combinational({"a": a, "b": b})["y"] == (not (a and b))
+
+    def test_constant_covers(self):
+        text = (
+            ".model m\n.outputs y z w\n"
+            ".names y\n1\n"
+            ".names z\n"
+            ".names w\n# nothing\n.end\n"
+        )
+        c = parse_blif(text)
+        values = c.eval_combinational({})
+        assert values["y"] is True
+        assert values["z"] is False
+        assert values["w"] is False
+
+    def test_dont_care_columns(self):
+        text = ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-0 1\n.end\n"
+        c = parse_blif(text)
+        assert c.eval_combinational({"a": True, "b": False, "c": False})["y"]
+        assert not c.eval_combinational({"a": True, "b": False, "c": True})["y"]
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        c = parse_blif(text)
+        assert c.inputs == ("a", "b")
+
+    def test_latch_without_init(self):
+        text = ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n"
+        c = parse_blif(text)
+        assert c.blif_initial_state == {"q": None}
+
+    def test_mixed_polarity_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"
+        with pytest.raises(BenchParseError):
+            parse_blif(text)
+
+    def test_cube_width_mismatch(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"
+        with pytest.raises(BenchParseError):
+            parse_blif(text)
+
+    def test_cube_outside_names(self):
+        with pytest.raises(BenchParseError):
+            parse_blif(".model m\n11 1\n.end\n")
+
+    def test_subckt_unsupported(self):
+        with pytest.raises(BenchParseError):
+            parse_blif(".model m\n.subckt foo a=b\n.end\n")
+
+    def test_bad_cube_char(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\nX 1\n.end\n"
+        with pytest.raises(BenchParseError):
+            parse_blif(text)
+
+
+class TestWriteRoundTrip:
+    @pytest.mark.parametrize(
+        "gtype,n",
+        [
+            (GateType.AND, 2), (GateType.OR, 3), (GateType.NAND, 2),
+            (GateType.NOR, 2), (GateType.XOR, 2), (GateType.XNOR, 3),
+            (GateType.NOT, 1), (GateType.BUF, 1),
+        ],
+    )
+    def test_every_gate_type_round_trips(self, gtype, n):
+        inputs = [f"i{k}" for k in range(n)]
+        circuit = Circuit(
+            "one", inputs, ["y"], [Gate("y", gtype, tuple(inputs))]
+        )
+        back = parse_blif(write_blif(circuit))
+        for bits in itertools.product([False, True], repeat=n):
+            env = dict(zip(inputs, bits))
+            assert (
+                back.eval_combinational(env)["y"]
+                == circuit.eval_combinational(env)["y"]
+            )
+
+    def test_s27_bench_to_blif_round_trip(self):
+        original = parse_bench(S27_TEXT, name="s27")
+        back = parse_blif(write_blif(original, initial_state={
+            q: False for q in original.state_nets
+        }))
+        assert set(back.latches) == set(original.latches)
+        assert back.blif_initial_state == {q: False for q in original.state_nets}
+        # Functional equivalence over a stimulus sweep.
+        stim = [
+            {"G0": bool(i & 1), "G1": bool(i & 2), "G2": bool(i & 4), "G3": bool(i & 8)}
+            for i in range(16)
+        ]
+        init = {q: False for q in original.state_nets}
+        _, out1 = original.simulate(init, stim)
+        _, out2 = back.simulate(init, stim)
+        assert out1 == out2
+
+    def test_constants_round_trip(self):
+        circuit = Circuit(
+            "k", [], ["y", "z"],
+            [Gate("y", GateType.CONST1, ()), Gate("z", GateType.CONST0, ())],
+        )
+        back = parse_blif(write_blif(circuit))
+        values = back.eval_combinational({})
+        assert values["y"] is True and values["z"] is False
+
+    def test_latch_init_written(self):
+        circuit = Circuit(
+            "m", [], ["q"], [Gate("d", GateType.NOT, ("q",))], [Latch("q", "d")]
+        )
+        text = write_blif(circuit, initial_state={"q": True})
+        assert ".latch d q re clk 1" in text
+        back = parse_blif(text)
+        assert back.blif_initial_state == {"q": True}

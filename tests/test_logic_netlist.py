@@ -1,0 +1,205 @@
+"""Unit tests for gates, netlists, and functional simulation."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.logic import Circuit, Gate, GateType, Latch, eval_gate
+from repro.logic.gate import gate_bdd, gate_type_from_name
+from repro.bdd import BddManager
+
+
+class TestGateSemantics:
+    @pytest.mark.parametrize(
+        "gtype,inputs,expected",
+        [
+            (GateType.AND, [True, True], True),
+            (GateType.AND, [True, False], False),
+            (GateType.OR, [False, False], False),
+            (GateType.OR, [True, False], True),
+            (GateType.NAND, [True, True], False),
+            (GateType.NOR, [False, False], True),
+            (GateType.XOR, [True, False], True),
+            (GateType.XOR, [True, True], False),
+            (GateType.XNOR, [True, True], True),
+            (GateType.NOT, [True], False),
+            (GateType.BUF, [True], True),
+            (GateType.CONST0, [], False),
+            (GateType.CONST1, [], True),
+        ],
+    )
+    def test_eval_gate(self, gtype, inputs, expected):
+        assert eval_gate(gtype, inputs) is expected
+
+    def test_nary_parity_gates(self):
+        assert eval_gate(GateType.XOR, [True, True, True]) is True
+        assert eval_gate(GateType.XNOR, [True, True, True]) is False
+
+    def test_arity_checks(self):
+        with pytest.raises(CircuitError):
+            eval_gate(GateType.NOT, [True, False])
+        with pytest.raises(CircuitError):
+            eval_gate(GateType.AND, [True])
+        with pytest.raises(CircuitError):
+            eval_gate(GateType.CONST0, [True])
+
+    def test_gate_type_aliases(self):
+        assert gate_type_from_name("BUFF") is GateType.BUF
+        assert gate_type_from_name("buff") is GateType.BUF
+        assert gate_type_from_name("inv") is GateType.NOT
+        assert gate_type_from_name("nand") is GateType.NAND
+        with pytest.raises(CircuitError):
+            gate_type_from_name("MAJ3")
+
+    @pytest.mark.parametrize("gtype", [g for g in GateType if not g.is_constant])
+    def test_gate_bdd_matches_eval(self, gtype):
+        n = gtype.min_arity if gtype.max_arity == 1 else 3
+        mgr = BddManager()
+        names = [f"i{k}" for k in range(n)]
+        fs = mgr.add_vars(names)
+        f = gate_bdd(gtype, mgr, fs)
+        for bits in itertools.product([False, True], repeat=n):
+            env = dict(zip(names, bits))
+            assert f.evaluate(env) == eval_gate(gtype, list(bits))
+
+    def test_gate_bdd_constants(self):
+        mgr = BddManager()
+        assert gate_bdd(GateType.CONST0, mgr, []).is_zero()
+        assert gate_bdd(GateType.CONST1, mgr, []).is_one()
+
+
+def make_toggle() -> Circuit:
+    """One FF whose input is its inverted output: a divide-by-two."""
+    return Circuit(
+        name="toggle",
+        inputs=[],
+        outputs=["q"],
+        gates=[Gate("d", GateType.NOT, ("q",))],
+        latches=[Latch("q", "d")],
+    )
+
+
+def make_sr_counter() -> Circuit:
+    """Two-bit counter with an enable input."""
+    gates = [
+        Gate("n0", GateType.XOR, ("q0", "en")),
+        Gate("carry", GateType.AND, ("q0", "en")),
+        Gate("n1", GateType.XOR, ("q1", "carry")),
+    ]
+    return Circuit(
+        name="count2",
+        inputs=["en"],
+        outputs=["q0", "q1"],
+        gates=gates,
+        latches=[Latch("q0", "n0"), Latch("q1", "n1")],
+    )
+
+
+class TestCircuitStructure:
+    def test_stats_and_repr(self):
+        c = make_sr_counter()
+        assert c.stats == {"inputs": 1, "outputs": 2, "gates": 3, "latches": 2}
+        assert "count2" in repr(c)
+
+    def test_leaves_and_roots(self):
+        c = make_sr_counter()
+        assert c.leaves == ("en", "q0", "q1")
+        assert set(c.combinational_roots) == {"n0", "n1", "q0", "q1"}
+
+    def test_duplicate_gate_driver_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(
+                "bad", ["a"], [],
+                gates=[Gate("x", GateType.BUF, ("a",)), Gate("x", GateType.NOT, ("a",))],
+            )
+
+    def test_pi_gate_conflict_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a"], [], gates=[Gate("a", GateType.CONST1, ())])
+
+    def test_undriven_net_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a"], [], gates=[Gate("x", GateType.AND, ("a", "ghost"))])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", ["a"], ["ghost"], gates=[])
+
+    def test_undriven_latch_data_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("bad", [], [], gates=[], latches=[Latch("q", "ghost")])
+
+    def test_combinational_cycle_rejected(self):
+        c = Circuit(
+            "cyc", [], [],
+            gates=[Gate("a", GateType.NOT, ("b",)), Gate("b", GateType.NOT, ("a",))],
+        )
+        with pytest.raises(CircuitError):
+            c.topological_order()
+
+    def test_latch_breaks_cycle(self):
+        c = make_toggle()
+        assert c.topological_order() == ["d"]
+
+    def test_topological_order_respects_fanins(self):
+        c = make_sr_counter()
+        order = c.topological_order()
+        assert order.index("carry") < order.index("n1")
+
+    def test_cone(self):
+        c = make_sr_counter()
+        assert c.cone("n1") == ["carry", "n1"]
+        assert c.cone("n0") == ["n0"]
+        assert c.cone_leaves("n1") == ["q1", "q0", "en"]
+
+    def test_cone_of_leaf_is_empty(self):
+        c = make_sr_counter()
+        assert c.cone_leaves("q0") == ["q0"]
+        assert c.cone("q0") == []
+
+    def test_fanout_count(self):
+        c = make_sr_counter()
+        assert c.fanout_count("q0") == 2   # n0 and carry
+        assert c.fanout_count("carry") == 1
+        assert c.fanout_count("n0") == 1   # latched
+        assert c.fanout_count("unused") == 0
+
+    def test_driver_of(self):
+        c = make_sr_counter()
+        assert isinstance(c.driver_of("n0"), Gate)
+        assert isinstance(c.driver_of("q0"), Latch)
+        assert c.driver_of("en") == "en"
+        with pytest.raises(CircuitError):
+            c.driver_of("ghost")
+
+
+class TestFunctionalSimulation:
+    def test_missing_leaf_values(self):
+        c = make_sr_counter()
+        with pytest.raises(CircuitError):
+            c.eval_combinational({"en": True})
+
+    def test_toggle_alternates(self):
+        c = make_toggle()
+        states, outputs = c.simulate({"q": False}, [{}] * 4)
+        assert [s["q"] for s in states] == [True, False, True, False]
+        assert [o["q"] for o in outputs] == [False, True, False, True]
+
+    def test_counter_counts(self):
+        c = make_sr_counter()
+        stimulus = [{"en": True}] * 5
+        states, _ = c.simulate({"q0": False, "q1": False}, stimulus)
+        values = [int(s["q0"]) + 2 * int(s["q1"]) for s in states]
+        assert values == [1, 2, 3, 0, 1]
+
+    def test_counter_holds_when_disabled(self):
+        c = make_sr_counter()
+        states, _ = c.simulate({"q0": True, "q1": False}, [{"en": False}] * 3)
+        assert all(s == {"q0": True, "q1": False} for s in states)
+
+    def test_outputs_reflect_current_cycle(self):
+        c = make_sr_counter()
+        _, outputs = c.simulate({"q0": False, "q1": False}, [{"en": True}])
+        # POs are the FF outputs themselves: sampled *before* the edge.
+        assert outputs[0] == {"q0": False, "q1": False}

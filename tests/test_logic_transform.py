@@ -1,0 +1,138 @@
+"""Tests for structural transforms: sweep, pin splitting, stats."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.delay import floating_delay, longest_topological_delay, transition_delay
+from repro.errors import CircuitError
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+    unit_delays,
+)
+from repro.logic.transform import (
+    circuit_stats,
+    split_asymmetric_pins,
+    sweep_dead_logic,
+)
+from repro.mct import minimum_cycle_time
+from repro.fsm import equivalent_to_steady
+from repro.sim import ClockedSimulator
+
+
+class TestSweep:
+    def test_removes_unobservable(self):
+        gates = [
+            Gate("live", GateType.NOT, ("a",)),
+            Gate("dead", GateType.AND, ("a", "a")),
+            Gate("dead2", GateType.NOT, ("dead",)),
+        ]
+        c = Circuit("s", ["a"], ["live"], gates)
+        swept, sdelays = sweep_dead_logic(c, unit_delays(c))
+        assert set(swept.gates) == {"live"}
+        assert sdelays.pin("live", 0) == PinTiming.symmetric(1)
+
+    def test_keeps_latch_cones(self):
+        gates = [
+            Gate("d", GateType.NOT, ("q",)),
+            Gate("dead", GateType.NOT, ("q",)),
+        ]
+        c = Circuit("s", [], [], gates, [Latch("q", "d")])
+        swept, _ = sweep_dead_logic(c, None)
+        assert set(swept.gates) == {"d"}
+
+    def test_behaviour_preserved(self):
+        gates = [
+            Gate("n1", GateType.AND, ("a", "q")),
+            Gate("junk", GateType.XOR, ("a", "q")),
+            Gate("d", GateType.NOT, ("n1",)),
+        ]
+        c = Circuit("s", ["a"], ["n1"], gates, [Latch("q", "d")])
+        swept, _ = sweep_dead_logic(c)
+        init = {"q": False}
+        stim = [{"a": bool(i % 2)} for i in range(8)]
+        assert c.simulate(init, stim) == swept.simulate(init, stim)
+
+
+class TestSplitAsymmetricPins:
+    def asym_toggle(self):
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        c = Circuit("at", [], ["q"], gates, [Latch("q", "d")])
+        delays = DelayMap(c, {("d", 0): PinTiming.asym(rise=3, fall=5)})
+        return c, delays
+
+    def test_split_makes_symmetric(self):
+        c, delays = self.asym_toggle()
+        split, sdelays = split_asymmetric_pins(c, delays)
+        assert not sdelays.has_asymmetric_pins
+        assert split.stats["gates"] > c.stats["gates"]
+
+    def test_analyses_agree(self):
+        """The decomposition preserves the flattened TBF exactly."""
+        c, delays = self.asym_toggle()
+        split, sdelays = split_asymmetric_pins(c, delays)
+        assert longest_topological_delay(c, delays) == \
+            longest_topological_delay(split, sdelays) == 5
+        assert floating_delay(c, delays).delay == \
+            floating_delay(split, sdelays).delay
+        assert transition_delay(c, delays).delay == \
+            transition_delay(split, sdelays).delay
+        r1 = minimum_cycle_time(c, delays)
+        r2 = minimum_cycle_time(split, sdelays)
+        assert r1.mct_upper_bound == r2.mct_upper_bound
+
+    def test_asymmetric_mct_end_to_end(self):
+        """Asymmetric pins flow through the whole MCT stack, and the
+        exact explicit oracle agrees at the boundary."""
+        c, delays = self.asym_toggle()
+        result = minimum_cycle_time(c, delays)
+        assert result.mct_upper_bound is not None
+        bound = result.mct_upper_bound
+        assert equivalent_to_steady(c, delays, bound)
+
+    def test_simulation_via_split(self):
+        """The simulator rejects asymmetric pins; splitting first makes
+        the timed behaviour simulable."""
+        c, delays = self.asym_toggle()
+        split, sdelays = split_asymmetric_pins(c, delays)
+        bound = minimum_cycle_time(split, sdelays).mct_upper_bound
+        sim = ClockedSimulator(split, sdelays)
+        assert sim.matches_ideal(bound, {"q": False}, [{}] * 10)
+
+    def test_symmetric_circuit_unchanged(self):
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        c = Circuit("t", [], ["q"], gates, [Latch("q", "d")])
+        delays = unit_delays(c)
+        split, sdelays = split_asymmetric_pins(c, delays)
+        assert set(split.gates) == {"d"}
+        assert sdelays.pin("d", 0) == PinTiming.symmetric(1)
+
+    def test_overlapping_intervals_rejected(self):
+        gates = [Gate("d", GateType.BUF, ("q",))]
+        c = Circuit("bad", [], ["q"], gates, [Latch("q", "d")])
+        delays = DelayMap(c, {
+            ("d", 0): PinTiming(rise=Interval.of(1, 4), fall=Interval.of(2, 5))
+        })
+        with pytest.raises(CircuitError):
+            split_asymmetric_pins(c, delays)
+
+
+class TestStats:
+    def test_depth_and_types(self):
+        gates = [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("n2", GateType.NOT, ("n1",)),
+            Gate("n3", GateType.AND, ("n2", "a")),
+        ]
+        c = Circuit("s", ["a", "b"], ["n3"], gates)
+        stats = circuit_stats(c)
+        assert stats.depth == 3
+        assert stats.by_type == {"AND": 2, "NOT": 1}
+        assert stats.gates == 3

@@ -1,0 +1,250 @@
+"""Tests for the minimum-cycle-time core (Example 2 is the anchor)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+)
+from repro.mct import (
+    MctOptions,
+    age_of,
+    age_set,
+    build_discretized_machine,
+    minimum_cycle_time,
+    tau_breakpoints,
+)
+from repro.mct.discretize import TimedLeaf
+
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestAges:
+    def test_age_basic(self):
+        assert age_of(Fraction(4), Fraction(4)) == 1   # arrival at edge counts
+        assert age_of(Fraction(4), Fraction(5)) == 1
+        assert age_of(Fraction(4), Fraction(3)) == 2
+        assert age_of(Fraction(5), Fraction(2)) == 3
+        assert age_of(Fraction(0), Fraction(2)) == 0
+
+    def test_age_requires_positive_tau(self):
+        with pytest.raises(AnalysisError):
+            age_of(Fraction(1), Fraction(0))
+
+    def test_age_set_point(self):
+        assert age_set(Interval.point(4), Fraction(3)) == (2,)
+
+    def test_age_set_interval(self):
+        # k in [3.6, 4] at tau = 3.8: ages ceil(3.6/3.8)=1 .. ceil(4/3.8)=2
+        assert age_set(Interval.of(Fraction(18, 5), 4), Fraction(19, 5)) == (1, 2)
+
+    def test_age_set_wide(self):
+        assert age_set(Interval.of(1, 5), Fraction(1)) == (1, 2, 3, 4, 5)
+
+
+class TestBreakpoints:
+    def test_descending_dedup(self):
+        values = [Fraction(4), Fraction(5), Fraction(2)]
+        stream = tau_breakpoints(values, tau_floor=Fraction(1))
+        got = list(stream)
+        assert got == sorted(set(got), reverse=True)
+        assert got[0] == 5
+        # 2 = 4/2 = 2/1 must appear once.
+        assert got.count(Fraction(2)) == 1
+
+    def test_example2_candidates(self):
+        # Paper: "The first few τ's need to be examined are 4, 2.5, 2, 5/3."
+        got = list(tau_breakpoints([Fraction(3, 2), 2, 4, 5], tau_floor=Fraction(7, 5)))
+        assert got[:6] == [
+            Fraction(5),
+            Fraction(4),
+            Fraction(5, 2),
+            Fraction(2),
+            Fraction(5, 3),
+            Fraction(3, 2),
+        ]
+
+    def test_floor_stops_stream(self):
+        got = list(tau_breakpoints([Fraction(4)], tau_floor=Fraction(1)))
+        assert got == [4, 2, Fraction(4, 3)]
+
+    def test_empty(self):
+        assert list(tau_breakpoints([], tau_floor=None)) == []
+
+
+class TestDiscretizedMachine:
+    def test_fig2_machine(self):
+        circuit, delays = fig2_circuit()
+        machine = build_discretized_machine(circuit, delays)
+        assert machine.L == 5
+        totals = sorted(tl.total.lo for tl in machine.timed_leaves)
+        assert totals == [Fraction(3, 2), 2, 4, 5]
+
+    def test_latch_delay_folded(self):
+        circuit, delays = fig2_circuit()
+        pins = delays._pins  # reuse pin timing, add latch delay
+        delays2 = DelayMap(circuit, pins, latch_delay={"f": Interval.point(1)})
+        machine = build_discretized_machine(circuit, delays2)
+        totals = sorted(tl.total.lo for tl in machine.timed_leaves)
+        assert totals == [Fraction(5, 2), 3, 5, 6]
+        assert machine.L == 6
+
+    def test_setup_folded_into_state_paths_only(self):
+        # A circuit with both a latch path and a PO path.
+        gates = [
+            Gate("d", GateType.NOT, ("q",)),
+            Gate("y", GateType.BUF, ("q",)),
+        ]
+        circuit = Circuit("s", [], ["y"], gates, [Latch("q", "d")])
+        pins = {("d", 0): PinTiming.symmetric(2), ("y", 0): PinTiming.symmetric(1)}
+        delays = DelayMap(circuit, pins).with_setup_hold(setup=Fraction(1, 2), hold=0)
+        machine = build_discretized_machine(circuit, delays)
+        totals = {tl.total.lo for tl in machine.timed_leaves}
+        assert totals == {Fraction(5, 2), 1}  # 2 + setup, PO path unchanged
+
+    def test_zero_delay_register_loop_rejected(self):
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        circuit = Circuit("z", [], [], gates, [Latch("q", "d")])
+        pins = {("d", 0): PinTiming.symmetric(0)}
+        with pytest.raises(AnalysisError):
+            build_discretized_machine(circuit, DelayMap(circuit, pins))
+
+    def test_steady_regime_all_age_one(self):
+        circuit, delays = fig2_circuit()
+        machine = build_discretized_machine(circuit, delays)
+        assert all(v == (1,) for v in machine.steady_regime().values())
+
+    def test_regime_at_tau(self):
+        circuit, delays = fig2_circuit()
+        machine = build_discretized_machine(circuit, delays)
+        regime = machine.regime(Fraction(2))
+        by_delay = {tl.total.lo: ages for tl, ages in regime.items()}
+        assert by_delay == {
+            Fraction(3, 2): (1,),
+            Fraction(2): (1,),
+            Fraction(4): (2,),
+            Fraction(5): (3,),
+        }
+
+
+class TestExample2MinimumCycleTime:
+    """The paper's Example 2: minimum cycle time exactly 2.5."""
+
+    def test_fixed_delays(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        assert result.mct_upper_bound == Fraction(5, 2)
+        assert result.failure_found
+        assert result.failing_window == (Fraction(2), Fraction(5, 2))
+        assert result.L == 5
+
+    def test_candidate_trace_matches_paper(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        trace = [(r.tau, r.status) for r in result.candidates]
+        assert trace == [
+            (Fraction(5), "steady"),
+            (Fraction(4), "pass"),
+            (Fraction(5, 2), "pass"),
+            (Fraction(2), "fail"),
+        ]
+
+    def test_initial_state_irrelevant_here(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(initial_state={"f": True})
+        )
+        assert result.mct_upper_bound == Fraction(5, 2)
+
+    def test_outputs_only_same_answer(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays, MctOptions(check_outputs=False))
+        assert result.mct_upper_bound == Fraction(5, 2)
+
+    def test_mct_beats_floating_and_topological(self):
+        """MCT 2.5 < transition's *certified* floor and < floating 4."""
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        assert result.mct_upper_bound < 4       # floating delay
+        assert result.mct_upper_bound < 5       # topological
+        assert result.mct_upper_bound > 2       # 2-vector delay is wrong
+
+
+class TestSimpleMachines:
+    def test_toggle_mct_is_loop_delay(self):
+        # q <- NOT q with delay 3: the only breakpoints are 3/m; at
+        # tau = 1.5 the machine reads q(n-2): parity flips -> fail.
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        circuit = Circuit("tog", [], ["q"], gates, [Latch("q", "d")])
+        pins = {("d", 0): PinTiming.symmetric(3)}
+        delays = DelayMap(circuit, pins)
+        result = minimum_cycle_time(circuit, delays)
+        assert result.mct_upper_bound == 3
+        assert result.failing_window == (Fraction(3, 2), Fraction(3))
+
+    def test_constant_next_state_never_fails(self):
+        # d = q OR NOT q ... as a *timed* function with equal delays,
+        # every age regime gives the constant 1: MCT is unbounded below.
+        gates = [
+            Gate("nq", GateType.NOT, ("q",)),
+            Gate("d", GateType.OR, ("q", "nq")),
+        ]
+        circuit = Circuit("one", [], [], gates, [Latch("q", "d")])
+        pins = {
+            ("nq", 0): PinTiming.symmetric(1),
+            ("d", 0): PinTiming.symmetric(2),
+            ("d", 1): PinTiming.symmetric(1),
+        }
+        delays = DelayMap(circuit, pins)
+        result = minimum_cycle_time(circuit, delays, MctOptions(max_age=8))
+        assert not result.failure_found
+        assert result.exhausted
+        # Equivalent for every examined breakpoint.
+        assert all(r.status != "fail" for r in result.candidates)
+
+    def test_pipeline_input_latency(self):
+        # u -> FF -> FF chain: state ignores its own history; the input
+        # path delay bounds tau from below.
+        gates = [
+            Gate("d1", GateType.BUF, ("u",)),
+            Gate("d2", GateType.BUF, ("q1",)),
+        ]
+        circuit = Circuit(
+            "pipe", ["u"], ["q2"], gates, [Latch("q1", "d1"), Latch("q2", "d2")]
+        )
+        pins = {("d1", 0): PinTiming.symmetric(4), ("d2", 0): PinTiming.symmetric(2)}
+        delays = DelayMap(circuit, pins)
+        result = minimum_cycle_time(circuit, delays)
+        # Below tau=4 the first stage reads u(n-2) instead of u(n-1):
+        # observable two cycles later -> MCT = 4.
+        assert result.mct_upper_bound == 4
+
+    def test_interval_delays_example2(self):
+        """Example 2 with 90%-100% delays: the bound is D̄_s."""
+        circuit, delays = fig2_circuit()
+        widened = delays.widen(Fraction(9, 10))
+        result = minimum_cycle_time(circuit, widened)
+        assert result.failure_found
+        # The failing combination needs the k=[1.8,2] leaf at age 1 and
+        # the k=[4.5,5] leaf at age >= 2... the sup of feasible failing
+        # tau cannot exceed the fixed-delay answer and must stay above
+        # the 90% scaled one.
+        assert Fraction(9, 4) <= result.mct_upper_bound <= Fraction(5, 2)
+
+    def test_work_budget_partial_result(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays, MctOptions(work_budget=10))
+        assert result.budget_exceeded or result.mct_upper_bound is not None
+
+    def test_missing_initial_state_bits_rejected(self):
+        circuit, delays = fig2_circuit()
+        with pytest.raises(AnalysisError):
+            minimum_cycle_time(circuit, delays, MctOptions(initial_state={}))

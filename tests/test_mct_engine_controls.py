@@ -1,0 +1,144 @@
+"""Unit tests for the sweep engine's control knobs and reporting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen.generators import hold_loop, toggle_loop
+from repro.errors import AnalysisError
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.mct.engine import CandidateRecord
+
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestResultShape:
+    def test_records_carry_m(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        by_tau = {r.tau: r for r in result.candidates}
+        assert by_tau[Fraction(4)].m == 2
+        assert by_tau[Fraction(2)].m == 3
+
+    def test_failing_sigmas_fixed_mode(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        assert result.failing_sigmas
+        sigma, sup = result.failing_sigmas[0]
+        assert sup == Fraction(5, 2)
+        # All age options are singletons in fixed mode.
+        assert all(len(ages) == 1 for ages in sigma.values())
+
+    def test_failing_roots_attributed(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        # Both the latch data cone (g) and the PO (g) fail; the root
+        # list names the latch and/or the output net.
+        assert result.failing_roots
+        assert set(result.failing_roots) <= {"f", "g"}
+
+    def test_failing_roots_name_the_critical_block(self):
+        from repro.benchgen import merge, suite_cases, build_case
+
+        case = next(c for c in suite_cases() if c.name == "g526")
+        circuit, delays = build_case(case)
+        result = minimum_cycle_time(circuit, delays)
+        # seq_gain rows merge [hold ("b0_"), toggle ("b1_"), fillers];
+        # the bound must be pinned on the toggle block, never the hold.
+        assert result.failing_roots
+        assert all(root.startswith("b1_") for root in result.failing_roots)
+
+    def test_improves_on_alias(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        assert result.improves_on == result.mct_upper_bound
+
+    def test_elapsed_and_decisions_counted(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        assert result.elapsed_seconds >= 0
+        assert result.decisions_run == 3  # 4, 2.5, 2 (5 is steady)
+
+
+class TestControls:
+    def test_tau_floor_limits_sweep(self):
+        circuit, delays = hold_loop(Fraction(8))
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(tau_floor=Fraction(3))
+        )
+        assert not result.failure_found
+        assert result.exhausted
+        assert all(r.tau > 3 for r in result.candidates)
+
+    def test_max_age_stops_sweep(self):
+        circuit, delays = hold_loop(Fraction(8))
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(max_age=3, tau_floor=Fraction(1, 100))
+        )
+        assert result.exhausted
+        assert "age cap" in result.notes
+        assert all(r.m <= 3 for r in result.candidates)
+
+    def test_max_candidates_cap(self):
+        circuit, delays = hold_loop(Fraction(8))
+        result = minimum_cycle_time(
+            circuit,
+            delays,
+            MctOptions(max_candidates=2, tau_floor=Fraction(1, 100), max_age=1000),
+        )
+        assert result.exhausted
+        assert "candidate cap" in result.notes
+        assert len(result.candidates) == 2
+
+    def test_time_limit_zero_trips_immediately(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(time_limit=0.0)
+        )
+        assert result.exhausted
+        assert "time limit" in result.notes
+
+    def test_steady_candidates_not_decided(self):
+        circuit, delays = toggle_loop(Fraction(5))
+        result = minimum_cycle_time(circuit, delays)
+        statuses = {r.tau: r.status for r in result.candidates}
+        assert statuses[Fraction(5)] == "steady"
+
+    def test_budget_none_vs_zero(self):
+        circuit, delays = fig2_circuit()
+        # work_budget=None is unlimited; 0 is falsy and also unlimited.
+        a = minimum_cycle_time(circuit, delays, MctOptions(work_budget=None))
+        b = minimum_cycle_time(circuit, delays, MctOptions(work_budget=0))
+        assert a.mct_upper_bound == b.mct_upper_bound == Fraction(5, 2)
+
+
+class TestDegenerateCircuits:
+    def test_no_timed_paths_rejected(self):
+        from repro.logic import Circuit, DelayMap
+
+        circuit = Circuit("empty", ["a"], [], [])
+        with pytest.raises(AnalysisError):
+            minimum_cycle_time(circuit, DelayMap(circuit, {}))
+
+    def test_combinational_circuit_mct_is_latency(self):
+        # A latch-free pipeline: y(n) must read u(n-1); below the PO
+        # path delay it reads u(n-2) instead.
+        from repro.logic import Circuit, DelayMap, Gate, GateType, PinTiming
+
+        gates = [Gate("y", GateType.NOT, ("u",))]
+        circuit = Circuit("comb", ["u"], ["y"], gates)
+        delays = DelayMap(circuit, {("y", 0): PinTiming.symmetric(3)})
+        result = minimum_cycle_time(circuit, delays)
+        assert result.mct_upper_bound == 3
+
+    def test_output_only_equality_can_be_disabled(self):
+        from repro.logic import Circuit, DelayMap, Gate, GateType, PinTiming
+
+        gates = [Gate("y", GateType.NOT, ("u",))]
+        circuit = Circuit("comb", ["u"], ["y"], gates)
+        delays = DelayMap(circuit, {("y", 0): PinTiming.symmetric(3)})
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(check_outputs=False, max_age=4)
+        )
+        # With outputs ignored there is nothing to fail on.
+        assert not result.failure_found

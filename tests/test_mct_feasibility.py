@@ -1,0 +1,127 @@
+"""Unit tests for the interval algebra (Def. 4) and feasibility."""
+
+from fractions import Fraction
+
+from repro.logic import Interval
+from repro.mct.discretize import TimedLeaf
+from repro.mct.feasibility import (
+    age_tau_range,
+    feasible_tau_range,
+    intersect_sets,
+    merge_ranges,
+    options_tau_set,
+    sigma_is_feasible,
+    sigma_sup_tau,
+)
+
+
+def F(x) -> Fraction:
+    return Fraction(x)
+
+
+class TestAgeTauRange:
+    def test_age_one_unbounded_above(self):
+        assert age_tau_range(Interval.of(2, 3), 1) == (F(2), None)
+
+    def test_age_two(self):
+        # tau >= klo/2 and tau < khi/1
+        assert age_tau_range(Interval.of(2, 3), 2) == (F(1), F(3))
+
+    def test_age_zero_only_for_zero_delay(self):
+        assert age_tau_range(Interval.of(0, 0), 0) == (F(0), None)
+        assert age_tau_range(Interval.of(1, 2), 0) is None
+
+    def test_negative_age(self):
+        assert age_tau_range(Interval.of(1, 2), -1) is None
+
+    def test_empty_range(self):
+        # Point delay 4 at age 5: tau in [4/5, 4/4) nonempty; at a very
+        # large age with a tight interval it can still be nonempty —
+        # construct an actually empty one: lo/age >= hi/(age-1).
+        assert age_tau_range(Interval.of(8, 8), 1) == (F(8), None)
+        assert age_tau_range(Interval.of(8, 9), 9) == (
+            Fraction(8, 9),
+            Fraction(9, 8),
+        )
+        assert age_tau_range(Interval.of(9, 9), 1) == (F(9), None)
+
+    def test_consecutive_ranges_touch(self):
+        one = age_tau_range(Interval.point(6), 2)   # [3, 6)
+        two = age_tau_range(Interval.point(6), 3)   # [2, 3)
+        assert one == (F(3), F(6))
+        assert two == (F(2), F(3))
+
+
+class TestRangeAlgebra:
+    def test_merge_overlapping(self):
+        assert merge_ranges([(F(1), F(3)), (F(2), F(5))]) == [(F(1), F(5))]
+
+    def test_merge_touching(self):
+        assert merge_ranges([(F(2), F(3)), (F(1), F(2))]) == [(F(1), F(3))]
+
+    def test_merge_disjoint(self):
+        out = merge_ranges([(F(5), None), (F(1), F(2))])
+        assert out == [(F(1), F(2)), (F(5), None)]
+
+    def test_merge_unbounded_swallows(self):
+        assert merge_ranges([(F(1), None), (F(3), F(4))]) == [(F(1), None)]
+
+    def test_intersect_basic(self):
+        a = [(F(1), F(4))]
+        b = [(F(2), F(6))]
+        assert intersect_sets(a, b) == [(F(2), F(4))]
+
+    def test_intersect_disjoint(self):
+        assert intersect_sets([(F(1), F(2))], [(F(3), F(4))]) == []
+
+    def test_intersect_with_unbounded(self):
+        assert intersect_sets([(F(1), None)], [(F(3), F(5))]) == [(F(3), F(5))]
+
+    def test_intersect_multi_segment(self):
+        a = [(F(0), F(2)), (F(4), F(6))]
+        b = [(F(1), F(5))]
+        assert intersect_sets(a, b) == [(F(1), F(2)), (F(4), F(5))]
+
+    def test_options_union_contiguous(self):
+        # ages {2,3} of point delay 6: [2,3) ∪ [3,6) = [2,6)
+        assert options_tau_set(Interval.point(6), (2, 3)) == [(F(2), F(6))]
+
+
+class TestSigmaFeasibility:
+    def setup_method(self):
+        self.a = TimedLeaf("x", Interval.of(4, 5))
+        self.b = TimedLeaf("y", Interval.of(2, 3))
+
+    def test_feasible_combination(self):
+        sigma = {self.a: (2,), self.b: (1,)}
+        # a@2: tau in [2, 5); b@1: tau in [2, inf)
+        assert feasible_tau_range(sigma) == [(F(2), F(5))]
+        assert sigma_is_feasible(sigma)
+        assert sigma_sup_tau(sigma) == F(5)
+
+    def test_window_clipping(self):
+        sigma = {self.a: (2,), self.b: (1,)}
+        window = (F(2), F(3))
+        assert feasible_tau_range(sigma, window) == [(F(2), F(3))]
+        assert sigma_sup_tau(sigma, window) == F(3)
+
+    def test_infeasible_combination(self):
+        # a@1 needs tau >= 4; b@2 needs tau < 3.
+        sigma = {self.a: (1,), self.b: (2,)}
+        assert not sigma_is_feasible(sigma)
+        assert sigma_sup_tau(sigma) is None
+
+    def test_option_sets_widen_feasibility(self):
+        sigma = {self.a: (1, 2), self.b: (1, 2)}
+        ranges = feasible_tau_range(sigma)
+        # Union over options: tau in [2, inf) (age-1 side is unbounded).
+        assert ranges == [(F(2), None)]
+        assert sigma_sup_tau(sigma, (F(2), F(9))) == F(9)
+
+    def test_unbounded_sup_capped_by_window(self):
+        sigma = {self.b: (1,)}
+        assert sigma_sup_tau(sigma) is None  # genuinely unbounded
+        assert sigma_sup_tau(sigma, (F(2), F(7))) == F(7)
+
+    def test_empty_sigma_is_everything(self):
+        assert feasible_tau_range({}) == [(F(0), None)]

@@ -1,0 +1,80 @@
+"""Tests for the useful-skew optimizer."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
+from repro.mct import MctOptions
+from repro.mct.skew import SkewResult, optimize_skew
+from repro.sim import ClockedSimulator
+
+from tests.test_clock_phases import unbalanced_pipe
+
+
+class TestOptimizer:
+    def test_balances_pipe(self):
+        circuit, delays = unbalanced_pipe()
+        result = optimize_skew(circuit, delays)
+        assert result.baseline == 6
+        assert result.bound == 4
+        assert result.phases == {"q1": Fraction(2)}
+        assert result.improvement == Fraction(1, 3)
+        assert result.evaluations > 1
+
+    def test_balanced_design_gains_nothing(self):
+        gates = [
+            Gate("d1", GateType.BUF, ("u",)),
+            Gate("d2", GateType.BUF, ("q1",)),
+        ]
+        circuit = Circuit(
+            "even", ["u"], ["q2"], gates, [Latch("q1", "d1"), Latch("q2", "d2")]
+        )
+        pins = {("d1", 0): PinTiming.symmetric(4), ("d2", 0): PinTiming.symmetric(4)}
+        delays = DelayMap(circuit, pins)
+        result = optimize_skew(circuit, delays, granularity=4)
+        assert result.bound == result.baseline == 4
+        assert result.phases == {}
+
+    def test_feedback_loop_unskewable(self):
+        # A single toggle loop: skewing the only latch shifts both the
+        # launch and capture edges identically — no gain possible.
+        gates = [Gate("d", GateType.NOT, ("q",))]
+        circuit = Circuit("tog", [], ["q"], gates, [Latch("q", "d")])
+        delays = DelayMap(circuit, {("d", 0): PinTiming.symmetric(5)})
+        result = optimize_skew(circuit, delays, granularity=4)
+        assert result.bound == result.baseline == 5
+
+    def test_result_validated_by_simulation(self):
+        circuit, delays = unbalanced_pipe()
+        result = optimize_skew(circuit, delays)
+        skewed = delays.with_phases(result.phases)
+        sim = ClockedSimulator(circuit, skewed)
+        rng = random.Random(5)
+        stimulus = [{"u": rng.random() < 0.5} for _ in range(32)]
+        assert sim.matches_ideal(
+            result.bound, {"q1": False, "q2": False}, stimulus
+        )
+
+    def test_requires_zero_phase_start(self):
+        circuit, delays = unbalanced_pipe()
+        with pytest.raises(AnalysisError):
+            optimize_skew(circuit, delays.with_phases({"q1": 1}))
+
+    def test_requires_latches(self):
+        circuit = Circuit(
+            "comb", ["u"], ["y"], [Gate("y", GateType.NOT, ("u",))]
+        )
+        delays = DelayMap(circuit, {("y", 0): PinTiming.symmetric(1)})
+        with pytest.raises(AnalysisError):
+            optimize_skew(circuit, delays)
+
+    def test_options_forwarded(self):
+        circuit, delays = unbalanced_pipe()
+        result = optimize_skew(
+            circuit, delays, options=MctOptions(max_age=8), granularity=4
+        )
+        assert isinstance(result, SkewResult)
+        assert result.bound <= result.baseline

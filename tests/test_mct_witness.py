@@ -1,0 +1,83 @@
+"""Tests for divergence-witness extraction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen.generators import mirrored_pair, toggle_loop
+from repro.errors import AnalysisError
+from repro.logic import unit_delays
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.mct.witness import Witness, find_witness
+
+from tests.test_logic_netlist import make_sr_counter
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestFindWitness:
+    def test_fig2_witness(self):
+        circuit, delays = fig2_circuit()
+        result = minimum_cycle_time(circuit, delays)
+        witness = find_witness(circuit, delays, result)
+        assert witness is not None
+        assert witness.tau == Fraction(9, 4)     # window midpoint
+        # Both initial states diverge at 9/4 (init 1 at cycle 3 via the
+        # base case; init 0 one cycle later).
+        expected = {(True,): 3, (False,): 4}
+        key = (witness.initial_state["f"],)
+        assert witness.diverged_at == expected[key]
+        assert witness.sampled != witness.ideal
+
+    def test_counter_witness(self):
+        c = make_sr_counter()
+        delays = unit_delays(c)
+        result = minimum_cycle_time(c, delays)
+        witness = find_witness(c, delays, result, seed=3)
+        assert witness is not None
+        # Witness must be replayable.
+        from repro.sim import ClockedSimulator
+
+        sim = ClockedSimulator(c, delays)
+        assert not sim.matches_ideal(
+            witness.tau, witness.initial_state, list(witness.stimulus)
+        )
+
+    def test_interval_delays_sample_realizations(self):
+        circuit, delays = fig2_circuit()
+        widened = delays.widen(Fraction(19, 20))
+        result = minimum_cycle_time(circuit, widened)
+        witness = find_witness(circuit, widened, result, realizations=4)
+        # The failure is real here; some realization exhibits it.
+        assert witness is not None
+
+    def test_toggle_witness(self):
+        circuit, delays = toggle_loop(Fraction(4))
+        result = minimum_cycle_time(circuit, delays)
+        witness = find_witness(circuit, delays, result)
+        assert witness is not None
+        assert witness.diverged_at >= 1
+
+    def test_conservative_failure_may_lack_witness(self):
+        """Plain C_x pins mirrored_pair at the long path, but the
+        output never moves: no behavioural divergence exists."""
+        circuit, delays = mirrored_pair(long_delay=10, loop_delay=2)
+        result = minimum_cycle_time(circuit, delays)
+        assert result.failure_found
+        witness = find_witness(
+            circuit, delays, result, tries=16, max_cycles=12
+        )
+        # The *state* does diverge (q1 toggling at stale ages) even
+        # though the output does not — the simulator samples states,
+        # so a witness is expected here; what matters is that it
+        # replays.  (If none is found the search budget was too small.)
+        if witness is not None:
+            assert witness.sampled != witness.ideal
+
+    def test_requires_failing_result(self):
+        from repro.benchgen.generators import hold_loop
+
+        circuit, delays = hold_loop(Fraction(8))
+        result = minimum_cycle_time(circuit, delays)
+        assert not result.failure_found
+        with pytest.raises(AnalysisError):
+            find_witness(circuit, delays, result)

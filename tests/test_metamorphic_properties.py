@@ -1,0 +1,81 @@
+"""Metamorphic properties: invariances every analysis must respect."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import prefix_circuit
+from repro.benchgen.generators import random_fsm
+from repro.delay import floating_delay, longest_topological_delay, transition_delay
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.timed.tbf import and_, discretize_literals, format_recurrence, lit, or_
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_analysis_is_name_independent(seed):
+    """Renaming every net must not move any number."""
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    renamed, rdelays = prefix_circuit(circuit, delays, "zz_")
+    assert longest_topological_delay(circuit, delays) == \
+        longest_topological_delay(renamed, rdelays)
+    assert floating_delay(circuit, delays).delay == \
+        floating_delay(renamed, rdelays).delay
+    a = minimum_cycle_time(circuit, delays, MctOptions(max_age=6))
+    b = minimum_cycle_time(renamed, rdelays, MctOptions(max_age=6))
+    assert a.mct_upper_bound == b.mct_upper_bound
+    assert a.failure_found == b.failure_found
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([Fraction(2), Fraction(3), Fraction(1, 2), Fraction(7, 5)]),
+)
+def test_analysis_scales_linearly_with_delays(seed, factor):
+    """Time has no absolute unit: scaling every delay by c scales every
+    delay-valued answer by c."""
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    scaled = delays.widen(factor, factor)  # multiply lo and hi by c
+    assert longest_topological_delay(circuit, scaled) == \
+        factor * longest_topological_delay(circuit, delays)
+    assert floating_delay(circuit, scaled).delay == \
+        factor * floating_delay(circuit, delays).delay
+    assert transition_delay(circuit, scaled).delay == \
+        factor * transition_delay(circuit, delays).delay
+    a = minimum_cycle_time(circuit, delays, MctOptions(max_age=6))
+    b = minimum_cycle_time(circuit, scaled, MctOptions(max_age=6))
+    if a.failure_found:
+        assert b.failure_found
+        assert b.mct_upper_bound == factor * a.mct_upper_bound
+
+
+class TestRecurrencePrinter:
+    def example2(self):
+        return or_(
+            and_(lit("f", 1.5), ~lit("f", 4), lit("f", 5)),
+            ~lit("f", 2),
+        )
+
+    def test_ages_at_published_taus(self):
+        expr = self.example2()
+        at4 = discretize_literals(expr, 4)
+        assert at4 == {
+            ("f", Fraction(3, 2)): 1,
+            ("f", Fraction(2)): 1,
+            ("f", Fraction(4)): 1,
+            ("f", Fraction(5)): 2,
+        }
+        at2 = discretize_literals(expr, 2)
+        assert at2[("f", Fraction(5))] == 3
+
+    def test_paper_rendering(self):
+        expr = self.example2()
+        # τ = 2.5: "g(n) = g(n-1)g'(n-2)g(n-2) + g'(n-1)" in the paper.
+        text = format_recurrence(expr, Fraction(5, 2))
+        assert text == "g(n) = g(n-1)·g(n-2)'·g(n-2) + g(n-1)'"
+
+    def test_steady_rendering(self):
+        expr = self.example2()
+        text = format_recurrence(expr, Fraction(5))
+        assert text == "g(n) = g(n-1)·g(n-1)'·g(n-1) + g(n-1)'"

@@ -1,0 +1,147 @@
+"""Cross-validation property tests: the analyses against each other.
+
+Independent implementations must agree:
+
+* **Transition delay vs. brute force** — the TBF-based 2-vector delay
+  must equal the max over all vector pairs of the event simulator's
+  last output transition (they share no code above the netlist).
+* **MCT ≤ floating** — a theorem: above the floating delay every stale
+  leaf lies on a settled-masked path, so the decision algorithm passes;
+  the computed bound can therefore never exceed the floating delay.
+* **MCT soundness vs. exact equivalence** — at the computed bound the
+  τ-machine is I/O-equivalent to the steady machine (ground truth by
+  product-machine BFS over all pre-start histories).
+* **MCT soundness vs. simulation** — clocking any delay realization at
+  the bound reproduces the ideal machine on random stimuli.
+"""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generators import random_combinational, random_fsm
+from repro.delay import floating_delay, longest_topological_delay, transition_delay
+from repro.errors import AnalysisError
+from repro.fsm import equivalent_to_steady
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.sim import ClockedSimulator, last_output_transition, sample_delay_map
+
+
+def brute_force_transition(circuit, delays) -> Fraction:
+    best = Fraction(0)
+    vectors = [
+        dict(zip(circuit.inputs, bits))
+        for bits in itertools.product([False, True], repeat=len(circuit.inputs))
+    ]
+    for v1 in vectors:
+        for v2 in vectors:
+            t = last_output_transition(circuit, delays, v1, v2)
+            if t > best:
+                best = t
+    return best
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_transition_delay_matches_event_simulation(seed):
+    circuit, delays = random_combinational(seed, n_inputs=3, n_gates=7)
+    analytic = transition_delay(circuit, delays).delay
+    simulated = brute_force_transition(circuit, delays)
+    assert analytic == simulated
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_floating_at_least_transition_at_most_topological(seed):
+    circuit, delays = random_combinational(seed, n_inputs=3, n_gates=8)
+    top = longest_topological_delay(circuit, delays)
+    flt = floating_delay(circuit, delays).delay
+    trans = transition_delay(circuit, delays).delay
+    assert trans <= flt <= top
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_mct_never_exceeds_floating(seed):
+    """Failing windows lie strictly below the floating delay, so a
+    *found* bound can never exceed it.  (When no failure is found the
+    reported value is just the sweep floor — a valid but unrelated
+    number, e.g. for machines whose outputs are constant.)"""
+    circuit, delays = random_fsm(seed, n_inputs=2, n_latches=3, n_gates=10)
+    result = minimum_cycle_time(circuit, delays, MctOptions(max_age=8))
+    assert result.mct_upper_bound is not None
+    if result.failure_found:
+        flt = floating_delay(circuit, delays).delay
+        assert result.mct_upper_bound <= flt
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_mct_interval_bound_bounded_by_floating(seed):
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    widened = delays.widen(Fraction(9, 10))
+    result = minimum_cycle_time(circuit, widened, MctOptions(max_age=8))
+    if result.failure_found:
+        flt = floating_delay(circuit, widened).delay
+        assert result.mct_upper_bound <= flt
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_mct_sound_against_exact_equivalence(seed):
+    """At the computed bound, the exact machines are I/O-equivalent."""
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=6)
+    result = minimum_cycle_time(circuit, delays, MctOptions(max_age=6))
+    bound = result.mct_upper_bound
+    try:
+        assert equivalent_to_steady(circuit, delays, bound, max_pairs=1 << 14)
+    except AnalysisError:
+        pytest.skip("product machine too large for the exact oracle")
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mct_sound_against_simulation(seed):
+    """Clocking at the bound reproduces the ideal machine (sampled)."""
+    circuit, delays = random_fsm(seed, n_inputs=2, n_latches=3, n_gates=10)
+    result = minimum_cycle_time(circuit, delays, MctOptions(max_age=8))
+    bound = result.mct_upper_bound
+    sim = ClockedSimulator(circuit, delays)
+    rng = random.Random(seed)
+    init = {q: False for q in circuit.latches}
+    stimulus = [
+        {u: rng.random() < 0.5 for u in circuit.inputs} for _ in range(24)
+    ]
+    assert sim.matches_ideal(bound, init, stimulus)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mct_sound_under_delay_variation(seed):
+    """Interval bound: every sampled realization behaves ideally at it."""
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    widened = delays.widen(Fraction(9, 10))
+    result = minimum_cycle_time(circuit, widened, MctOptions(max_age=8))
+    bound = result.mct_upper_bound
+    rng = random.Random(seed + 999)
+    init = {q: False for q in circuit.latches}
+    stimulus = [
+        {u: rng.random() < 0.5 for u in circuit.inputs} for _ in range(20)
+    ]
+    for _ in range(3):
+        realization = sample_delay_map(widened, rng)
+        sim = ClockedSimulator(circuit, realization)
+        assert sim.matches_ideal(bound, init, stimulus)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_setup_guard_band_monotone(seed):
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=6)
+    base = minimum_cycle_time(circuit, delays, MctOptions(max_age=8))
+    guarded = minimum_cycle_time(
+        circuit,
+        delays.with_setup_hold(setup=Fraction(1, 2), hold=0),
+        MctOptions(max_age=8),
+    )
+    assert guarded.mct_upper_bound >= base.mct_upper_bound

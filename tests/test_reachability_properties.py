@@ -1,0 +1,51 @@
+"""Symbolic vs explicit reachability must agree on random machines."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+from repro.benchgen.generators import random_fsm
+from repro.fsm import enumerate_reachable, reachable_state_count, reachable_states
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_symbolic_matches_explicit(seed):
+    circuit, _ = random_fsm(seed, n_inputs=2, n_latches=3, n_gates=10)
+    mgr = BddManager()
+    symbolic = reachable_states(circuit, manager=mgr)
+    explicit = enumerate_reachable(circuit)
+    for bits in itertools.product([False, True], repeat=3):
+        env = dict(zip(circuit.state_nets, bits))
+        assert symbolic.evaluate(env) == (bits in explicit)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.tuples(st.booleans(), st.booleans()),
+)
+def test_count_matches_for_any_initial_state(seed, init_bits):
+    circuit, _ = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    init = dict(zip(circuit.state_nets, init_bits))
+    assert reachable_state_count(circuit, init) == len(
+        enumerate_reachable(circuit, init)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_reachable_set_is_inductive(seed):
+    """R contains the initial state and is closed under the image."""
+    circuit, _ = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    mgr = BddManager()
+    reached = reachable_states(circuit, manager=mgr)
+    init = {q: False for q in circuit.state_nets}
+    assert reached.evaluate(init)
+    for state in enumerate_reachable(circuit):
+        state_map = dict(zip(circuit.state_nets, state))
+        for bits in itertools.product([False, True], repeat=len(circuit.inputs)):
+            stimulus = dict(zip(circuit.inputs, bits))
+            nxt, _ = circuit.step(state_map, stimulus)
+            assert reached.evaluate(nxt)

@@ -1,0 +1,136 @@
+"""Tests for the event-driven timing simulator."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import (
+    Circuit,
+    DelayMap,
+    Gate,
+    GateType,
+    Interval,
+    Latch,
+    PinTiming,
+    unit_delays,
+    widen_to_intervals,
+)
+from repro.sim import ClockedSimulator, sample_delay_map
+
+from tests.test_logic_netlist import make_sr_counter
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestBasics:
+    def test_interval_delays_rejected(self):
+        c = make_sr_counter()
+        delays = widen_to_intervals(unit_delays(c))
+        with pytest.raises(AnalysisError):
+            ClockedSimulator(c, delays)
+
+    def test_asymmetric_pins_rejected(self):
+        gates = [Gate("y", GateType.BUF, ("a",))]
+        c = Circuit("b", ["a"], ["y"], gates)
+        delays = DelayMap(c, {("y", 0): PinTiming.asym(1, 2)})
+        with pytest.raises(AnalysisError):
+            ClockedSimulator(c, delays)
+
+    def test_nonpositive_tau_rejected(self):
+        c = make_sr_counter()
+        sim = ClockedSimulator(c, unit_delays(c))
+        with pytest.raises(AnalysisError):
+            sim.run(0, {"q0": False, "q1": False}, [{"en": True}])
+
+    def test_empty_stimulus(self):
+        c = make_sr_counter()
+        sim = ClockedSimulator(c, unit_delays(c))
+        trace = sim.run(10, {"q0": False, "q1": False}, [])
+        assert trace.sampled_states == []
+
+    def test_sample_delay_map_within_bounds(self):
+        c = make_sr_counter()
+        delays = widen_to_intervals(unit_delays(c))
+        rng = random.Random(7)
+        fixed = sample_delay_map(delays, rng)
+        assert fixed.is_fixed
+        for net, gate in c.gates.items():
+            for pin in range(len(gate.inputs)):
+                v = fixed.pin(net, pin).rise.lo
+                assert Fraction(9, 10) <= v <= 1
+
+
+class TestSlowClockMatchesIdeal:
+    def test_counter_slow_clock(self):
+        c = make_sr_counter()
+        sim = ClockedSimulator(c, unit_delays(c))
+        rng = random.Random(1)
+        stimulus = [{"en": rng.random() < 0.5} for _ in range(32)]
+        assert sim.matches_ideal(100, {"q0": False, "q1": False}, stimulus)
+
+    def test_counter_at_exact_critical_path(self):
+        # Longest register path in the counter is 2 (xor after and);
+        # at tau exactly 2 the sampled behaviour is still ideal (closed
+        # edge convention).
+        c = make_sr_counter()
+        sim = ClockedSimulator(c, unit_delays(c))
+        stimulus = [{"en": True}] * 16
+        assert sim.matches_ideal(2, {"q0": False, "q1": False}, stimulus)
+
+    def test_counter_too_fast_diverges(self):
+        c = make_sr_counter()
+        sim = ClockedSimulator(c, unit_delays(c))
+        stimulus = [{"en": True}] * 16
+        assert not sim.matches_ideal(1, {"q0": False, "q1": False}, stimulus)
+
+    def test_random_realizations_stay_ideal_above_L(self):
+        c = make_sr_counter()
+        base = widen_to_intervals(unit_delays(c))
+        rng = random.Random(42)
+        stimulus = [{"en": rng.random() < 0.7} for _ in range(24)]
+        for _ in range(5):
+            fixed = sample_delay_map(base, rng)
+            sim = ClockedSimulator(c, fixed)
+            assert sim.matches_ideal(10, {"q0": True, "q1": False}, stimulus)
+
+
+class TestFig2Witness:
+    """Example 2 at the sampled level: fine at 2.5, broken at 2."""
+
+    def test_tau_25_matches_ideal(self):
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        for init in (False, True):
+            assert sim.matches_ideal(Fraction(5, 2), {"f": init}, [{}] * 12)
+
+    def test_tau_4_matches_ideal(self):
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        for init in (False, True):
+            assert sim.matches_ideal(4, {"f": init}, [{}] * 12)
+
+    def test_tau_2_diverges_from_init_true(self):
+        # The base-case analysis predicts divergence at n = 3 when the
+        # latch starts at 1; the simulator must reproduce it.
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        trace = sim.run(2, {"f": True}, [{}] * 6)
+        ideal, _ = circuit.simulate({"f": True}, [{}] * 6)
+        assert trace.sampled_states != ideal
+        assert trace.sampled_states[0] == ideal[0]
+        assert trace.sampled_states[1] == ideal[1]
+        assert trace.sampled_states[2] != ideal[2]  # x(3) differs
+
+    def test_outputs_sampled(self):
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        trace = sim.run(4, {"f": False}, [{}] * 4)
+        assert len(trace.sampled_outputs) == 4
+        assert all(set(o) == {"g"} for o in trace.sampled_outputs)
+
+    def test_activity_counter_nonzero(self):
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        trace = sim.run(4, {"f": False}, [{}] * 4)
+        assert trace.events_processed > 0

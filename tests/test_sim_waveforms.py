@@ -1,0 +1,131 @@
+"""Tests for waveform recording and VCD export."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import unit_delays
+from repro.sim import ClockedSimulator, waveforms_to_vcd, write_vcd
+
+from tests.test_logic_netlist import make_toggle
+from tests.test_timed_expansion import fig2_circuit
+
+
+@pytest.fixture()
+def toggle_trace():
+    c = make_toggle()
+    sim = ClockedSimulator(c, unit_delays(c))
+    return sim.run(4, {"q": False}, [{}] * 4, record_waveforms=True)
+
+
+class TestWaveforms:
+    def test_disabled_by_default(self):
+        c = make_toggle()
+        sim = ClockedSimulator(c, unit_delays(c))
+        trace = sim.run(4, {"q": False}, [{}] * 2)
+        assert trace.waveforms is None
+        with pytest.raises(AnalysisError):
+            trace.value_at("q", 1)
+
+    def test_initial_values_recorded(self, toggle_trace):
+        assert toggle_trace.waveforms["q"][0] == (Fraction(0), False)
+        # d = NOT q settles to True before the run.
+        assert toggle_trace.waveforms["d"][0] == (Fraction(0), True)
+
+    def test_toggle_waveform_shape(self, toggle_trace):
+        # q flips at every edge (FF delay 0): 4, 8, 12; the final
+        # edge's output update is past the end of the run.
+        times = [t for t, _ in toggle_trace.waveforms["q"][1:]]
+        assert times == [4, 8, 12]
+        values = [v for _, v in toggle_trace.waveforms["q"]]
+        assert values == [False, True, False, True]
+
+    def test_value_at_lookup(self, toggle_trace):
+        assert toggle_trace.value_at("q", 0) is False
+        assert toggle_trace.value_at("q", Fraction(9, 2)) is True
+        assert toggle_trace.value_at("q", 4) is True   # closed at change
+        assert toggle_trace.value_at("q", 100) is False or True  # defined
+
+    def test_combinational_net_follows(self, toggle_trace):
+        # d = NOT q with pin delay 1: changes one unit after q.
+        d_times = [t for t, _ in toggle_trace.waveforms["d"][1:]]
+        assert d_times == [5, 9, 13]
+
+
+class TestAsciiArt:
+    def test_toggle_render(self, toggle_trace):
+        from repro.sim import render_waveforms
+
+        art = render_waveforms(
+            toggle_trace.waveforms, nets=["q", "d"], end_time=16, columns=16
+        )
+        lines = art.splitlines()
+        assert lines[0].startswith("q")
+        assert lines[1].startswith("d")
+        # q starts low for the first 4 units (4 columns), then rises.
+        q_cells = lines[0].split()[-1]
+        assert q_cells.startswith("____/")
+        # Edges present: both rise and fall appear across the window.
+        assert "/" in q_cells and "\\" in q_cells
+
+    def test_missing_net_rejected(self, toggle_trace):
+        from repro.errors import AnalysisError
+        from repro.sim import render_waveforms
+
+        with pytest.raises(AnalysisError):
+            render_waveforms(toggle_trace.waveforms, nets=["ghost"])
+
+    def test_empty_rejected(self):
+        from repro.errors import AnalysisError
+        from repro.sim import render_waveforms
+
+        with pytest.raises(AnalysisError):
+            render_waveforms({})
+
+    def test_default_nets_and_end(self, toggle_trace):
+        from repro.sim import render_waveforms
+
+        art = render_waveforms(toggle_trace.waveforms, columns=20)
+        assert len(art.splitlines()) == len(toggle_trace.waveforms)
+
+
+class TestVcd:
+    def test_header_and_changes(self, toggle_trace):
+        text = waveforms_to_vcd(toggle_trace.waveforms, module="toggle")
+        assert "$timescale 1ps $end" in text
+        assert "$scope module toggle $end" in text
+        assert "$var wire 1" in text
+        assert "$dumpvars" in text
+        assert "#0" in text and "#4" in text
+
+    def test_fractional_times_rescaled(self):
+        circuit, delays = fig2_circuit()
+        sim = ClockedSimulator(circuit, delays)
+        trace = sim.run(Fraction(5, 2), {"f": False}, [{}] * 3,
+                        record_waveforms=True)
+        text = waveforms_to_vcd(trace.waveforms)
+        # 1.5-unit delays on a 2.5 clock need a x2 (or finer) grid.
+        assert "time-scale factor" in text
+        assert "#5" in text  # 2.5 * 2
+
+    def test_write_vcd_file(self, tmp_path, toggle_trace):
+        path = write_vcd(toggle_trace.waveforms, tmp_path / "out.vcd")
+        assert path.exists()
+        assert path.read_text().startswith("$date")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            waveforms_to_vcd({})
+
+    def test_ids_unique_for_many_nets(self):
+        waveforms = {
+            f"n{i}": [(Fraction(0), False)] for i in range(200)
+        }
+        text = waveforms_to_vcd(waveforms)
+        ids = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(ids) == len(set(ids)) == 200

@@ -1,0 +1,97 @@
+"""Fixed-delay suite assertions, viability identity, and a stress run."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen import build_case, merge, suite_cases
+from repro.benchgen.generators import false_path_block, random_combinational
+from repro.delay import floating_delay, viability_delay
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.report import run_case
+
+
+class TestFixedModeSuite:
+    """The paper's numbers also hold with the variation turned off."""
+
+    @pytest.mark.parametrize("name", ["g526", "g641", "g1423"])
+    def test_fixed_rows(self, name):
+        case = next(c for c in suite_cases() if c.name == name)
+        row = run_case(case, widen=None)
+        assert row.topological == case.paper_top
+        assert row.floating == case.paper_float
+        assert row.mct == case.paper_mct
+
+
+class TestViabilityIdentity:
+    def test_fig2(self):
+        from tests.test_timed_expansion import fig2_circuit
+
+        circuit, delays = fig2_circuit()
+        assert viability_delay(circuit, delays).delay == 4
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equals_floating_on_random_circuits(self, seed):
+        circuit, delays = random_combinational(seed, n_inputs=3, n_gates=8)
+        assert (
+            viability_delay(circuit, delays).delay
+            == floating_delay(circuit, delays).delay
+        )
+
+
+class TestSuiteRowSoundness:
+    """End-to-end: a ‡ row's bound is behaviourally safe under random
+    manufacturing realizations — combinational STA would have said
+    22.5, the sequential bound 18.4, and 18.4 really works."""
+
+    def test_g526_bound_simulates_clean(self):
+        import random
+
+        from repro.sim import ClockedSimulator, sample_delay_map
+
+        case = next(c for c in suite_cases() if c.name == "g526")
+        circuit, delays = build_case(case)
+        widened = delays.widen(Fraction(9, 10))
+        bound = minimum_cycle_time(circuit, widened).mct_upper_bound
+        assert bound == case.paper_mct
+        rng = random.Random(2026)
+        init = {q: False for q in circuit.latches}
+        stimulus = [
+            {u: rng.random() < 0.5 for u in circuit.inputs} for _ in range(16)
+        ]
+        for _ in range(2):
+            realization = sample_delay_map(widened, rng)
+            sim = ClockedSimulator(circuit, realization)
+            assert sim.matches_ideal(bound, init, stimulus)
+
+
+class TestStress:
+    def test_wide_merge_many_breakpoints(self):
+        """64 false-path blocks with staggered delays: hundreds of
+        distinct breakpoints, still well inside the default caps."""
+        blocks = [
+            false_path_block(
+                Fraction(100 + i, 10), Fraction(80 + i, 10), name=f"fp{i}"
+            )
+            for i in range(64)
+        ]
+        circuit, delays = merge("wide", blocks)
+        assert circuit.stats["gates"] > 400
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(max_candidates=1500)
+        )
+        assert result.mct_upper_bound is not None
+        assert result.failure_found
+        # The slowest block's floating value dominates the failing set.
+        assert result.mct_upper_bound <= Fraction(163, 10)
+
+    def test_deep_suite_member_with_budget(self):
+        """The biggest table row under a tight budget degrades cleanly."""
+        case = next(c for c in suite_cases() if c.name == "g38584")
+        circuit, delays = build_case(case)
+        result = minimum_cycle_time(
+            circuit, delays, MctOptions(work_budget=500)
+        )
+        assert result.budget_exceeded
+        # Partial results never fabricate a failing window.
+        assert not result.failure_found

@@ -1,0 +1,133 @@
+"""Tests for symbolic product-machine equivalence and the exact sweep."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen.generators import mirrored_pair, random_fsm, toggle_loop
+from repro.errors import AnalysisError
+from repro.fsm import equivalent_to_steady
+from repro.fsm.symbolic_exact import (
+    ExactMctResult,
+    SymbolicTauMachine,
+    exact_minimum_cycle_time,
+)
+from repro.mct import MctOptions, minimum_cycle_time
+
+from tests.test_timed_expansion import fig2_circuit
+
+
+class TestSymbolicEquivalence:
+    def test_fig2_boundary(self):
+        circuit, delays = fig2_circuit()
+        for tau, expected in [(4, True), (Fraction(5, 2), True), (2, False)]:
+            product = SymbolicTauMachine(circuit, delays, Fraction(tau))
+            assert product.equivalent() is expected
+
+    def test_matches_explicit_oracle(self):
+        circuit, delays = fig2_circuit()
+        for tau in (Fraction(4), Fraction(5, 2), Fraction(2)):
+            symbolic = SymbolicTauMachine(circuit, delays, tau).equivalent()
+            explicit = equivalent_to_steady(circuit, delays, tau)
+            assert symbolic == explicit
+
+    def test_interval_delays_rejected(self):
+        circuit, delays = fig2_circuit()
+        with pytest.raises(AnalysisError):
+            SymbolicTauMachine(
+                circuit, delays.widen(Fraction(9, 10)), Fraction(4)
+            )
+
+    def test_phases_rejected(self):
+        from tests.test_clock_phases import unbalanced_pipe
+
+        circuit, delays = unbalanced_pipe()
+        with pytest.raises(AnalysisError):
+            SymbolicTauMachine(
+                circuit, delays.with_phases({"q1": 2}), Fraction(6)
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_machines_match_explicit(self, seed):
+        circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=6)
+        machine_bound = minimum_cycle_time(
+            circuit, delays, MctOptions(max_age=6)
+        ).mct_upper_bound
+        # Compare the two exact oracles at and just below the C_x bound.
+        for tau in {machine_bound, machine_bound * Fraction(3, 4)}:
+            if tau <= 0:
+                continue
+            try:
+                explicit = equivalent_to_steady(
+                    circuit, delays, tau, max_pairs=1 << 14
+                )
+            except AnalysisError:
+                continue
+            symbolic = SymbolicTauMachine(circuit, delays, tau).equivalent()
+            assert symbolic == explicit
+
+
+class TestExactSweep:
+    def test_fig2_exact_mct(self):
+        circuit, delays = fig2_circuit()
+        result = exact_minimum_cycle_time(circuit, delays)
+        assert result.exact_mct == Fraction(5, 2)
+        assert result.failure_found
+        assert isinstance(result, ExactMctResult)
+
+    def test_toggle(self):
+        circuit, delays = toggle_loop(Fraction(6))
+        result = exact_minimum_cycle_time(circuit, delays)
+        assert result.exact_mct == 6
+
+    def test_exactness_ladder_on_mirrored_pair(self):
+        """Sec. 6's exactness ladder, demonstrated end to end.
+
+        The mirrored-register circuit's only output is constantly 0
+        (the two registers provably agree), so:
+          * plain C_x (state-sufficient, free Boolean space): bound 10;
+          * C_x + reachable don't cares: bound 2 (the toggle loops'
+            *state* sequences genuinely change below 2);
+          * exact Definition-2 (output behaviour only): equivalent at
+            every examined τ — the output never moves at all.
+        """
+        circuit, delays = mirrored_pair(long_delay=10, loop_delay=2)
+        plain = minimum_cycle_time(circuit, delays)
+        with_reach = minimum_cycle_time(
+            circuit, delays, MctOptions(use_reachability=True)
+        )
+        exact = exact_minimum_cycle_time(circuit, delays)
+        assert plain.mct_upper_bound == 10
+        assert with_reach.mct_upper_bound == 2
+        assert not exact.failure_found
+        assert all(ok for _, ok in exact.candidates)
+        assert exact.exact_mct < with_reach.mct_upper_bound
+
+    def test_exact_never_above_cx(self):
+        for seed in range(6):
+            circuit, delays = random_fsm(
+                seed, n_inputs=1, n_latches=2, n_gates=6
+            )
+            cx = minimum_cycle_time(circuit, delays, MctOptions(max_age=6))
+            exact = exact_minimum_cycle_time(circuit, delays, max_age=6)
+            if exact.failure_found and cx.failure_found:
+                assert exact.exact_mct <= cx.mct_upper_bound
+
+    def test_s27_exact_equals_cx(self):
+        """On the real ISCAS'89 s27 (unit delays) C_x is already tight:
+        the exact product machine agrees at 6."""
+        from repro.benchgen import s27
+        from repro.logic.delays import unit_delays
+
+        circuit, _ = s27()
+        delays = unit_delays(circuit)
+        cx = minimum_cycle_time(circuit, delays)
+        exact = exact_minimum_cycle_time(circuit, delays)
+        assert cx.mct_upper_bound == 6
+        assert exact.exact_mct == 6
+        assert exact.failure_found
+
+    def test_budget_reported(self):
+        circuit, delays = mirrored_pair(long_delay=10, loop_delay=2)
+        result = exact_minimum_cycle_time(circuit, delays, work_budget=5)
+        assert result.budget_exceeded

@@ -1,0 +1,131 @@
+"""Tests for forward retiming."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import Circuit, DelayMap, Gate, GateType, Interval, Latch, PinTiming
+from repro.mct import minimum_cycle_time
+from repro.synthesis import forward_retime, legal_forward_moves, optimize_retiming
+
+
+def staged_pipe() -> tuple[Circuit, DelayMap, dict]:
+    """u -(1)-> q1 -(2+6)-> q2 -(1)-> y: the register sits before the
+    heavy logic, so the q1->q2 stage dominates (9 with clk-to-q 1)."""
+    gates = [
+        Gate("s1", GateType.BUF, ("u",)),
+        Gate("g", GateType.NOT, ("q1",)),
+        Gate("heavy", GateType.BUF, ("g",)),
+        Gate("y", GateType.BUF, ("q2",)),
+    ]
+    circuit = Circuit(
+        "staged", ["u"], ["y"], gates,
+        [Latch("q1", "s1"), Latch("q2", "heavy")],
+    )
+    pins = {
+        ("s1", 0): PinTiming.symmetric(1),
+        ("g", 0): PinTiming.symmetric(2),
+        ("heavy", 0): PinTiming.symmetric(6),
+        ("y", 0): PinTiming.symmetric(1),
+    }
+    latch_delay = {"q1": Interval.point(1), "q2": Interval.point(1)}
+    delays = DelayMap(circuit, pins, latch_delay)
+    return circuit, delays, {"q1": False, "q2": False}
+
+
+class TestLegality:
+    def test_moves_found(self):
+        circuit, _, _ = staged_pipe()
+        assert legal_forward_moves(circuit) == ["g"]
+
+    def test_po_gate_illegal(self):
+        gates = [Gate("y", GateType.NOT, ("q",)), Gate("d", GateType.BUF, ("u",))]
+        c = Circuit("p", ["u"], ["y"], gates, [Latch("q", "d")])
+        assert "y" not in legal_forward_moves(c)
+
+    def test_shared_latch_illegal(self):
+        gates = [
+            Gate("a", GateType.NOT, ("q",)),
+            Gate("b", GateType.BUF, ("q",)),   # q has fanout 2
+            Gate("d", GateType.BUF, ("u",)),
+        ]
+        c = Circuit("p", ["u"], ["a", "b"], gates, [Latch("q", "d")])
+        assert legal_forward_moves(c) == []
+
+    def test_illegal_move_raises(self):
+        circuit, delays, init = staged_pipe()
+        with pytest.raises(AnalysisError):
+            forward_retime(circuit, delays, "y", init)
+
+
+class TestForwardRetime:
+    def test_improves_bound(self):
+        circuit, delays, init = staged_pipe()
+        base = minimum_cycle_time(circuit, delays).mct_upper_bound
+        assert base == 9  # clk2q 1 + 2 + 6
+        retimed, rdelays, rinit = forward_retime(circuit, delays, "g", init)
+        bound = minimum_cycle_time(
+            retimed, rdelays,
+        ).mct_upper_bound
+        # After the move: u->s1->g into the new latch (1+1(clk2q q1?)..)
+        # critical stage becomes latch(g)->heavy->q2 = 1 + 6 = 7.
+        assert bound == 7
+
+    def test_behaviour_preserved(self):
+        circuit, delays, init = staged_pipe()
+        retimed, rdelays, rinit = forward_retime(circuit, delays, "g", init)
+        rng = random.Random(9)
+        stim = [{"u": rng.random() < 0.5} for _ in range(16)]
+        _, out_before = circuit.simulate(init, stim)
+        _, out_after = retimed.simulate(rinit, stim)
+        assert out_before == out_after
+
+    def test_initial_state_transformed(self):
+        circuit, delays, init = staged_pipe()
+        init = {"q1": True, "q2": False}
+        _, _, rinit = forward_retime(circuit, delays, "g", init)
+        # g = NOT(q1): the moved latch holds NOT(True) = False.
+        assert rinit == {"q2": False, "g": False}
+
+    def test_structure(self):
+        circuit, delays, init = staged_pipe()
+        retimed, rdelays, _ = forward_retime(circuit, delays, "g", init)
+        assert "q1" not in retimed.latches
+        assert "g" in retimed.latches
+        assert set(retimed.outputs) == {"y"}
+        # Pin timing of the moved gate is preserved.
+        new_gate = retimed.latches["g"].data
+        assert rdelays.pin(new_gate, 0) == PinTiming.symmetric(2)
+
+
+class TestOptimizeRetiming:
+    def test_greedy_finds_the_move(self):
+        circuit, delays, init = staged_pipe()
+        result = optimize_retiming(circuit, delays, init)
+        assert result.baseline == 9
+        assert result.bound == 7
+        assert result.moves == ("g",)
+        assert result.improvement == Fraction(2, 9)
+
+    def test_balanced_design_stays(self):
+        gates = [
+            Gate("s1", GateType.BUF, ("u",)),
+            Gate("s2", GateType.BUF, ("q1",)),
+        ]
+        c = Circuit("b", ["u"], ["q2"], gates, [Latch("q1", "s1"), Latch("q2", "s2")])
+        pins = {("s1", 0): PinTiming.symmetric(4), ("s2", 0): PinTiming.symmetric(4)}
+        delays = DelayMap(c, pins, {"q1": Interval.point(1), "q2": Interval.point(1)})
+        result = optimize_retiming(c, delays)
+        assert result.bound == result.baseline
+        assert result.moves == ()
+
+    def test_result_behaviour_preserved(self):
+        circuit, delays, init = staged_pipe()
+        result = optimize_retiming(circuit, delays, init)
+        rng = random.Random(4)
+        stim = [{"u": rng.random() < 0.5} for _ in range(20)]
+        _, before = circuit.simulate(init, stim)
+        _, after = result.circuit.simulate(result.initial_state, stim)
+        assert before == after

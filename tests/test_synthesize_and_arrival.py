@@ -1,0 +1,116 @@
+"""Tests for TBF→circuit synthesis and the arrival report."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.delay import floating_delay, longest_topological_delay, transition_delay
+from repro.delay.arrival import arrival_report
+from repro.errors import TbfError
+from repro.logic import Interval, unit_delays
+from repro.mct import minimum_cycle_time
+from repro.timed import TimedExpander, and_, const, lit, not_, or_
+from repro.timed.synthesize import tbf_to_circuit
+
+from tests.test_logic_netlist import make_sr_counter
+from tests.test_timed_expansion import fig2_circuit
+
+
+def example1_expr():
+    return or_(
+        and_(lit("f", 1.5), ~lit("f", 4), lit("f", 5)),
+        ~lit("f", 2),
+    )
+
+
+class TestSynthesize:
+    def test_example2_from_its_tbf(self):
+        """Typing the paper's expression reproduces all its numbers."""
+        circuit, delays = tbf_to_circuit(
+            example1_expr(), output="g", name="ex2", feedback="f"
+        )
+        assert longest_topological_delay(circuit, delays) == 5
+        assert floating_delay(circuit, delays).delay == 4
+        assert transition_delay(circuit, delays).delay == 2
+        assert minimum_cycle_time(circuit, delays).mct_upper_bound == Fraction(5, 2)
+
+    def test_flattening_round_trip(self):
+        """expansion(synthesis(expr)) == expr as timed functions."""
+        expr = example1_expr()
+        circuit, delays = tbf_to_circuit(expr, output="g", feedback=None)
+        mgr = BddManager()
+        expander = TimedExpander(circuit, delays, mgr)
+        flattened = expander.expand(
+            "g", lambda inst: mgr.var(f"{inst.leaf}@{inst.offset.lo}")
+        )
+        direct = expr.to_bdd(mgr)  # vars named f@shift — same convention
+        assert flattened == direct
+
+    def test_combinational_signals_become_inputs(self):
+        expr = or_(lit("a", 1), and_(lit("b", 2), ~lit("a", 3)))
+        circuit, delays = tbf_to_circuit(expr)
+        assert set(circuit.inputs) == {"a", "b"}
+        assert circuit.outputs == ("y",)
+        assert not circuit.latches
+
+    def test_literal_sharing(self):
+        # The same timed literal used twice synthesizes one buffer.
+        expr = or_(lit("a", 2), and_(lit("a", 2), lit("b", 1)))
+        circuit, _ = tbf_to_circuit(expr)
+        lit_gates = [g for g in circuit.gates.values()
+                     if g.inputs and g.inputs[0] == "a"]
+        assert len(lit_gates) == 1
+
+    def test_constants(self):
+        circuit, delays = tbf_to_circuit(const(True))
+        values = circuit.eval_combinational({})
+        assert values["y"] is True
+
+    def test_unknown_feedback_rejected(self):
+        with pytest.raises(TbfError):
+            tbf_to_circuit(lit("a", 1), feedback="zzz")
+
+    def test_nested_negation(self):
+        expr = not_(or_(lit("a", 1), lit("b", 1)))
+        circuit, delays = tbf_to_circuit(expr)
+        values = circuit.eval_combinational({"a": False, "b": False})
+        # At settled evaluation the timed structure is just the function.
+        assert values["y"] is True
+
+
+class TestArrivalReport:
+    def test_fig2_report(self):
+        circuit, delays = fig2_circuit()
+        report = arrival_report(circuit, delays)
+        assert report.worst_path_delay() == 5
+        g = report.nets["g"]
+        assert g.arrival == Interval(Fraction(3, 2), Fraction(5))
+        assert g.required_through == 5
+        assert g.slack(5) == 0
+        assert g.slack(4) == -1
+
+    def test_leaf_windows(self):
+        circuit, delays = fig2_circuit()
+        report = arrival_report(circuit, delays)
+        f = report.nets["f"]
+        assert f.arrival == Interval(Fraction(0), Fraction(0))
+        assert f.required_through == 5  # the long path starts here
+
+    def test_critical_nets_ordering(self):
+        circuit, delays = fig2_circuit()
+        report = arrival_report(circuit, delays)
+        ranked = report.critical_nets(3)
+        assert all(
+            a.required_through >= b.required_through
+            for a, b in zip(ranked, ranked[1:])
+        )
+        assert ranked[0].required_through == 5
+
+    def test_counter_report(self):
+        c = make_sr_counter()
+        report = arrival_report(c, unit_delays(c))
+        assert report.worst_path_delay() == 2
+        assert report.nets["carry"].arrival == Interval(Fraction(1), Fraction(1))
+        # carry feeds n1 (one more unit): ceiling 2.
+        assert report.nets["carry"].required_through == 2

@@ -1,0 +1,263 @@
+"""Tests for the timed-expansion engine (Fig. 2 circuit as the anchor)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.errors import Budget, ResourceBudgetExceeded, TbfError, AnalysisError
+from repro.logic import Circuit, DelayMap, Gate, GateType, Interval, Latch, PinTiming
+from repro.logic.delays import ZERO
+from repro.timed import (
+    CombinationalBdd,
+    LeafInstance,
+    TimedExpander,
+    collect_leaf_instances,
+)
+from repro.timed.expansion import combinational_bdd
+
+
+def fig2_circuit() -> tuple[Circuit, DelayMap]:
+    """The paper's Fig. 2: g = (c·d·e) + b with inverters/buffers off f.
+
+    Gate delays (folded into each gate's input pins):
+      c = BUF(f)  delay 1.5      d = NOT(f) delay 4
+      e = BUF(f)  delay 5        b = NOT(f) delay 2
+      a = AND(c, d, e) delay 0   g = OR(a, b) delay 0
+    The flattened TBF is g(t) = f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2).
+    """
+    gates = [
+        Gate("c", GateType.BUF, ("f",)),
+        Gate("d", GateType.NOT, ("f",)),
+        Gate("e", GateType.BUF, ("f",)),
+        Gate("b", GateType.NOT, ("f",)),
+        Gate("a", GateType.AND, ("c", "d", "e")),
+        Gate("g", GateType.OR, ("a", "b")),
+    ]
+    circuit = Circuit("fig2", [], ["g"], gates, [Latch("f", "g")])
+    pins = {
+        ("c", 0): PinTiming.symmetric(1.5),
+        ("d", 0): PinTiming.symmetric(4),
+        ("e", 0): PinTiming.symmetric(5),
+        ("b", 0): PinTiming.symmetric(2),
+        ("a", 0): PinTiming.symmetric(0),
+        ("a", 1): PinTiming.symmetric(0),
+        ("a", 2): PinTiming.symmetric(0),
+        ("g", 0): PinTiming.symmetric(0),
+        ("g", 1): PinTiming.symmetric(0),
+    }
+    return circuit, DelayMap(circuit, pins)
+
+
+class TestCollectLeafInstances:
+    def test_fig2_path_delays(self):
+        circuit, delays = fig2_circuit()
+        instances = collect_leaf_instances(circuit, delays, ["g"])["g"]
+        offsets = sorted(inst.offset.lo for inst in instances)
+        assert offsets == [Fraction(3, 2), 2, 4, 5]
+        assert all(inst.leaf == "f" for inst in instances)
+        assert all(inst.offset.is_point for inst in instances)
+
+    def test_extra_offset_shifts_everything(self):
+        circuit, delays = fig2_circuit()
+        instances = collect_leaf_instances(
+            circuit, delays, ["g"], extra=Interval.point(1)
+        )["g"]
+        offsets = sorted(inst.offset.lo for inst in instances)
+        assert offsets == [Fraction(5, 2), 3, 5, 6]
+
+    def test_interval_delays_produce_interval_offsets(self):
+        circuit, delays = fig2_circuit()
+        widened = delays.widen(Fraction(9, 10))
+        instances = collect_leaf_instances(circuit, widened, ["g"])["g"]
+        longest = max(instances, key=lambda i: i.offset.hi)
+        assert longest.offset == Interval.of(Fraction(9, 2), 5)
+
+    def test_budget_enforced(self):
+        circuit, delays = fig2_circuit()
+        with pytest.raises(ResourceBudgetExceeded):
+            collect_leaf_instances(
+                circuit, delays, ["g"], budget=Budget(limit=3, resource="expansion")
+            )
+
+    def test_leaf_root(self):
+        circuit, delays = fig2_circuit()
+        instances = collect_leaf_instances(circuit, delays, ["f"])["f"]
+        assert instances == {LeafInstance("f", ZERO)}
+
+    def test_foreign_delay_map_rejected(self):
+        circuit, delays = fig2_circuit()
+        other_circuit, _ = fig2_circuit()
+        with pytest.raises(AnalysisError):
+            collect_leaf_instances(other_circuit, delays, ["g"])
+
+
+class TestTimedExpander:
+    def test_fig2_flattened_tbf(self):
+        """Expansion must yield exactly f(t-1.5)·f'(t-4)·f(t-5) + f'(t-2)."""
+        circuit, delays = fig2_circuit()
+        mgr = BddManager()
+        expander = TimedExpander(circuit, delays, mgr)
+
+        seen: list[LeafInstance] = []
+
+        def resolver(instance: LeafInstance) -> object:
+            seen.append(instance)
+            return mgr.var(f"f@{instance.offset.lo}")
+
+        g = expander.expand("g", resolver)
+        f15 = mgr.var("f@3/2")
+        f2 = mgr.var("f@2")
+        f4 = mgr.var("f@4")
+        f5 = mgr.var("f@5")
+        assert g == (f15 & ~f4 & f5) | ~f2
+        assert len(seen) == 4  # one resolver call per distinct offset
+
+    def test_expansion_memoizes_shared_offsets(self):
+        # Two parallel unit-delay buffers into an AND: both pins see the
+        # same (leaf, offset) and the resolver runs once.
+        gates = [
+            Gate("b1", GateType.BUF, ("x",)),
+            Gate("b2", GateType.BUF, ("x",)),
+            Gate("y", GateType.AND, ("b1", "b2")),
+        ]
+        circuit = Circuit("shared", ["x"], ["y"], gates)
+        pins = {
+            ("b1", 0): PinTiming.symmetric(1),
+            ("b2", 0): PinTiming.symmetric(1),
+            ("y", 0): PinTiming.symmetric(1),
+            ("y", 1): PinTiming.symmetric(1),
+        }
+        delays = DelayMap(circuit, pins)
+        mgr = BddManager()
+        calls = []
+
+        def resolver(instance):
+            calls.append(instance)
+            return mgr.var("x2")
+
+        out = TimedExpander(circuit, delays, mgr).expand("y", resolver)
+        assert len(calls) == 1
+        assert calls[0] == LeafInstance("x", Interval.point(2))
+        assert out == mgr.var("x2")
+
+    def test_asymmetric_pin_slow_rise(self):
+        # One NOT with rise 3 / fall 1 on its pin: y = (x(t-3)·x(t-1))'.
+        gates = [Gate("y", GateType.NOT, ("x",))]
+        circuit = Circuit("asym", ["x"], ["y"], gates)
+        pins = {("y", 0): PinTiming.asym(rise=3, fall=1)}
+        delays = DelayMap(circuit, pins)
+        mgr = BddManager()
+
+        def resolver(instance):
+            return mgr.var(f"x@{instance.offset.lo}")
+
+        y = TimedExpander(circuit, delays, mgr).expand("y", resolver)
+        # NOT output rising  <=> input falling; the *pin buffer* has the
+        # given rise/fall so the pin value is x(t-3)·x(t-1).
+        assert y == ~(mgr.var("x@3") & mgr.var("x@1"))
+
+    def test_asymmetric_pin_slow_fall(self):
+        gates = [Gate("y", GateType.BUF, ("x",))]
+        circuit = Circuit("asym2", ["x"], ["y"], gates)
+        pins = {("y", 0): PinTiming.asym(rise=1, fall=3)}
+        delays = DelayMap(circuit, pins)
+        mgr = BddManager()
+
+        def resolver(instance):
+            return mgr.var(f"x@{instance.offset.lo}")
+
+        y = TimedExpander(circuit, delays, mgr).expand("y", resolver)
+        assert y == mgr.var("x@1") | mgr.var("x@3")
+
+    def test_overlapping_asymmetric_intervals_rejected(self):
+        gates = [Gate("y", GateType.BUF, ("x",))]
+        circuit = Circuit("bad", ["x"], ["y"], gates)
+        pins = {
+            ("y", 0): PinTiming(
+                rise=Interval.of(1, 3), fall=Interval.of(2, 4)
+            )
+        }
+        delays = DelayMap(circuit, pins)
+        mgr = BddManager()
+        with pytest.raises(TbfError):
+            TimedExpander(circuit, delays, mgr).expand(
+                "y", lambda inst: mgr.var("v")
+            )
+
+    def test_budget_enforced(self):
+        circuit, delays = fig2_circuit()
+        mgr = BddManager()
+        expander = TimedExpander(
+            circuit, delays, mgr, budget=Budget(limit=2, resource="expansion")
+        )
+        with pytest.raises(ResourceBudgetExceeded):
+            expander.expand("g", lambda inst: mgr.var("v"))
+
+    def test_deep_chain_no_recursion_error(self):
+        # 5000-gate inverter chain: must not hit the recursion limit.
+        gates = [Gate("n0", GateType.NOT, ("x",))]
+        for i in range(1, 5000):
+            gates.append(Gate(f"n{i}", GateType.NOT, (f"n{i-1}",)))
+        circuit = Circuit("chain", ["x"], [f"n{4999}"], gates)
+        pins = {(g.output, 0): PinTiming.symmetric(1) for g in gates}
+        delays = DelayMap(circuit, pins)
+        mgr = BddManager()
+        out = TimedExpander(circuit, delays, mgr).expand(
+            "n4999", lambda inst: mgr.var(f"x@{inst.offset.lo}")
+        )
+        assert out == mgr.var("x@5000")  # even chain: buffer overall
+
+    def test_deep_chain_collect(self):
+        gates = [Gate("n0", GateType.NOT, ("x",))]
+        for i in range(1, 3000):
+            gates.append(Gate(f"n{i}", GateType.NOT, (f"n{i-1}",)))
+        circuit = Circuit("chain", ["x"], ["n2999"], gates)
+        pins = {(g.output, 0): PinTiming.symmetric(1) for g in gates}
+        delays = DelayMap(circuit, pins)
+        instances = collect_leaf_instances(circuit, delays, ["n2999"])["n2999"]
+        assert instances == {LeafInstance("x", Interval.point(3000))}
+
+
+class TestCombinationalBdd:
+    def test_simple_cone(self):
+        gates = [
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("n1", "c")),
+        ]
+        circuit = Circuit("c", ["a", "b", "c"], ["y"], gates)
+        mgr = BddManager()
+        leaf_map = {v: mgr.var(v) for v in ["a", "b", "c"]}
+        y = combinational_bdd(circuit, "y", leaf_map, mgr)
+        assert y == (mgr.var("a") & mgr.var("b")) | mgr.var("c")
+
+    def test_leaf_root_returns_leaf_value(self):
+        circuit = Circuit("c", ["a"], ["a"], [])
+        mgr = BddManager()
+        assert combinational_bdd(circuit, "a", {"a": mgr.var("z")}, mgr) == mgr.var("z")
+
+    def test_missing_leaf_value(self):
+        circuit = Circuit("c", ["a"], ["a"], [])
+        mgr = BddManager()
+        with pytest.raises(AnalysisError):
+            combinational_bdd(circuit, "a", {}, mgr)
+
+    def test_wrapper_next_state_and_outputs(self):
+        gates = [Gate("d", GateType.NOT, ("q",)), Gate("y", GateType.BUF, ("q",))]
+        circuit = Circuit("t", [], ["y"], gates, [Latch("q", "d")])
+        mgr = BddManager()
+        wrapper = CombinationalBdd(circuit, {"q": mgr.var("q")}, mgr)
+        assert wrapper.next_state() == {"q": ~mgr.var("q")}
+        assert wrapper.outputs() == {"y": mgr.var("q")}
+
+    def test_wrapper_shares_cache(self):
+        gates = [
+            Gate("shared", GateType.AND, ("a", "b")),
+            Gate("y1", GateType.NOT, ("shared",)),
+            Gate("y2", GateType.BUF, ("shared",)),
+        ]
+        circuit = Circuit("c", ["a", "b"], ["y1", "y2"], gates)
+        mgr = BddManager()
+        wrapper = CombinationalBdd(circuit, {v: mgr.var(v) for v in "ab"}, mgr)
+        outs = wrapper.outputs()
+        assert outs["y1"] == ~outs["y2"]

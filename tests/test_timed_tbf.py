@@ -1,0 +1,182 @@
+"""Tests for the symbolic TBF algebra against the paper's Sec. 3 examples."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TbfError
+from repro.timed import (
+    and_,
+    buffer_tbf,
+    const,
+    dff_sample_time,
+    gate_pin_tbf,
+    lit,
+    not_,
+    or_,
+)
+from repro.timed.tbf import dff_output
+
+
+def step_at(t0):
+    """Waveform: 0 before t0, 1 from t0 on."""
+    return lambda t: t >= t0
+
+
+class TestConstructors:
+    def test_literal_printing(self):
+        assert str(lit("x", 1.5)) == "x(t-3/2)"
+        assert str(lit("x")) == "x(t)"
+        assert str(~lit("x", 2)) == "x(t-2)'"
+
+    def test_flattening(self):
+        e = and_(lit("a"), and_(lit("b"), lit("c")))
+        assert len(e.children) == 3
+        e = or_(lit("a"), or_(lit("b"), lit("c")))
+        assert len(e.children) == 3
+
+    def test_unit_cases(self):
+        assert and_() == const(True)
+        assert or_() == const(False)
+        assert and_(lit("a")) == lit("a")
+
+    def test_double_negation(self):
+        assert not_(not_(lit("a"))) == lit("a")
+        assert not_(const(True)) == const(False)
+
+    def test_literals_and_max_shift(self):
+        e = or_(and_(lit("f", 1.5), ~lit("f", 4), lit("f", 5)), ~lit("f", 2))
+        assert e.literals() == {
+            ("f", Fraction(3, 2)),
+            ("f", Fraction(4)),
+            ("f", Fraction(5)),
+            ("f", Fraction(2)),
+        }
+        assert e.max_shift() == 5
+        assert e.signals() == {"f"}
+        assert const(True).max_shift() == 0
+
+
+class TestFig1Models:
+    def test_complex_gate_model(self):
+        # Fig 1(a): y(t) = x1'(t-τ1) + x2(t-τ2) + x3(t-τ3)
+        y = or_(~lit("x1", 1), lit("x2", 2), lit("x3", 3))
+        waves = {"x1": step_at(0), "x2": step_at(0), "x3": step_at(0)}
+        # At t=1.5: x1(0.5)=1 -> term 0; x2(-0.5)=0; x3(-1.5)=0.
+        assert y.evaluate(waves, 1.5) is False
+        # At t=2: x2(0)=1.
+        assert y.evaluate(waves, 2) is True
+
+    def test_buffer_slow_rise(self):
+        # τr=3 > τf=1: y = x(t-3)·x(t-1); rising edge delayed by 3.
+        y = buffer_tbf("x", rise=3, fall=1)
+        waves = {"x": step_at(0)}
+        assert y.evaluate(waves, 2.9) is False
+        assert y.evaluate(waves, 3) is True
+        # Falling edge delayed by 1.
+        waves = {"x": lambda t: t < 0}  # falls at 0
+        assert y.evaluate(waves, 0.9) is True
+        assert y.evaluate(waves, 1) is False
+
+    def test_buffer_slow_fall(self):
+        # τr=1 < τf=3: y = x(t-1) + x(t-3).
+        y = buffer_tbf("x", rise=1, fall=3)
+        waves = {"x": step_at(0)}
+        assert y.evaluate(waves, 1) is True
+        waves = {"x": lambda t: t < 0}
+        assert y.evaluate(waves, 2.9) is True
+        assert y.evaluate(waves, 3) is False
+
+    def test_buffer_equal_delays_degenerates(self):
+        assert buffer_tbf("x", 2, 2) == lit("x", 2)
+
+    def test_fig1b_or_gate(self):
+        # OR gate; pin 1 rise 1 / fall 2, pin 2 rise 4 / fall 3:
+        #   x1(t-1) + x1(t-2) + x2(t-4)·x2(t-3)
+        y = or_(gate_pin_tbf("x1", 1, 2), gate_pin_tbf("x2", 4, 3))
+        expected = or_(
+            lit("x1", 1), lit("x1", 2), and_(lit("x2", 4), lit("x2", 3))
+        )
+        assert y.equivalent(expected)
+        assert y.literals() == expected.literals()
+
+
+class TestComposition:
+    def test_example1_flattening(self):
+        """Example 1: flatten the Fig. 2 circuit's gate TBFs."""
+        # Gate TBFs (delays inside the gates):
+        g = or_(lit("a"), lit("b"))
+        b = ~lit("f", 2)
+        a = and_(lit("c"), lit("d"), lit("e"))
+        c = lit("f", 1.5)
+        d = ~lit("f", 4)
+        e = lit("f", 5)
+        flat = (
+            g.substitute("a", a)
+            .substitute("b", b)
+            .substitute("c", c)
+            .substitute("d", d)
+            .substitute("e", e)
+        )
+        expected = or_(
+            and_(lit("f", 1.5), ~lit("f", 4), lit("f", 5)),
+            ~lit("f", 2),
+        )
+        assert flat.equivalent(expected)
+        assert flat.max_shift() == 5
+
+    def test_substitution_accumulates_shift(self):
+        # y = x(t-1); x = w(t-2)  =>  y = w(t-3)
+        y = lit("x", 1)
+        assert y.substitute("x", lit("w", 2)) == lit("w", 3)
+
+    def test_shifted(self):
+        e = or_(lit("a", 1), ~lit("b", 2))
+        s = e.shifted(0.5)
+        assert s.literals() == {("a", Fraction(3, 2)), ("b", Fraction(5, 2))}
+
+    def test_substitute_leaves_other_signals(self):
+        e = and_(lit("a", 1), lit("b", 1))
+        out = e.substitute("a", lit("c", 1))
+        assert out.literals() == {("c", Fraction(2)), ("b", Fraction(1))}
+
+
+class TestEquivalence:
+    def test_same_shift_required(self):
+        assert not lit("x", 1).equivalent(lit("x", 2))
+        assert lit("x", 1).equivalent(lit("x", 1))
+
+    def test_boolean_equivalence(self):
+        a, b = lit("a"), lit("b")
+        assert (~(a & b)).equivalent(~a | ~b)
+
+    def test_constants(self):
+        a = lit("a")
+        assert (a | ~a).equivalent(const(True))
+        assert (a & ~a).equivalent(const(False))
+
+
+class TestDff:
+    def test_sample_time_floor(self):
+        # Q(t) = D(P*floor((t-d)/P))
+        assert dff_sample_time(t=7, period=2) == 6
+        assert dff_sample_time(t=8, period=2) == 8
+        assert dff_sample_time(t=7.9, period=2, dff_delay=1) == 6
+        assert dff_sample_time(t="5/2", period="5/4") == Fraction(5, 2)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(TbfError):
+            dff_sample_time(1, 0)
+
+    def test_dff_output_samples_data(self):
+        # Data input d(t) = x(t-1), x steps at 0; clock period 2.
+        data = lit("x", 1)
+        waves = {"x": step_at(0)}
+        # At t=1.5 the last edge was t=0: d(0) = x(-1) = 0.
+        assert dff_output(data, waves, 1.5, period=2) is False
+        # At t=2.5 the last edge was t=2: d(2) = x(1) = 1.
+        assert dff_output(data, waves, 2.5, period=2) is True
+
+    def test_missing_waveform(self):
+        with pytest.raises(TbfError):
+            lit("x").evaluate({}, 0)

@@ -1,0 +1,54 @@
+"""Random-circuit properties of the structural transforms."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.generators import random_fsm
+from repro.delay import (
+    floating_delay,
+    longest_topological_delay,
+    transition_delay,
+)
+from repro.logic.transform import circuit_stats, sweep_dead_logic
+from repro.mct import MctOptions, minimum_cycle_time
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sweep_preserves_behaviour(seed):
+    circuit, delays = random_fsm(seed, n_inputs=2, n_latches=2, n_gates=10)
+    swept, _ = sweep_dead_logic(circuit, delays)
+    rng = random.Random(seed)
+    init = {q: False for q in circuit.state_nets}
+    stim = [{u: rng.random() < 0.5 for u in circuit.inputs} for _ in range(10)]
+    assert circuit.simulate(init, stim) == swept.simulate(init, stim)
+    assert swept.stats["gates"] <= circuit.stats["gates"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_sweep_preserves_all_timing_analyses(seed):
+    """Dead logic is invisible to every analysis (they are cone-based),
+    so sweeping must not move any number."""
+    circuit, delays = random_fsm(seed, n_inputs=1, n_latches=2, n_gates=8)
+    swept, sdelays = sweep_dead_logic(circuit, delays)
+    assert longest_topological_delay(circuit, delays) == \
+        longest_topological_delay(swept, sdelays)
+    assert floating_delay(circuit, delays).delay == \
+        floating_delay(swept, sdelays).delay
+    assert transition_delay(circuit, delays).delay == \
+        transition_delay(swept, sdelays).delay
+    a = minimum_cycle_time(circuit, delays, MctOptions(max_age=6))
+    b = minimum_cycle_time(swept, sdelays, MctOptions(max_age=6))
+    assert a.mct_upper_bound == b.mct_upper_bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_stats_consistency(seed):
+    circuit, _ = random_fsm(seed, n_inputs=2, n_latches=3, n_gates=12)
+    stats = circuit_stats(circuit)
+    assert stats.gates == sum(stats.by_type.values())
+    assert stats.depth >= 1
+    assert stats.latches == 3
