@@ -45,10 +45,16 @@ class BddManager:
     budget:
         Optional node-creation budget.  When exhausted, operations raise
         :class:`~repro.errors.ResourceBudgetExceeded`.
+    deadline:
+        Optional cooperative :class:`repro.resilience.Deadline` polled
+        on every node creation (the manager's hot loop), so a
+        wall-clock limit interrupts even one giant ``ite`` instead of
+        waiting for the caller's next coarse-grained check.
     """
 
-    def __init__(self, budget: Budget | None = None):
+    def __init__(self, budget: Budget | None = None, deadline=None):
         self._budget = budget
+        self._deadline = deadline
         # Parallel node arrays; slots 0/1 are the terminals.
         self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
         self._low: list[int] = [FALSE, TRUE]
@@ -137,6 +143,8 @@ class BddManager:
         if node is None:
             if self._budget is not None:
                 self._budget.charge()
+            if self._deadline is not None:
+                self._deadline.check("bdd node creation")
             node = len(self._level)
             self._level.append(level)
             self._low.append(low)

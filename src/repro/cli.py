@@ -27,12 +27,15 @@ from repro.logic.delays import (
     typed_delays,
     unit_delays,
 )
+from repro.errors import CheckpointError
 from repro.mct import (
+    DEFAULT_LADDER,
     MctOptions,
     level_sensitive_mct,
     minimum_cycle_time,
     optimize_skew,
 )
+from repro.resilience import SweepCheckpoint, inject_faults
 from repro.report import analyze_circuit, render_rows, run_suite
 from repro.report.tables import format_fraction
 from repro.sim import ClockedSimulator, sample_delay_map
@@ -66,11 +69,48 @@ def cmd_analyze(args) -> int:
           f"  (Thm.1 bound {'valid' if report.hold_ok else 'VOID: hold violated'})")
     print(f"  transition delay  : {format_fraction(report.transition)}"
           f"  ({'certified' if report.transition_certified else 'UNCERTIFIED (Thm.2): may be incorrect'})")
+    work_budget = args.budget
+    time_limit = args.time_limit
+    if time_limit is not None and time_limit < 0:
+        print("error: --time-limit must be non-negative", file=sys.stderr)
+        return 1
+    # The fault flags exercise the resilience path deterministically
+    # (used by the CI smoke job); they need a budget/deadline to fail.
+    if args.fail_budget_at and work_budget is None:
+        work_budget = 10**9
+    if args.fail_deadline_at and time_limit is None:
+        time_limit = 3600.0
     options = MctOptions(
         use_reachability=args.reachability,
-        work_budget=args.budget,
+        work_budget=work_budget,
+        time_limit=time_limit,
+        degradation_ladder=DEFAULT_LADDER if args.degrade else (),
     )
-    result = minimum_cycle_time(circuit, delays, options)
+    resume_from = None
+    if args.resume:
+        try:
+            resume_from = SweepCheckpoint.load(args.resume)
+        except (OSError, CheckpointError) as exc:
+            print(f"error: cannot resume: {exc}", file=sys.stderr)
+            return 1
+
+    def run():
+        return minimum_cycle_time(
+            circuit, delays, options, resume_from=resume_from
+        )
+
+    try:
+        if args.fail_budget_at or args.fail_deadline_at:
+            with inject_faults(
+                budget_at=args.fail_budget_at,
+                deadline_at=args.fail_deadline_at,
+            ):
+                result = run()
+        else:
+            result = run()
+    except CheckpointError as exc:
+        print(f"error: cannot resume: {exc}", file=sys.stderr)
+        return 1
     marker = "" if result.failure_found else " (no failing window found; bound from sweep floor)"
     print(f"  minimum cycle time: {format_fraction(result.mct_upper_bound)}{marker}")
     if result.failing_window:
@@ -94,6 +134,23 @@ def cmd_analyze(args) -> int:
           f" ({result.decisions_run} decisions, {result.elapsed_seconds:.2f}s)")
     if result.budget_exceeded:
         print("    NOTE: work budget exhausted; bound is partial (†)")
+    if result.deadline_exceeded:
+        print("    NOTE: time limit reached; bound is partial (†)")
+    for step in result.degradations:
+        print(f"    degraded        : {step.from_rung} -> {step.to_rung} "
+              f"at tau={format_fraction(step.tau)}")
+    if result.rung != "exact":
+        print(f"    rung            : {result.rung}")
+    if args.checkpoint:
+        if result.checkpoint is not None:
+            result.checkpoint.save(args.checkpoint)
+            print(f"    checkpoint      : saved to {args.checkpoint} "
+                  f"(resume with --resume {args.checkpoint})")
+        elif result.interrupted:
+            print("    checkpoint      : interrupted before the sweep "
+                  "started; rerun from scratch")
+        else:
+            print("    checkpoint      : analysis completed; nothing to save")
     return 0
 
 
@@ -260,6 +317,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=None, help="work budget")
     p.add_argument("--witness", action="store_true",
                    help="search for a simulated divergence below the bound")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="cooperative wall-clock limit (seconds)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write a resume checkpoint here if interrupted")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="continue an interrupted sweep from a checkpoint")
+    p.add_argument("--degrade", action="store_true",
+                   help="retry exhausted windows at degraded settings "
+                        "instead of giving up (see docs/ROBUSTNESS.md)")
+    p.add_argument("--fail-budget-at", type=int, default=None, metavar="N",
+                   help="fault injection: fail the Nth budget charge")
+    p.add_argument("--fail-deadline-at", type=int, default=None, metavar="N",
+                   help="fault injection: fail the Nth deadline check")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("table", help="regenerate the paper's results table")

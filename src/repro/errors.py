@@ -63,6 +63,39 @@ class ResourceBudgetExceeded(ReproError):
         self.limit = limit
 
 
+class DeadlineExceeded(ReproError):
+    """A cooperative wall-clock deadline expired inside a computation.
+
+    Raised by :meth:`repro.resilience.Deadline.check`, which the hot
+    inner loops (BDD node creation, timed expansion, feasibility) poll,
+    so a single expensive decision window cannot overrun
+    ``MctOptions.time_limit`` unboundedly.  Callers catch this exactly
+    like :class:`ResourceBudgetExceeded` and report a partial result.
+    """
+
+    def __init__(self, seconds: float | None = None, where: str = ""):
+        detail = f" after {seconds:g}s" if seconds is not None else ""
+        suffix = f" in {where}" if where else ""
+        super().__init__(f"deadline exceeded{detail}{suffix}")
+        self.seconds = seconds
+        self.where = where
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint is malformed or does not match the analysis
+    (different circuit, options, or an unknown format version)."""
+
+
+#: Optional fault-injection hooks (see :mod:`repro.resilience.faults`).
+#: When set, ``budget_fault_hook(budget, amount)`` runs before every
+#: :meth:`Budget.charge` and ``deadline_fault_hook(deadline)`` before
+#: every ``Deadline.check``; a hook raises to simulate exhaustion at a
+#: deterministic call count.  ``None`` (the default) costs one global
+#: load per call.
+budget_fault_hook = None
+deadline_fault_hook = None
+
+
 class Budget:
     """A simple countdown budget shared across a computation.
 
@@ -75,7 +108,7 @@ class Budget:
         Human-readable resource name used in error messages.
     """
 
-    __slots__ = ("limit", "used", "resource")
+    __slots__ = ("limit", "used", "resource", "_parent")
 
     def __init__(self, limit: int | None = None, resource: str = "work"):
         if limit is not None and limit <= 0:
@@ -83,12 +116,41 @@ class Budget:
         self.limit = limit
         self.used = 0
         self.resource = resource
+        self._parent: Budget | None = None
 
     def charge(self, amount: int = 1) -> None:
-        """Consume ``amount`` units, raising when the limit is crossed."""
-        self.used += amount
-        if self.limit is not None and self.used > self.limit:
+        """Consume ``amount`` units, raising when the limit would be
+        crossed.  The raising call does *not* consume: ``used`` never
+        overshoots ``limit``, so telemetry after exhaustion reports the
+        true consumption instead of phantom units.
+        """
+        hook = budget_fault_hook
+        if hook is not None:
+            hook(self, amount)
+        if self.limit is not None and self.used + amount > self.limit:
             raise ResourceBudgetExceeded(self.resource, self.limit)
+        if self._parent is not None:
+            self._parent.charge(amount)
+        self.used += amount
+
+    def child(self, fraction: float, resource: str | None = None) -> "Budget":
+        """A sub-budget for one phase, sized as ``fraction`` of what
+        remains.
+
+        Charges against the child propagate to this (parent) budget, so
+        the overall limit still holds end to end; the child's own limit
+        additionally caps the sub-phase.  An unlimited parent yields an
+        unlimited child (which still forwards its charges).
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("child fraction must be in (0, 1]")
+        name = resource or f"{self.resource}/sub"
+        if self.limit is None:
+            sub = Budget(None, name)
+        else:
+            sub = Budget(max(1, int(self.remaining * fraction)), name)
+        sub._parent = self
+        return sub
 
     @property
     def remaining(self) -> int | None:

@@ -36,7 +36,14 @@ from repro.mct.feasibility import (
     sigma_is_feasible,
     sigma_sup_tau,
 )
-from repro.mct.engine import MctOptions, MctResult, minimum_cycle_time
+from repro.mct.engine import (
+    DEFAULT_LADDER,
+    CandidateRecord,
+    DegradationStep,
+    MctOptions,
+    MctResult,
+    minimum_cycle_time,
+)
 from repro.mct.level_sensitive import LevelSensitiveResult, level_sensitive_mct
 from repro.mct.skew import SkewResult, optimize_skew
 from repro.mct.witness import Witness, find_witness
@@ -53,6 +60,9 @@ __all__ = [
     "feasible_tau_range",
     "sigma_is_feasible",
     "sigma_sup_tau",
+    "CandidateRecord",
+    "DEFAULT_LADDER",
+    "DegradationStep",
     "MctOptions",
     "MctResult",
     "minimum_cycle_time",

@@ -86,12 +86,15 @@ class DecisionContext:
         reachable: Function | None = None,
         budget: Budget | None = None,
         max_failing_options: int = 256,
+        deadline=None,
     ):
         self.machine = machine
         circuit = machine.circuit
-        self.manager = BddManager(budget=budget)
+        self.deadline = deadline
+        self.manager = BddManager(budget=budget, deadline=deadline)
         self.expander = TimedExpander(
-            circuit, machine.delays, self.manager, budget=budget
+            circuit, machine.delays, self.manager, budget=budget,
+            deadline=deadline,
         )
         if initial_state is None:
             initial_state = {q: False for q in circuit.latches}
@@ -248,6 +251,8 @@ class DecisionContext:
         mismatch = self.manager.false
         failing: set[str] = set()
         for n in range(1, m + 1):
+            if self.deadline is not None:
+                self.deadline.check("decision base step")
 
             def tau_value(leaf: str, age: int, n=n) -> Function:
                 j = n - age
@@ -311,6 +316,8 @@ class DecisionContext:
         mismatch = self.manager.false
         failing: set[str] = set()
         for q, latch in circuit.latches.items():
+            if self.deadline is not None:
+                self.deadline.check("decision inductive step")
             phi = self.machine.delays.phase(q)
             x_tau = self.expander.expand(
                 latch.data,

@@ -129,6 +129,7 @@ def build_discretized_machine(
     circuit: Circuit,
     delays: DelayMap,
     budget: Budget | None = None,
+    deadline=None,
 ) -> DiscretizedMachine:
     """Collect every root cone's timed leaves and fold total delays.
 
@@ -146,12 +147,15 @@ def build_discretized_machine(
             state_roots,
             extra=Interval.point(setup),
             budget=budget,
+            deadline=deadline,
         )
         if state_roots
         else {}
     )
     output_instances = (
-        collect_leaf_instances(circuit, delays, output_roots, budget=budget)
+        collect_leaf_instances(
+            circuit, delays, output_roots, budget=budget, deadline=deadline
+        )
         if output_roots
         else {}
     )

@@ -12,8 +12,24 @@ stops at the first window containing a *feasible* failing combination:
   supremum over the feasible failing combinations (the paper's linear
   program in its ε→0 limit).
 
-Resource budgets turn the paper's "memory out" rows into clean partial
-results.
+Resilience (see :mod:`repro.resilience` and docs/ROBUSTNESS.md) turns
+the paper's "memory out" rows into resumable, explainable partial
+results:
+
+* a :class:`~repro.resilience.Deadline` travels with the work
+  :class:`~repro.errors.Budget` into every hot inner loop, so
+  ``MctOptions.time_limit`` holds *inside* a decision window, not just
+  between breakpoints;
+* an interrupted sweep snapshots its progress into a
+  :class:`~repro.resilience.SweepCheckpoint` attached to the result;
+  ``minimum_cycle_time(..., resume_from=ckpt)`` replays the recorded
+  candidates and continues from the first unexamined breakpoint;
+* an optional graceful-degradation ladder
+  (``MctOptions.degradation_ladder``) retries an exhausted window with
+  progressively cheaper settings — a fresh budget with the relaxed
+  per-path feasibility model, then without reachability don't cares,
+  then with a reduced age cap — before giving up; every record and the
+  final result carry the rung that produced them.
 """
 
 from __future__ import annotations
@@ -23,13 +39,27 @@ import time
 from fractions import Fraction
 
 from repro.bdd import Function
-from repro.errors import AnalysisError, Budget, ResourceBudgetExceeded
+from repro.errors import (
+    AnalysisError,
+    Budget,
+    DeadlineExceeded,
+    ResourceBudgetExceeded,
+)
 from repro.logic.delays import DelayMap
 from repro.logic.netlist import Circuit
 from repro.mct.breakpoints import tau_breakpoints
 from repro.mct.decision import DecisionContext
 from repro.mct.discretize import DiscretizedMachine, build_discretized_machine
 from repro.mct.feasibility import sigma_sup_tau
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.deadline import Deadline
+
+#: The rungs tried, in order, by ``MctOptions(degradation_ladder=...)``
+#: when a window exhausts its budget or deadline.  Each rung rebuilds
+#: the decision context with a *fresh* budget of the same size — which
+#: alone can rescue a window whose shared budget was mostly consumed by
+#: earlier windows — and progressively cheaper settings.
+DEFAULT_LADDER = ("relaxed", "no-reachability", "reduced-age")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,7 +85,10 @@ class MctOptions:
     work_budget: int | None = None
     #: Cap on decoded failing combinations per decision.
     max_failing_options: int = 256
-    #: Soft wall-clock limit in seconds (None = unlimited).
+    #: Soft wall-clock limit in seconds (None = unlimited).  Enforced
+    #: cooperatively *inside* the hot loops via a
+    #: :class:`~repro.resilience.Deadline`, not just between
+    #: breakpoints.
     time_limit: float | None = None
     #: Use the paper's gate-coupled LP (Sec. 7) instead of the relaxed
     #: per-path-independent interval model when filtering failing
@@ -65,6 +98,12 @@ class MctOptions:
     exact_feasibility: bool = False
     max_exact_paths: int = 10_000
     max_exact_combinations: int = 256
+    #: Graceful-degradation rungs tried (in order) when a window
+    #: exhausts its budget/deadline; a subset of :data:`DEFAULT_LADDER`.
+    #: Empty (the default) fails fast exactly like the seed behaviour.
+    degradation_ladder: tuple[str, ...] = ()
+    #: The age cap applied by the "reduced-age" rung.
+    degraded_max_age: int = 4
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,6 +114,24 @@ class CandidateRecord:
     #: "steady" | "pass" | "pass-infeasible" | "fail"
     status: str
     m: int = 1
+    #: Wall-clock seconds spent deciding this window (0 for steady
+    #: windows and records replayed from a checkpoint keep their
+    #: original timing).
+    elapsed_seconds: float = 0.0
+    #: Degradation-ladder rung that produced this verdict.
+    rung: str = "exact"
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationStep:
+    """One rung escalation of the graceful-degradation ladder."""
+
+    #: Breakpoint whose window triggered the escalation.
+    tau: Fraction
+    from_rung: str
+    to_rung: str
+    #: The exhaustion that forced the step (stringified exception).
+    reason: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,33 +161,63 @@ class MctResult:
     budget_exceeded: bool = False
     exhausted: bool = False
     notes: str = ""
+    #: True when the cooperative deadline (``time_limit``) interrupted
+    #: the analysis.
+    deadline_exceeded: bool = False
+    #: Degradation-ladder rung in force when the sweep ended.
+    rung: str = "exact"
+    #: Every rung escalation that happened, in order.
+    degradations: tuple[DegradationStep, ...] = ()
+    #: Resume token attached when the sweep was interrupted by resource
+    #: pressure; pass to ``minimum_cycle_time(resume_from=...)`` or
+    #: save to disk for ``repro-mct analyze --resume``.
+    checkpoint: SweepCheckpoint | None = None
 
     @property
     def improves_on(self) -> Fraction | None:
         """Alias of the bound, for report code symmetry."""
         return self.mct_upper_bound
 
+    @property
+    def interrupted(self) -> bool:
+        """True when resource pressure stopped the sweep early."""
+        return self.budget_exceeded or self.deadline_exceeded
+
 
 def minimum_cycle_time(
     circuit: Circuit,
     delays: DelayMap,
     options: MctOptions | None = None,
+    resume_from: SweepCheckpoint | None = None,
 ) -> MctResult:
     """Compute an upper bound on the machine's minimum cycle time.
 
     This is the paper's full algorithm: TBF discretization, steady
     state at τ = L, critical-τ sweep with Decision Algorithm 6.1 at
     every regime, interval algebra + feasibility for variable delays.
+
+    ``resume_from`` continues an interrupted sweep from its
+    :class:`~repro.resilience.SweepCheckpoint`: the recorded candidates
+    are replayed verbatim and the sweep proceeds from the first
+    unexamined breakpoint, so the final bound and candidate sequence
+    match what an uninterrupted run would have produced.  The
+    checkpoint must match the circuit and options
+    (:class:`~repro.errors.CheckpointError` otherwise); the work budget
+    and time limit are intentionally *not* part of that fingerprint —
+    resuming with fresh resources is the point.
     """
     options = options or MctOptions()
     start = time.monotonic()
+    deadline = Deadline.after(options.time_limit)
     budget = (
         Budget(limit=options.work_budget, resource="mct work")
         if options.work_budget
         else None
     )
     try:
-        machine = build_discretized_machine(circuit, delays, budget=budget)
+        machine = build_discretized_machine(
+            circuit, delays, budget=budget, deadline=deadline
+        )
     except ResourceBudgetExceeded:
         return MctResult(
             circuit_name=circuit.name,
@@ -142,128 +229,449 @@ def minimum_cycle_time(
             elapsed_seconds=time.monotonic() - start,
             notes="budget exhausted during path collection",
         )
-    reachable = _reachable_care(circuit, options) if options.use_reachability else None
-    context = DecisionContext(
-        machine,
-        initial_state=options.initial_state,
-        check_outputs=options.check_outputs,
-        reachable=reachable,
-        budget=budget,
-        max_failing_options=options.max_failing_options,
-    )
-    tau_floor = options.tau_floor
-    if tau_floor is None:
-        tau_floor = machine.L / options.max_age
-    steady = machine.steady_regime()
+    except DeadlineExceeded:
+        return MctResult(
+            circuit_name=circuit.name,
+            L=Fraction(0),
+            mct_upper_bound=None,
+            failure_found=False,
+            failing_window=None,
+            deadline_exceeded=True,
+            exhausted=True,
+            elapsed_seconds=time.monotonic() - start,
+            notes="time limit reached during path collection",
+        )
+    sweep = _Sweep(circuit, machine, options, budget, deadline, start)
+    if resume_from is not None:
+        sweep.restore(resume_from)
+    return sweep.run()
 
-    records: list[CandidateRecord] = []
-    prev_tau: Fraction | None = None
-    prev_regime = None
-    mct_ub: Fraction | None = None
-    failure_found = False
-    failing_window = None
-    failing_sigmas: tuple = ()
-    failing_roots: tuple[str, ...] = ()
-    exhausted = False
-    budget_exceeded = False
-    notes = ""
-    try:
-        for tau in tau_breakpoints(machine.endpoint_values, tau_floor):
-            if len(records) >= options.max_candidates:
-                exhausted, notes = True, "candidate cap reached"
+
+def _fingerprint(options: MctOptions) -> dict:
+    """The JSON-safe option subset a checkpoint must match on resume.
+
+    ``work_budget`` and ``time_limit`` are deliberately absent: they
+    describe *resources*, not the analysis, and resuming with more of
+    either is the normal use.
+    """
+    return {
+        "check_outputs": bool(options.check_outputs),
+        "use_reachability": bool(options.use_reachability),
+        "max_age": int(options.max_age),
+        "max_candidates": int(options.max_candidates),
+        "max_failing_options": int(options.max_failing_options),
+        "exact_feasibility": bool(options.exact_feasibility),
+        "tau_floor": None if options.tau_floor is None else str(options.tau_floor),
+        "initial_state": (
+            None
+            if options.initial_state is None
+            else {str(k): bool(v) for k, v in sorted(options.initial_state.items())}
+        ),
+        "degradation_ladder": [str(name) for name in options.degradation_ladder],
+        "degraded_max_age": int(options.degraded_max_age),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class _RungConfig:
+    """Effective settings of one degradation-ladder rung."""
+
+    name: str
+    use_reachability: bool
+    exact_feasibility: bool
+    max_age: int
+
+
+def _ladder(options: MctOptions) -> tuple[_RungConfig, ...]:
+    """Rung 0 (the configured analysis) plus the requested fallbacks."""
+    rungs = [
+        _RungConfig(
+            "exact",
+            options.use_reachability,
+            options.exact_feasibility,
+            options.max_age,
+        )
+    ]
+    for name in options.degradation_ladder:
+        if name == "relaxed":
+            rungs.append(
+                _RungConfig(name, options.use_reachability, False, options.max_age)
+            )
+        elif name == "no-reachability":
+            rungs.append(_RungConfig(name, False, False, options.max_age))
+        elif name == "reduced-age":
+            rungs.append(
+                _RungConfig(
+                    name,
+                    False,
+                    False,
+                    min(options.max_age, options.degraded_max_age),
+                )
+            )
+        else:
+            raise AnalysisError(f"unknown degradation rung {name!r}")
+    return tuple(rungs)
+
+
+@dataclasses.dataclass
+class _Verdict:
+    """What one fully-examined window concluded."""
+
+    status: str  # "pass" | "pass-infeasible" | "fail"
+    m: int
+    bound: Fraction | None = None
+    sigmas: tuple = ()
+    roots: tuple[str, ...] = ()
+
+
+class _SweepStop(Exception):
+    """Internal: the sweep must stop and report a partial result."""
+
+    def __init__(
+        self,
+        notes: str,
+        budget: bool = False,
+        deadline: bool = False,
+        exhausted: bool = False,
+    ):
+        super().__init__(notes)
+        self.notes = notes
+        self.budget = budget
+        self.deadline = deadline
+        self.exhausted = exhausted
+
+
+#: Sentinel distinguishing "not computed yet" from a computed ``None``.
+_UNSET = object()
+
+
+class _Sweep:
+    """One τ-sweep run: breakpoint loop, ladder, checkpointing."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        machine: DiscretizedMachine,
+        options: MctOptions,
+        budget: Budget | None,
+        deadline: Deadline | None,
+        start: float,
+    ):
+        self.circuit = circuit
+        self.machine = machine
+        self.options = options
+        self.budget = budget
+        self.deadline = deadline
+        self.start = start
+        self.rungs = _ladder(options)
+        self.rung_idx = 0
+        self.contexts: dict[int, DecisionContext] = {}
+        self.records: list[CandidateRecord] = []
+        self.prev_tau: Fraction | None = None
+        self.prev_regime = None
+        self.resume_below: Fraction | None = None
+        self.degradations: list[DegradationStep] = []
+        self._degraded_by = "budget"
+        self._reachable_fn = _UNSET
+        self._oracle_cache = _UNSET
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def restore(self, checkpoint: SweepCheckpoint) -> None:
+        """Replay an interrupted sweep's progress before running."""
+        checkpoint.validate(
+            self.circuit.name, self.machine.L, _fingerprint(self.options)
+        )
+        self.records = list(checkpoint.records)
+        self.prev_tau = checkpoint.last_tau
+        self.resume_below = checkpoint.last_tau
+        if checkpoint.last_tau is not None:
+            self.prev_regime = self.machine.regime(checkpoint.last_tau)
+        for idx, rung in enumerate(self.rungs):
+            if rung.name == checkpoint.rung:
+                self.rung_idx = idx
                 break
-            if (
-                options.time_limit is not None
-                and time.monotonic() - start > options.time_limit
-            ):
-                exhausted, notes = True, "time limit reached"
-                break
-            regime = machine.regime(tau)
-            m = max(max(ages) for ages in regime.values())
-            if m > options.max_age:
-                exhausted, notes = True, f"age cap {options.max_age} reached"
-                break
-            if regime == prev_regime:
-                prev_tau = tau
-                continue
-            prev_regime = regime
-            if regime == steady:
-                records.append(CandidateRecord(tau, "steady", m))
-                prev_tau = tau
-                continue
-            outcome = context.decide(regime)
-            if outcome.passed_structurally:
-                records.append(CandidateRecord(tau, "pass", outcome.m))
-                prev_tau = tau
-                continue
-            # Structural failure: the window is [tau, prev_tau).
-            window_top = prev_tau if prev_tau is not None else machine.L
-            window = (tau, window_top)
-            if not outcome.has_choices:
-                records.append(CandidateRecord(tau, "fail", outcome.m))
-                mct_ub = window_top
+
+    def _checkpoint(self, reason: str) -> SweepCheckpoint:
+        return SweepCheckpoint(
+            circuit_name=self.circuit.name,
+            L=self.machine.L,
+            last_tau=self.prev_tau,
+            records=tuple(self.records),
+            rung=self.rungs[self.rung_idx].name,
+            reason=reason,
+            fingerprint=_fingerprint(self.options),
+        )
+
+    # ------------------------------------------------------------------
+    # Lazy shared artifacts
+    # ------------------------------------------------------------------
+    def _reachable(self) -> Function:
+        if self._reachable_fn is _UNSET:
+            self._reachable_fn = _reachable_care(self.circuit, self.options)
+        return self._reachable_fn
+
+    def _oracle(self):
+        if self._oracle_cache is _UNSET:
+            self._oracle_cache = _exact_oracle(self.machine, self.options)
+        return self._oracle_cache
+
+    def _context(self, idx: int) -> DecisionContext:
+        """The decision context of rung ``idx`` (created on demand).
+
+        Rung 0 shares the sweep-wide budget; every later rung gets a
+        fresh budget of the same size, so a degraded retry is not
+        doomed by units consumed before the escalation.
+        """
+        context = self.contexts.get(idx)
+        if context is None:
+            rung = self.rungs[idx]
+            if idx == 0:
+                budget = self.budget
+            elif self.options.work_budget:
+                budget = Budget(
+                    limit=self.options.work_budget,
+                    resource=f"mct work[{rung.name}]",
+                )
+            else:
+                budget = None
+            context = DecisionContext(
+                self.machine,
+                initial_state=self.options.initial_state,
+                check_outputs=self.options.check_outputs,
+                reachable=self._reachable() if rung.use_reachability else None,
+                budget=budget,
+                max_failing_options=self.options.max_failing_options,
+                deadline=self.deadline,
+            )
+            self.contexts[idx] = context
+        return context
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+    def run(self) -> MctResult:
+        options = self.options
+        machine = self.machine
+        tau_floor = options.tau_floor
+        if tau_floor is None:
+            tau_floor = machine.L / options.max_age
+        steady = machine.steady_regime()
+
+        mct_ub: Fraction | None = None
+        failure_found = False
+        failing_window = None
+        failing_sigmas: tuple = ()
+        failing_roots: tuple[str, ...] = ()
+        exhausted = False
+        budget_exceeded = False
+        deadline_exceeded = False
+        notes = ""
+        interrupted = False
+        try:
+            for tau in tau_breakpoints(machine.endpoint_values, tau_floor):
+                if self.resume_below is not None and tau >= self.resume_below:
+                    continue  # already examined before the checkpoint
+                if len(self.records) >= options.max_candidates:
+                    exhausted, notes = True, "candidate cap reached"
+                    break
+                if self.deadline is not None and self.deadline.expired():
+                    exhausted, deadline_exceeded = True, True
+                    notes = "time limit reached"
+                    interrupted = True
+                    break
+                regime = machine.regime(tau)
+                m = max(max(ages) for ages in regime.values())
+                rung = self.rungs[self.rung_idx]
+                if m > rung.max_age:
+                    exhausted = True
+                    if self.rung_idx == 0:
+                        notes = f"age cap {rung.max_age} reached"
+                    else:
+                        # Degraded capability ran out: partial result.
+                        notes = (
+                            f"age cap {rung.max_age} reached "
+                            f"(degraded rung {rung.name})"
+                        )
+                        budget_exceeded = self._degraded_by == "budget"
+                        deadline_exceeded = self._degraded_by == "deadline"
+                        interrupted = True
+                    break
+                if regime == self.prev_regime:
+                    self.prev_tau = tau
+                    continue
+                self.prev_regime = regime
+                if regime == steady:
+                    self.records.append(
+                        CandidateRecord(tau, "steady", m, 0.0, rung.name)
+                    )
+                    self.prev_tau = tau
+                    continue
+                window_top = (
+                    self.prev_tau if self.prev_tau is not None else machine.L
+                )
+                window = (tau, window_top)
+                window_start = time.monotonic()
+                verdict = self._examine(regime, m, tau, window)
+                elapsed = time.monotonic() - window_start
+                self.records.append(
+                    CandidateRecord(
+                        tau,
+                        verdict.status,
+                        verdict.m,
+                        elapsed,
+                        self.rungs[self.rung_idx].name,
+                    )
+                )
+                if verdict.status != "fail":
+                    self.prev_tau = tau
+                    continue
+                mct_ub = verdict.bound
                 failure_found = True
                 failing_window = window
-                failing_sigmas = tuple(
-                    (sigma, window_top) for sigma in outcome.failing_options
-                )
-                failing_roots = outcome.failing_roots
+                failing_sigmas = verdict.sigmas
+                failing_roots = verdict.roots
                 break
-            oracle = _exact_oracle(machine, options) if options.exact_feasibility else None
-            feasible = []
-            for sigma in outcome.failing_options:
-                sup = sigma_sup_tau(sigma, window)
-                if sup is None:
-                    continue
-                if oracle is not None:
-                    exact_sup = _exact_sup(oracle, sigma, window, options)
-                    if exact_sup is _RELAXED:
-                        pass  # fell back: keep the relaxed sup
-                    elif exact_sup is None:
-                        continue  # coupled LP proves σ unrealizable
-                    else:
-                        sup = exact_sup
-                feasible.append((sigma, sup))
-            if not feasible:
-                records.append(CandidateRecord(tau, "pass-infeasible", outcome.m))
-                prev_tau = tau
-                continue
-            records.append(CandidateRecord(tau, "fail", outcome.m))
-            mct_ub = max(sup for _, sup in feasible)
-            failure_found = True
-            failing_window = window
-            failing_sigmas = tuple(feasible)
-            failing_roots = outcome.failing_roots
-            break
-        else:
-            exhausted, notes = True, "breakpoint stream exhausted (τ floor)"
-    except ResourceBudgetExceeded:
-        budget_exceeded = True
-        notes = "work budget exhausted; last passing bound reported"
+            else:
+                exhausted, notes = True, "breakpoint stream exhausted (τ floor)"
+        except _SweepStop as stop:
+            budget_exceeded = budget_exceeded or stop.budget
+            deadline_exceeded = deadline_exceeded or stop.deadline
+            exhausted = exhausted or stop.exhausted
+            notes = stop.notes
+            interrupted = True
 
-    if mct_ub is None:
-        # Never failed: report the last *examined* breakpoint — the
-        # machine is proven equivalent for every τ ≥ that value.
-        passing = [r.tau for r in records if r.status != "fail"]
-        mct_ub = min(passing) if passing else (machine.L if not budget_exceeded else None)
-        if mct_ub is not None and not notes:
-            exhausted = True
-            notes = "no failing window found down to the sweep floor"
-    return MctResult(
-        circuit_name=circuit.name,
-        L=machine.L,
-        mct_upper_bound=mct_ub,
-        failure_found=failure_found,
-        failing_window=failing_window,
-        failing_sigmas=failing_sigmas,
-        failing_roots=failing_roots,
-        candidates=tuple(records),
-        decisions_run=context.decisions_run,
-        elapsed_seconds=time.monotonic() - start,
-        budget_exceeded=budget_exceeded,
-        exhausted=exhausted,
-        notes=notes,
-    )
+        if mct_ub is None:
+            # Never failed: report the last *examined* breakpoint — the
+            # machine is proven equivalent for every τ ≥ that value.
+            passing = [r.tau for r in self.records if r.status != "fail"]
+            mct_ub = (
+                min(passing)
+                if passing
+                else (machine.L if not budget_exceeded else None)
+            )
+            if mct_ub is not None and not notes:
+                exhausted = True
+                notes = "no failing window found down to the sweep floor"
+        return MctResult(
+            circuit_name=self.circuit.name,
+            L=machine.L,
+            mct_upper_bound=mct_ub,
+            failure_found=failure_found,
+            failing_window=failing_window,
+            failing_sigmas=failing_sigmas,
+            failing_roots=failing_roots,
+            candidates=tuple(self.records),
+            decisions_run=sum(
+                ctx.decisions_run for ctx in self.contexts.values()
+            ),
+            elapsed_seconds=time.monotonic() - self.start,
+            budget_exceeded=budget_exceeded,
+            deadline_exceeded=deadline_exceeded,
+            exhausted=exhausted,
+            notes=notes,
+            rung=self.rungs[self.rung_idx].name,
+            degradations=tuple(self.degradations),
+            checkpoint=self._checkpoint(notes) if interrupted else None,
+        )
+
+    # ------------------------------------------------------------------
+    # One window, with the degradation ladder
+    # ------------------------------------------------------------------
+    def _examine(self, regime, m: int, tau: Fraction, window) -> _Verdict:
+        """Decide one window, climbing the ladder on exhaustion."""
+        while True:
+            rung = self.rungs[self.rung_idx]
+            if m > rung.max_age:
+                # Only reachable after an escalation to "reduced-age"
+                # (the main loop vetted m against the cap on entry).
+                raise _SweepStop(
+                    f"age cap {rung.max_age} reached "
+                    f"(degraded rung {rung.name})",
+                    budget=self._degraded_by == "budget",
+                    deadline=self._degraded_by == "deadline",
+                    exhausted=True,
+                )
+            try:
+                return self._examine_at(rung, regime, window)
+            except (ResourceBudgetExceeded, DeadlineExceeded) as exc:
+                if not self._escalate(exc, tau):
+                    if isinstance(exc, DeadlineExceeded):
+                        raise _SweepStop(
+                            "time limit exceeded mid-window; "
+                            "last passing bound reported",
+                            deadline=True,
+                            exhausted=True,
+                        ) from exc
+                    raise _SweepStop(
+                        "work budget exhausted; last passing bound reported",
+                        budget=True,
+                    ) from exc
+
+    def _escalate(self, exc: Exception, tau: Fraction) -> bool:
+        """Move to the next rung; False when the ladder is spent."""
+        if (
+            isinstance(exc, DeadlineExceeded)
+            and self.deadline is not None
+            and self.deadline.expired()
+        ):
+            return False  # the wall clock is really gone: retries are futile
+        if self.rung_idx + 1 >= len(self.rungs):
+            return False
+        old = self.rungs[self.rung_idx].name
+        self.rung_idx += 1
+        self._degraded_by = (
+            "deadline" if isinstance(exc, DeadlineExceeded) else "budget"
+        )
+        self.degradations.append(
+            DegradationStep(tau, old, self.rungs[self.rung_idx].name, str(exc))
+        )
+        return True
+
+    def _examine_at(self, rung: _RungConfig, regime, window) -> _Verdict:
+        """Run the decision + feasibility pass at one rung's settings."""
+        context = self._context(self.rung_idx)
+        outcome = context.decide(regime)
+        if outcome.passed_structurally:
+            return _Verdict("pass", outcome.m)
+        window_top = window[1]
+        if not outcome.has_choices:
+            return _Verdict(
+                "fail",
+                outcome.m,
+                bound=window_top,
+                sigmas=tuple(
+                    (sigma, window_top) for sigma in outcome.failing_options
+                ),
+                roots=outcome.failing_roots,
+            )
+        oracle = self._oracle() if rung.exact_feasibility else None
+        feasible = []
+        for sigma in outcome.failing_options:
+            sup = sigma_sup_tau(sigma, window, deadline=self.deadline)
+            if sup is None:
+                continue
+            if oracle is not None:
+                exact_sup = _exact_sup(
+                    oracle, sigma, window, self.options, self.deadline
+                )
+                if exact_sup is _RELAXED:
+                    pass  # fell back: keep the relaxed sup
+                elif exact_sup is None:
+                    continue  # coupled LP proves σ unrealizable
+                else:
+                    sup = exact_sup
+            feasible.append((sigma, sup))
+        if not feasible:
+            return _Verdict("pass-infeasible", outcome.m)
+        return _Verdict(
+            "fail",
+            outcome.m,
+            bound=max(sup for _, sup in feasible),
+            sigmas=tuple(feasible),
+            roots=outcome.failing_roots,
+        )
 
 
 def _reachable_care(circuit: Circuit, options: MctOptions) -> Function:
@@ -288,11 +696,14 @@ def _exact_oracle(machine: DiscretizedMachine, options: MctOptions):
         return None
 
 
-def _exact_sup(oracle, sigma, window, options: MctOptions):
+def _exact_sup(oracle, sigma, window, options: MctOptions, deadline=None):
     """Exact τ(σ) over an age-option set; ``_RELAXED`` on fallback."""
     try:
         return oracle.sup_tau_options(
-            sigma, window, max_combinations=options.max_exact_combinations
+            sigma,
+            window,
+            max_combinations=options.max_exact_combinations,
+            deadline=deadline,
         )
     except AnalysisError:
         return _RELAXED

@@ -98,15 +98,20 @@ def intersect_sets(a: TauSet, b: TauSet) -> TauSet:
 def feasible_tau_range(
     sigma: dict[TimedLeaf, tuple[int, ...]],
     window: TauRange | None = None,
+    deadline=None,
 ) -> TauSet:
     """τ-set on which *some* σ consistent with the age options is
     realizable (relaxed, per-leaf-independent model).
 
     ``window`` optionally intersects with the sweep's current
-    breakpoint interval ``[b_low, b_high)``.
+    breakpoint interval ``[b_low, b_high)``.  A cooperative ``deadline``
+    is polled once per leaf so ``MctOptions.time_limit`` holds even
+    inside a large feasibility pass.
     """
     current: TauSet = [window] if window is not None else [(Fraction(0), None)]
     for tl, ages in sigma.items():
+        if deadline is not None:
+            deadline.check("feasibility")
         current = intersect_sets(current, options_tau_set(tl.total, ages))
         if not current:
             return []
@@ -116,14 +121,16 @@ def feasible_tau_range(
 def sigma_is_feasible(
     sigma: dict[TimedLeaf, tuple[int, ...]],
     window: TauRange | None = None,
+    deadline=None,
 ) -> bool:
     """True when the combination is realizable at some τ in ``window``."""
-    return bool(feasible_tau_range(sigma, window))
+    return bool(feasible_tau_range(sigma, window, deadline=deadline))
 
 
 def sigma_sup_tau(
     sigma: dict[TimedLeaf, tuple[int, ...]],
     window: TauRange | None = None,
+    deadline=None,
 ) -> Fraction | None:
     """Supremum of the feasible τ-set: the paper's ``τ(σ)`` (ε-limit).
 
@@ -131,7 +138,7 @@ def sigma_sup_tau(
     for failing combinations (some leaf has age ≥ 2, which caps τ), but
     the function degrades gracefully by returning the window's top.
     """
-    tau_set = feasible_tau_range(sigma, window)
+    tau_set = feasible_tau_range(sigma, window, deadline=deadline)
     if not tau_set:
         return None
     top = tau_set[-1][1]

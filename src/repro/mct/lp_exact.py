@@ -188,6 +188,7 @@ class ExactFeasibility:
         options: dict[TimedLeaf, tuple[int, ...]],
         window: TauRange | None = None,
         max_combinations: int = 256,
+        deadline=None,
     ) -> Fraction | None:
         """Max τ(σ) over the cartesian product of age options.
 
@@ -195,7 +196,9 @@ class ExactFeasibility:
         assignment); the exact bound is the max over the full σ's they
         cover.  Returns ``None`` for "all infeasible"; raises
         :class:`AnalysisError` when the product exceeds the cap (the
-        caller should fall back to the relaxed bound).
+        caller should fall back to the relaxed bound).  A cooperative
+        ``deadline`` is polled before each LP solve, so a wall-clock
+        limit cuts the combination loop off mid-product.
         """
         leaves = list(options)
         total = 1
@@ -209,6 +212,8 @@ class ExactFeasibility:
         import itertools
 
         for combo in itertools.product(*(options[tl] for tl in leaves)):
+            if deadline is not None:
+                deadline.check("exact LP")
             sigma = dict(zip(leaves, combo))
             value = self.sup_tau(sigma, window)
             if value is not None and (best is None or value > best):

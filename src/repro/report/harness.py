@@ -10,7 +10,12 @@ For each circuit the harness measures, with wall-clock timing:
 under the paper's experimental condition (gate delays varied within
 90%–100% of their maxima) by default.  Budget exhaustion reproduces the
 paper's "-" (memory out) entries; a partially swept bound carries the
-paper's "†" marker.
+paper's "†" marker (whether the interruption came from the work budget
+or from a wall-clock deadline).  ``degrade=True`` opts a run into the
+graceful-degradation ladder (:data:`repro.mct.DEFAULT_LADDER`): an
+exhausted window is retried at cheaper settings before the row gives
+up, and :attr:`TableRow.mct_rung` records which rung produced the
+bound.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.delay import (
 )
 from repro.errors import Budget, ResourceBudgetExceeded
 from repro.logic import Circuit, DelayMap
-from repro.mct import MctOptions, minimum_cycle_time
+from repro.mct import DEFAULT_LADDER, MctOptions, minimum_cycle_time
 from repro.report.tables import format_fraction, format_seconds, format_table
 
 
@@ -47,8 +52,9 @@ class TableRow:
     transition_cpu: float | None
     mct: Fraction | None
     mct_cpu: float | None
-    mct_partial: bool = False  # the paper's † (budget hit mid-sweep)
+    mct_partial: bool = False  # the paper's † (budget/deadline mid-sweep)
     paper: dict | None = None  # the original row's published numbers
+    mct_rung: str = "exact"  # degradation-ladder rung of the MCT bound
 
     def cells(self) -> list[str]:
         mct_text = format_fraction(self.mct)
@@ -76,8 +82,18 @@ def analyze_circuit(
     comb_budget: int | None = None,
     flags: str = "",
     paper: dict | None = None,
+    degrade: bool = False,
 ) -> TableRow:
-    """Measure all four columns for one circuit."""
+    """Measure all four columns for one circuit.
+
+    ``degrade=True`` enables the default graceful-degradation ladder on
+    the MCT sweep (unless ``mct_options`` already configures one).
+    """
+    if degrade:
+        base = mct_options or MctOptions()
+        if not base.degradation_ladder:
+            base = dataclasses.replace(base, degradation_ladder=DEFAULT_LADDER)
+        mct_options = base
     top = longest_topological_delay(circuit, delays)
 
     def timed(fn):
@@ -106,8 +122,8 @@ def analyze_circuit(
     result = minimum_cycle_time(circuit, delays, mct_options)
     mct_cpu = time.monotonic() - t0
     mct: Fraction | None = result.mct_upper_bound
-    partial = result.budget_exceeded
-    if result.budget_exceeded and not result.failure_found:
+    partial = result.interrupted
+    if result.interrupted and not result.failure_found:
         # Paper semantics: report the last established value, or "-"
         # when nothing beyond the trivial steady point was decided.
         decided = [r for r in result.candidates if r.status.startswith("pass")]
@@ -128,10 +144,15 @@ def analyze_circuit(
         mct_cpu=mct_cpu if mct is not None else None,
         mct_partial=partial,
         paper=paper,
+        mct_rung=result.rung,
     )
 
 
-def run_case(case: SuiteCase, widen: Fraction | None = Fraction(9, 10)) -> TableRow:
+def run_case(
+    case: SuiteCase,
+    widen: Fraction | None = Fraction(9, 10),
+    degrade: bool = False,
+) -> TableRow:
     """Build and measure one suite row (paper condition: 90%–100%)."""
     circuit, delays = build_case(case)
     if widen is not None:
@@ -143,6 +164,7 @@ def run_case(case: SuiteCase, widen: Fraction | None = Fraction(9, 10)) -> Table
         mct_options=options,
         comb_budget=case.comb_budget,
         flags=case.flags,
+        degrade=degrade,
         paper={
             "name": case.paper_name,
             "top": case.paper_top,
@@ -157,6 +179,7 @@ def run_suite(
     cases: list[SuiteCase] | None = None,
     include_s27: bool = True,
     widen: Fraction | None = Fraction(9, 10),
+    degrade: bool = False,
 ) -> list[TableRow]:
     """Measure the whole table (the benchmark harness entry point)."""
     if cases is None:
@@ -166,8 +189,8 @@ def run_suite(
         circuit, delays = s27()
         if widen is not None:
             delays = delays.widen(widen)
-        rows.append(analyze_circuit(circuit, delays))
-    rows.extend(run_case(case, widen=widen) for case in cases)
+        rows.append(analyze_circuit(circuit, delays, degrade=degrade))
+    rows.extend(run_case(case, widen=widen, degrade=degrade) for case in cases)
     return rows
 
 

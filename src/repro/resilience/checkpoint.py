@@ -1,0 +1,185 @@
+"""Serializable τ-sweep checkpoints.
+
+When the sweep is interrupted — work budget exhausted, deadline passed,
+or the degradation ladder ran out of rungs — the engine snapshots every
+examined breakpoint plus the resume position into a
+:class:`SweepCheckpoint`.  A later :func:`repro.mct.minimum_cycle_time`
+call (or ``repro-mct analyze --resume ckpt.json``) replays the recorded
+candidates and continues from the first unexamined breakpoint instead
+of restarting, so a resumed sweep reproduces exactly the bound and
+candidate sequence an uninterrupted run would have produced.
+
+The format is plain JSON: exact rationals are serialized as
+``"numerator/denominator"`` strings, so checkpoints survive round trips
+without precision loss.  A fingerprint of the analysis options guards
+against resuming under a different configuration, which would silently
+change the meaning of the replayed records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Mapping
+from fractions import Fraction
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+#: Bump when the on-disk layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def _frac_dump(value: Fraction | None) -> str | None:
+    return None if value is None else f"{Fraction(value)}"
+
+
+def _frac_load(text) -> Fraction | None:
+    if text is None:
+        return None
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError, TypeError) as exc:
+        raise CheckpointError(f"bad rational {text!r} in checkpoint") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCheckpoint:
+    """Everything needed to continue an interrupted τ-sweep.
+
+    ``last_tau`` is the smallest breakpoint whose window was fully
+    examined (including windows skipped because their age regime was
+    unchanged); resume starts at the first breakpoint strictly below
+    it.  ``records`` are the :class:`~repro.mct.engine.CandidateRecord`
+    entries accumulated so far, replayed verbatim into the resumed
+    result.
+    """
+
+    circuit_name: str
+    L: Fraction
+    last_tau: Fraction | None
+    records: tuple = ()
+    #: Degradation-ladder rung active when the sweep stopped.
+    rung: str = "exact"
+    #: Human-readable interruption reason (mirrors ``MctResult.notes``).
+    reason: str = ""
+    #: Options fingerprint checked on resume (see engine._fingerprint).
+    fingerprint: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "circuit": self.circuit_name,
+            "L": _frac_dump(self.L),
+            "last_tau": _frac_dump(self.last_tau),
+            "rung": self.rung,
+            "reason": self.reason,
+            "fingerprint": dict(self.fingerprint),
+            "records": [
+                {
+                    "tau": _frac_dump(r.tau),
+                    "status": r.status,
+                    "m": r.m,
+                    "elapsed_seconds": r.elapsed_seconds,
+                    "rung": r.rung,
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepCheckpoint":
+        # Imported here: engine imports this module at load time.
+        from repro.mct.engine import CandidateRecord
+
+        try:
+            version = int(data["version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError("checkpoint is missing its version") from exc
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        try:
+            records = tuple(
+                CandidateRecord(
+                    tau=_frac_load(entry["tau"]),
+                    status=str(entry["status"]),
+                    m=int(entry["m"]),
+                    elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
+                    rung=str(entry.get("rung", "exact")),
+                )
+                for entry in data.get("records", ())
+            )
+            return cls(
+                circuit_name=str(data["circuit"]),
+                L=_frac_load(data["L"]),
+                last_tau=_frac_load(data.get("last_tau")),
+                records=records,
+                rung=str(data.get("rung", "exact")),
+                reason=str(data.get("reason", "")),
+                fingerprint=dict(data.get("fingerprint", {})),
+                version=version,
+            )
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepCheckpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointError("checkpoint JSON must be an object")
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SweepCheckpoint":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    # Resume validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        circuit_name: str,
+        L: Fraction,
+        fingerprint: Mapping[str, object],
+    ) -> None:
+        """Reject resumption under a different circuit or options."""
+        if self.circuit_name != circuit_name:
+            raise CheckpointError(
+                f"checkpoint is for circuit {self.circuit_name!r}, "
+                f"not {circuit_name!r}"
+            )
+        if self.L != L:
+            raise CheckpointError(
+                f"checkpoint L={self.L} differs from the machine's L={L} "
+                "(different delays?)"
+            )
+        ours = dict(fingerprint)
+        theirs = dict(self.fingerprint)
+        if ours != theirs:
+            mismatched = sorted(
+                k
+                for k in set(ours) | set(theirs)
+                if ours.get(k) != theirs.get(k)
+            )
+            raise CheckpointError(
+                f"checkpoint options differ on {', '.join(mismatched)}; "
+                "resume with the options the checkpoint was created with"
+            )

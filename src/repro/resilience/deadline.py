@@ -1,0 +1,93 @@
+"""Cooperative wall-clock deadlines for long-running analyses.
+
+``MctOptions.time_limit`` used to be polled only between τ-sweep
+breakpoints, so one expensive decision window (a BDD build, a timed
+expansion, the Sec. 7 feasibility pass) could overrun the limit
+unboundedly.  A :class:`Deadline` is carried alongside the work
+:class:`~repro.errors.Budget` into those hot inner loops, which call
+:meth:`Deadline.check` cooperatively; when the limit is crossed the
+check raises :class:`~repro.errors.DeadlineExceeded` and the engine
+converts the sweep state into a resumable partial result.
+
+Reading the monotonic clock on every BDD node creation would be pure
+overhead, so ``check`` only consults the clock every ``stride`` calls.
+The deterministic fault-injection hook
+(:data:`repro.errors.deadline_fault_hook`) is consulted on *every*
+call, so tests can fail the N-th check exactly regardless of stride.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import errors
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A soft wall-clock limit shared across one analysis.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance, measured from ``start``.
+    start:
+        Epoch on the :func:`time.monotonic` clock; defaults to "now".
+    stride:
+        ``check`` reads the clock on the first call and every
+        ``stride``-th call after; intermediate calls are nearly free.
+    """
+
+    __slots__ = ("seconds", "start", "_stride", "_tick")
+
+    def __init__(
+        self,
+        seconds: float,
+        *,
+        start: float | None = None,
+        stride: int = 64,
+    ):
+        if seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        if stride < 1:
+            raise ValueError("deadline stride must be positive")
+        self.seconds = float(seconds)
+        self.start = time.monotonic() if start is None else start
+        self._stride = stride
+        self._tick = 0
+
+    @classmethod
+    def after(cls, seconds: float | None, **kwargs) -> "Deadline | None":
+        """A deadline ``seconds`` from now, or ``None`` for no limit."""
+        return None if seconds is None else cls(seconds, **kwargs)
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since ``start``."""
+        return time.monotonic() - self.start
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the allowance is strictly exceeded."""
+        return self.elapsed() > self.seconds
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the deadline passed.
+
+        Called from hot loops: the clock is read only every ``stride``
+        calls; the fault-injection hook (when installed) runs on every
+        call so tests are deterministic.
+        """
+        hook = errors.deadline_fault_hook
+        if hook is not None:
+            hook(self)
+        if self._tick == 0 and self.expired():
+            raise DeadlineExceeded(self.seconds, where)
+        self._tick += 1
+        if self._tick >= self._stride:
+            self._tick = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline({self.elapsed():.2f}/{self.seconds:g}s)"

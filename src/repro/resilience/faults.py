@@ -1,0 +1,117 @@
+"""Deterministic fault injection for exhaustion paths.
+
+Exercising the budget/deadline failure paths with real workloads means
+multi-minute tests and brittle thresholds.  Instead, every
+:meth:`~repro.errors.Budget.charge` and
+:meth:`~repro.resilience.Deadline.check` consults an optional hook
+(:data:`repro.errors.budget_fault_hook` /
+:data:`repro.errors.deadline_fault_hook`); :func:`inject_faults`
+installs counters there that raise at exactly the N-th call, so every
+degradation rung, checkpoint write, and resume path can be driven in
+milliseconds and is bit-for-bit reproducible.
+
+::
+
+    with inject_faults(budget_at=500) as plan:
+        result = minimum_cycle_time(circuit, delays, options)
+    assert result.checkpoint is not None
+    resumed = minimum_cycle_time(
+        circuit, delays, options, resume_from=result.checkpoint
+    )
+
+Counters are global across all :class:`Budget`/:class:`Deadline`
+instances created inside the block, which is exactly what makes the
+fault position deterministic for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+from repro import errors
+from repro.errors import DeadlineExceeded, ResourceBudgetExceeded
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Counting state shared with the caller of :func:`inject_faults`.
+
+    ``budget_at`` / ``deadline_at`` are 1-based call indices; ``None``
+    disables that fault.  With ``once`` (the default) a fault fires a
+    single time and then disarms, so a degraded retry or a resumed run
+    inside the same block proceeds unfaulted; otherwise every call from
+    the N-th on fails.
+    """
+
+    budget_at: int | None = None
+    deadline_at: int | None = None
+    once: bool = True
+    #: Total observed calls (also useful in pure counting mode).
+    budget_calls: int = 0
+    deadline_calls: int = 0
+    #: How many times each fault actually fired.
+    budget_fired: int = 0
+    deadline_fired: int = 0
+
+    def _should_fire(self, calls: int, at: int | None, fired: int) -> bool:
+        if at is None:
+            return False
+        if self.once:
+            return calls == at and fired == 0
+        return calls >= at
+
+    def on_budget_charge(self, budget, amount: int) -> None:
+        self.budget_calls += 1
+        if self._should_fire(self.budget_calls, self.budget_at, self.budget_fired):
+            self.budget_fired += 1
+            raise ResourceBudgetExceeded(
+                f"{budget.resource} [fault injected at call "
+                f"{self.budget_calls}]",
+                budget.limit if budget.limit is not None else self.budget_at,
+            )
+
+    def on_deadline_check(self, deadline) -> None:
+        self.deadline_calls += 1
+        if self._should_fire(
+            self.deadline_calls, self.deadline_at, self.deadline_fired
+        ):
+            self.deadline_fired += 1
+            raise DeadlineExceeded(
+                deadline.seconds,
+                where=f"fault injected at check {self.deadline_calls}",
+            )
+
+
+@contextlib.contextmanager
+def inject_faults(
+    budget_at: int | None = None,
+    deadline_at: int | None = None,
+    once: bool = True,
+):
+    """Fail the N-th budget charge and/or deadline check in the block.
+
+    Yields the :class:`FaultPlan`, whose counters keep updating while
+    the block runs.  Hooks are restored on exit, even on error; nesting
+    restores the previously installed hooks.
+    """
+    plan = FaultPlan(budget_at=budget_at, deadline_at=deadline_at, once=once)
+    previous = (errors.budget_fault_hook, errors.deadline_fault_hook)
+    errors.budget_fault_hook = plan.on_budget_charge
+    errors.deadline_fault_hook = plan.on_deadline_check
+    try:
+        yield plan
+    finally:
+        errors.budget_fault_hook, errors.deadline_fault_hook = previous
+
+
+@contextlib.contextmanager
+def observe_calls():
+    """Count budget charges and deadline checks without failing any.
+
+    The counting-only twin of :func:`inject_faults`: tests first measure
+    how many charges an unfaulted run makes, then place faults at exact
+    fractions of that total to hit specific pipeline stages.
+    """
+    with inject_faults() as plan:
+        yield plan

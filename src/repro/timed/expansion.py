@@ -62,6 +62,10 @@ class TimedExpander:
     budget:
         Optional work budget; one unit is charged per ``(net, offset)``
         expansion entry, bounding the path-delay-sum explosion.
+    deadline:
+        Optional cooperative :class:`repro.resilience.Deadline` polled
+        once per expansion entry, so a wall-clock limit interrupts a
+        runaway cone walk mid-flight.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class TimedExpander:
         delays: DelayMap,
         manager: BddManager,
         budget: Budget | None = None,
+        deadline=None,
     ):
         if delays.circuit is not circuit:
             raise AnalysisError("delay map annotates a different circuit")
@@ -77,6 +82,7 @@ class TimedExpander:
         self.delays = delays
         self.manager = manager
         self.budget = budget
+        self.deadline = deadline
 
     def expand(self, root: str, resolver: Resolver, extra: Interval = ZERO) -> Function:
         """BDD value of ``root`` sampled with accumulated offset ``extra``.
@@ -94,6 +100,8 @@ class TimedExpander:
             key = (net, offset)
             if key in cache:
                 continue
+            if self.deadline is not None:
+                self.deadline.check("timed expansion")
             if self.circuit.is_leaf(net):
                 if self.budget is not None:
                     self.budget.charge()
@@ -158,6 +166,7 @@ def collect_leaf_instances(
     roots: Iterable[str],
     extra: Interval = ZERO,
     budget: Budget | None = None,
+    deadline=None,
 ) -> dict[str, set[LeafInstance]]:
     """All leaf instances of each root's flattened TBF.
 
@@ -184,6 +193,8 @@ def collect_leaf_instances(
             seen.add(key)
             if budget is not None:
                 budget.charge()
+            if deadline is not None:
+                deadline.check("leaf collection")
             if circuit.is_leaf(net):
                 instances.add(LeafInstance(net, offset))
                 continue

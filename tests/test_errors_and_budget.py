@@ -1,5 +1,7 @@
 """Unit tests for the exception hierarchy and resource budgets."""
 
+from fractions import Fraction
+
 import pytest
 
 from repro import errors
@@ -16,6 +18,8 @@ class TestHierarchy:
             errors.AnalysisError,
             errors.InfeasibleError,
             errors.ResourceBudgetExceeded,
+            errors.DeadlineExceeded,
+            errors.CheckpointError,
         ):
             assert issubclass(exc_type, errors.ReproError)
 
@@ -64,10 +68,48 @@ class TestBudget:
         with pytest.raises(errors.ResourceBudgetExceeded):
             budget.charge(3)
 
-    def test_used_keeps_counting(self):
+    def test_used_never_overshoots_limit(self):
         budget = errors.Budget(limit=2)
         budget.charge(2)
         with pytest.raises(errors.ResourceBudgetExceeded):
             budget.charge(5)
-        assert budget.used == 7  # records the attempted total
+        assert budget.used == 2  # the failed charge is not recorded
         assert budget.remaining == 0
+        # and the invariant holds for any interleaving
+        budget = errors.Budget(limit=10)
+        for amount in (4, 4, 9, 1, 3, 2):
+            try:
+                budget.charge(amount)
+            except errors.ResourceBudgetExceeded:
+                pass
+            assert budget.used <= 10
+
+    def test_child_budget_shares_parent(self):
+        parent = errors.Budget(limit=100, resource="work")
+        child = parent.child(Fraction(1, 2))
+        assert child.limit == 50
+        child.charge(30)
+        assert child.used == 30
+        assert parent.used == 30  # charges propagate upward
+        parent.charge(60)
+        # parent now at 90; child has 20 nominal but only 10 real
+        with pytest.raises(errors.ResourceBudgetExceeded):
+            child.charge(11)
+        assert parent.used == 90
+        assert child.used == 30
+
+    def test_child_of_unlimited_budget(self):
+        parent = errors.Budget()
+        child = parent.child(0.25)
+        assert child.limit is None
+        child.charge(10**6)
+        assert parent.used == 10**6
+
+    def test_child_fraction_validation(self):
+        parent = errors.Budget(limit=10)
+        with pytest.raises(ValueError):
+            parent.child(0)
+        with pytest.raises(ValueError):
+            parent.child(1.5)
+        # a tiny fraction still yields a usable budget of at least 1
+        assert parent.child(0.001).limit == 1
