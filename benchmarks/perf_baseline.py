@@ -1,0 +1,157 @@
+"""Perf baseline runner: times the MCT hot path, writes ``BENCH_mct.json``.
+
+Measures, with wall-clock timing and full BDD-engine counters
+(:class:`repro.bdd.BddStats`):
+
+* the paper's Example 2 sweep, fixed and interval (90%–100%) delays;
+* every benchgen suite row (the Table 1 stand-ins), MCT sweep only;
+* a normalization ablation on Example 2 — the same sweep with ITE
+  triple normalization off, establishing the pre-normalization cache
+  hit rate the normalized run must beat.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.perf_baseline --output BENCH_mct.json
+
+The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/1``):
+a ``cases`` list with per-case ``wall_seconds``/``mct``/``bdd``
+objects, plus a ``normalization_ablation`` object comparing the two
+Example 2 runs.  ``benchmarks/test_perf_baseline.py`` runs this module
+end-to-end and enforces the ablation win and generous wall ceilings;
+the CI bench job uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from fractions import Fraction
+
+from repro.benchgen import paper_example2
+from repro.benchgen.suite import build_case, suite_cases
+from repro.bdd import set_default_ite_normalization
+from repro.mct import MctOptions, minimum_cycle_time
+
+SCHEMA = "repro-mct-bench/1"
+
+
+def _frac(value) -> str | None:
+    return None if value is None else str(Fraction(value))
+
+
+def run_sweep(name: str, circuit, delays, options: MctOptions | None = None) -> dict:
+    """One timed ``minimum_cycle_time`` run as a JSON-ready case row."""
+    t0 = time.monotonic()
+    result = minimum_cycle_time(circuit, delays, options)
+    wall = time.monotonic() - t0
+    return {
+        "name": name,
+        "kind": "mct-sweep",
+        "wall_seconds": round(wall, 6),
+        "mct": _frac(result.mct_upper_bound),
+        "failure_found": result.failure_found,
+        "interrupted": result.interrupted,
+        "candidates": len(result.candidates),
+        "decisions": result.decisions_run,
+        "bdd": None if result.bdd_stats is None else result.bdd_stats.as_dict(),
+    }
+
+
+def measure_example2() -> list[dict]:
+    circuit, delays = paper_example2()
+    return [
+        run_sweep("example2", circuit, delays),
+        run_sweep(
+            "example2-interval", circuit, delays.widen(Fraction(9, 10))
+        ),
+    ]
+
+
+def measure_suite() -> list[dict]:
+    rows = []
+    for case in suite_cases():
+        circuit, delays = build_case(case)
+        rows.append(
+            run_sweep(
+                f"benchgen/{case.name}",
+                circuit,
+                delays.widen(Fraction(9, 10)),
+                MctOptions(work_budget=case.mct_budget),
+            )
+        )
+    return rows
+
+
+def measure_normalization_ablation() -> dict:
+    """Example 2 with ITE normalization off vs on (same process).
+
+    The decision engine builds its managers internally, so the ablation
+    flips the module-wide default around each run; the previous default
+    is always restored.
+    """
+    circuit, delays = paper_example2()
+    previous = set_default_ite_normalization(False)
+    try:
+        baseline = run_sweep("example2[normalize=off]", circuit, delays)
+        set_default_ite_normalization(True)
+        normalized = run_sweep("example2[normalize=on]", circuit, delays)
+    finally:
+        set_default_ite_normalization(previous)
+    gain = (
+        normalized["bdd"]["cache_hit_rate"] - baseline["bdd"]["cache_hit_rate"]
+    )
+    return {
+        "case": "example2",
+        "unnormalized": baseline,
+        "normalized": normalized,
+        "hit_rate_gain": round(gain, 6),
+    }
+
+
+def build_report() -> dict:
+    t0 = time.monotonic()
+    cases = measure_example2() + measure_suite()
+    ablation = measure_normalization_ablation()
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks.perf_baseline",
+        "python": platform.python_version(),
+        "total_wall_seconds": round(time.monotonic() - t0, 6),
+        "cases": cases,
+        "normalization_ablation": ablation,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_baseline",
+        description="Time the MCT hot path and write BENCH_mct.json",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_mct.json", help="report path"
+    )
+    parser.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (0 = compact)"
+    )
+    args = parser.parse_args(argv)
+    report = build_report()
+    indent = args.indent if args.indent > 0 else None
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=indent)
+        fh.write("\n")
+    ablation = report["normalization_ablation"]
+    print(
+        f"wrote {args.output}: {len(report['cases'])} cases in "
+        f"{report['total_wall_seconds']:.2f}s; Example 2 cache hit rate "
+        f"{ablation['unnormalized']['bdd']['cache_hit_rate']:.3f} -> "
+        f"{ablation['normalized']['bdd']['cache_hit_rate']:.3f} "
+        f"(gain {ablation['hit_rate_gain']:+.3f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""End-to-end check of the perf baseline harness.
+
+Runs ``benchmarks.perf_baseline`` exactly as the CI bench job does,
+then enforces the report's contract:
+
+* the ``repro-mct-bench/1`` schema (cases for Example 2 and every
+  benchgen row, each with wall-clock and full ``BddStats``);
+* the tentpole's acceptance criterion — the normalized Example 2 sweep
+  reports a cache hit rate *strictly higher* than the unnormalized
+  baseline measured in the same run;
+* generous wall-clock ceilings, so a pathological perf regression in
+  the BDD core fails loudly instead of just slowing CI down.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import perf_baseline
+from repro.benchgen.suite import suite_cases
+
+#: Generous ceilings (seconds): the real numbers are ~100x smaller, so
+#: tripping these means an order-of-magnitude regression, not jitter.
+EXAMPLE2_CEILING = 30.0
+TOTAL_CEILING = 300.0
+
+BDD_KEYS = {
+    "nodes_created",
+    "peak_nodes",
+    "ite_calls",
+    "cache_lookups",
+    "cache_hits",
+    "cache_hit_rate",
+    "cache_evictions",
+    "gc_runs",
+    "nodes_reclaimed",
+}
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_mct.json"
+    assert perf_baseline.main(["--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_schema(report):
+    assert report["schema"] == perf_baseline.SCHEMA
+    names = [case["name"] for case in report["cases"]]
+    assert "example2" in names
+    assert "example2-interval" in names
+    for case in suite_cases():
+        assert f"benchgen/{case.name}" in names
+    for case in report["cases"]:
+        assert case["kind"] == "mct-sweep"
+        assert case["wall_seconds"] >= 0
+        # Sweeps that blow their budget during path collection never
+        # build a decision context: their bdd block is null by design.
+        if case["bdd"] is not None:
+            assert set(case["bdd"]) == BDD_KEYS
+
+
+def test_example2_case_values(report):
+    by_name = {case["name"]: case for case in report["cases"]}
+    example2 = by_name["example2"]
+    assert example2["mct"] == "5/2"  # the paper's published value
+    assert example2["bdd"]["ite_calls"] > 0
+    assert example2["bdd"]["peak_nodes"] > 0
+
+
+def test_normalization_strictly_improves_hit_rate(report):
+    ablation = report["normalization_ablation"]
+    baseline = ablation["unnormalized"]["bdd"]
+    normalized = ablation["normalized"]["bdd"]
+    assert baseline["cache_lookups"] > 0
+    assert normalized["cache_hit_rate"] > baseline["cache_hit_rate"]
+    assert ablation["hit_rate_gain"] > 0
+    # Normalization must also not cost work overall.
+    assert normalized["ite_calls"] <= baseline["ite_calls"]
+    # Both runs agree on the published answer, of course.
+    assert ablation["unnormalized"]["mct"] == ablation["normalized"]["mct"] == "5/2"
+
+
+def test_wall_clock_ceilings(report):
+    by_name = {case["name"]: case for case in report["cases"]}
+    assert by_name["example2"]["wall_seconds"] < EXAMPLE2_CEILING
+    assert report["total_wall_seconds"] < TOTAL_CEILING

@@ -23,18 +23,21 @@ compare equal.
 """
 
 from repro.bdd.function import Function
-from repro.bdd.manager import BddManager
+from repro.bdd.manager import BddManager, set_default_ite_normalization
 from repro.bdd.ordering import dfs_variable_order, interleave_orders
 from repro.bdd.reorder import order_size, reorder, sift_order
+from repro.bdd.stats import BddStats
 from repro.bdd.transfer import transfer
 
 __all__ = [
     "BddManager",
+    "BddStats",
     "Function",
     "dfs_variable_order",
     "interleave_orders",
     "order_size",
     "reorder",
+    "set_default_ite_normalization",
     "sift_order",
     "transfer",
 ]

@@ -16,13 +16,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Function:
-    """An immutable handle on a Boolean function owned by a manager."""
+    """A handle on a Boolean function owned by a manager.
 
-    __slots__ = ("manager", "node")
+    Handles are semantically immutable, but the manager's garbage
+    collector may re-point ``node`` when it compacts the node table —
+    the referenced *function* never changes.  Managers track live
+    handles through weak references, which is why ``__weakref__`` is in
+    the slots.
+    """
+
+    __slots__ = ("manager", "node", "__weakref__")
 
     def __init__(self, manager: "BddManager", node: int):
         self.manager = manager
         self.node = node
+        manager._register(self)
 
     # -- identity ------------------------------------------------------
     def __eq__(self, other: object) -> bool:

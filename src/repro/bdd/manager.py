@@ -8,26 +8,42 @@ Implementation notes
 * No complement edges: simpler invariants, and profiling on our
   workloads showed the canonical-NOT cache recovers most of the win.
 * All Boolean operations are routed through a memoized Shannon-style
-  ``ite`` (if-then-else) with standard triple normalisation.
+  ``ite`` (if-then-else) with standard triple normalisation (see
+  :meth:`BddManager._normalize_triple`): commuted and complemented
+  forms of the same subproblem share one operation-cache entry.
+* Every traversal runs on an **explicit stack** — no Python recursion,
+  no ``sys.setrecursionlimit`` mutation.  A chain BDD tens of
+  thousands of levels deep builds and negates without blowing the
+  interpreter stack.
+* The ITE operation cache is **bounded** (``max_cache_size``): on
+  overflow the oldest half is evicted, so a long sweep cannot grow the
+  cache without limit.
+* Dead nodes are reclaimed by mark-and-sweep
+  (:meth:`BddManager.collect_garbage`): live roots are the still-alive
+  :class:`~repro.bdd.function.Function` handles (tracked by weakref)
+  plus every declared variable.  The node table is compacted in place,
+  handles are re-pointed, and operation caches are flushed.  Pass
+  ``gc_threshold`` to trigger collection automatically once the table
+  grows by that many nodes.
 * The manager charges an optional :class:`repro.errors.Budget` one unit
   per *created* node, so runaway analyses fail deterministically with
   :class:`repro.errors.ResourceBudgetExceeded` (the paper's "memory
-  out") instead of thrashing the host.
+  out") instead of thrashing the host.  Nodes recreated after a GC
+  pass charge again: the budget meters allocation work, not the live
+  set.
+
+Performance counters (:class:`repro.bdd.stats.BddStats`) are always on
+and exposed as :attr:`BddManager.stats`.
 """
 
 from __future__ import annotations
 
-import sys
+import weakref
 from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import BddError, Budget
 from repro.bdd.function import Function
-
-# The memoized recursions (_ite, _not, quantify, ...) descend one level
-# per variable in a function's support; wide-support conjunctions (e.g.
-# transition relations of large machines) exceed CPython's default 1000
-# frames long before they exceed memory.
-sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+from repro.bdd.stats import BddStats
 
 #: Sentinel level for the two terminal nodes; compares *greater* than any
 #: variable level so terminals sort below all variables in the order.
@@ -35,6 +51,25 @@ TERMINAL_LEVEL = 1 << 60
 
 FALSE = 0
 TRUE = 1
+
+#: Default for managers constructed with ``normalize_ite=None``.  The
+#: benchmark harness flips this to measure the pre-normalization
+#: baseline in the same process (see ``benchmarks/perf_baseline.py``).
+_DEFAULT_NORMALIZE = True
+
+
+def set_default_ite_normalization(enabled: bool) -> bool:
+    """Set the default ITE-normalization mode for *new* managers.
+
+    Returns the previous default so callers can restore it.  Existing
+    managers are unaffected.  Normalization never changes results —
+    only which operation-cache entries equivalent triples share — so
+    this knob exists purely to benchmark the cache discipline itself.
+    """
+    global _DEFAULT_NORMALIZE
+    previous = _DEFAULT_NORMALIZE
+    _DEFAULT_NORMALIZE = bool(enabled)
+    return previous
 
 
 class BddManager:
@@ -50,11 +85,39 @@ class BddManager:
         on every node creation (the manager's hot loop), so a
         wall-clock limit interrupts even one giant ``ite`` instead of
         waiting for the caller's next coarse-grained check.
+    normalize_ite:
+        Apply standard ITE triple normalization before the operation
+        cache (default: the module default, normally on).
+    max_cache_size:
+        Bound on the ITE operation cache; the oldest half is evicted on
+        overflow.  ``None`` disables the bound.
+    gc_threshold:
+        Run :meth:`collect_garbage` automatically once the node table
+        has grown by this many nodes since the last collection (checked
+        at public-operation boundaries, never mid-traversal).  ``None``
+        (the default) leaves collection fully manual.
     """
 
-    def __init__(self, budget: Budget | None = None, deadline=None):
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        deadline=None,
+        *,
+        normalize_ite: bool | None = None,
+        max_cache_size: int | None = 1_000_000,
+        gc_threshold: int | None = None,
+    ):
         self._budget = budget
         self._deadline = deadline
+        self._normalize = (
+            _DEFAULT_NORMALIZE if normalize_ite is None else bool(normalize_ite)
+        )
+        if max_cache_size is not None and max_cache_size < 2:
+            raise BddError("max_cache_size must be at least 2 or None")
+        self._max_cache_size = max_cache_size
+        if gc_threshold is not None and gc_threshold < 1:
+            raise BddError("gc_threshold must be positive or None")
+        self._gc_threshold = gc_threshold
         # Parallel node arrays; slots 0/1 are the terminals.
         self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
         self._low: list[int] = [FALSE, TRUE]
@@ -66,6 +129,30 @@ class BddManager:
         self._var_level: dict[str, int] = {}
         self._level_var: list[str] = []
         self._var_node: dict[str, int] = {}
+        # Live-handle registry (GC roots) and counters.
+        self._handles: list[weakref.ref] = []
+        self._handle_prune_at = 1024
+        self._last_gc_size = 2
+        self._stats = BddStats()
+
+    # ------------------------------------------------------------------
+    # Counters and handle registry
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> BddStats:
+        """Live performance counters (peak refreshed on read)."""
+        stats = self._stats
+        if len(self._level) > stats.peak_nodes:
+            stats.peak_nodes = len(self._level)
+        return stats
+
+    def _register(self, handle: Function) -> None:
+        """Track a live handle as a GC root (called by ``Function``)."""
+        handles = self._handles
+        handles.append(weakref.ref(handle))
+        if len(handles) > self._handle_prune_at:
+            self._handles = [ref for ref in handles if ref() is not None]
+            self._handle_prune_at = max(1024, 2 * len(self._handles))
 
     # ------------------------------------------------------------------
     # Variables
@@ -128,7 +215,11 @@ class BddManager:
         return self.true if value else self.false
 
     def __len__(self) -> int:
-        """Total number of nodes ever created (including terminals)."""
+        """Current node-table size (terminals included).
+
+        Grows with every created node and shrinks when
+        :meth:`collect_garbage` compacts the table.
+        """
         return len(self._level)
 
     # ------------------------------------------------------------------
@@ -150,6 +241,7 @@ class BddManager:
             self._low.append(low)
             self._high.append(high)
             self._unique[key] = node
+            self._stats.nodes_created += 1
         return node
 
     def _check(self, f: Function) -> int:
@@ -159,44 +251,184 @@ class BddManager:
         return f.node
 
     # ------------------------------------------------------------------
-    # NOT / ITE — the core memoized recursions
+    # NOT / ITE — the core memoized operations (explicit stacks)
     # ------------------------------------------------------------------
     def _not(self, u: int) -> int:
-        if u == FALSE:
-            return TRUE
-        if u == TRUE:
-            return FALSE
-        cached = self._not_cache.get(u)
+        if u <= TRUE:
+            return TRUE - u
+        cache = self._not_cache
+        cached = cache.get(u)
         if cached is not None:
             return cached
-        result = self._mk(self._level[u], self._not(self._low[u]), self._not(self._high[u]))
-        self._not_cache[u] = result
-        self._not_cache[result] = u
-        return result
+        low_arr, high_arr = self._low, self._high
+        stack: list[tuple[int, bool]] = [(u, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node in cache:
+                continue
+            low, high = low_arr[node], high_arr[node]
+            if not ready:
+                stack.append((node, True))
+                if low > TRUE and low not in cache:
+                    stack.append((low, False))
+                if high > TRUE and high not in cache:
+                    stack.append((high, False))
+                continue
+            n_low = TRUE - low if low <= TRUE else cache[low]
+            n_high = TRUE - high if high <= TRUE else cache[high]
+            result = self._mk(self._level[node], n_low, n_high)
+            cache[node] = result
+            cache[result] = node
+        return cache[u]
+
+    def _normalize_triple(self, f: int, g: int, h: int) -> tuple[int, int, int]:
+        """Canonicalize an ITE triple without changing its function.
+
+        Standard rules, adapted to a manager without complement edges
+        (complements are recognized opportunistically through the
+        bidirectional NOT cache):
+
+        * ``ite(f, f, h) → ite(f, 1, h)`` and ``ite(f, g, f) →
+          ite(f, g, 0)`` (and the complemented twins);
+        * ``ite(f, g, h) → ite(¬f, h, g)`` when ``¬f`` is a smaller
+          node — complemented tests share one entry;
+        * AND commutes: ``ite(f, g, 0) → ite(g, f, 0)`` with the
+          smaller node as the test;
+        * OR commutes: ``ite(f, 1, h) → ite(h, 1, f)`` likewise;
+        * XNOR commutes: ``ite(f, g, ¬g) → ite(g, f, ¬f)`` when that
+          lowers the test node.
+
+        Every accepted rewrite strictly decreases the test node, so the
+        loop terminates.  The caller re-runs the terminal shortcuts
+        afterwards (a substitution can expose one).
+        """
+        not_cache = self._not_cache
+        while True:
+            if g == f:
+                g = TRUE
+            elif h == f:
+                h = FALSE
+            nf = not_cache.get(f)
+            if nf is not None:
+                if g == nf:
+                    g = FALSE
+                elif h == nf:
+                    h = TRUE
+                if nf < f:
+                    f, g, h = nf, h, g
+                    continue
+            if h == FALSE:
+                if TRUE < g < f:
+                    f, g = g, f
+                    continue
+            elif g == TRUE:
+                if TRUE < h < f:
+                    f, h = h, f
+                    continue
+            elif (
+                nf is not None
+                and TRUE < g < f
+                and not_cache.get(g) == h
+            ):
+                f, g, h = g, f, nf
+                continue
+            return f, g, h
+
+    def _evict_ite_cache(self) -> None:
+        """Drop the oldest half of the ITE cache (insertion order)."""
+        cache = self._ite_cache
+        drop = max(1, len(cache) // 2)
+        for key in list(cache.keys())[:drop]:
+            del cache[key]
+        self._stats.cache_evictions += 1
 
     def _ite(self, f: int, g: int, h: int) -> int:
-        # Terminal shortcuts.
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
-        if g == FALSE and h == TRUE:
-            return self._not(f)
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
-        result = self._mk(level, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
-        self._ite_cache[key] = result
-        return result
+        """Memoized if-then-else on raw nodes, explicit-stack form.
+
+        Frames are ``(False, f, g, h)`` — resolve a triple — or
+        ``(True, key, level)`` — both cofactor results are on the value
+        stack; build the node and fill the cache.  LIFO ordering means
+        a subproblem's whole subtree completes before its sibling
+        starts, so the cache behaves exactly like the recursive form.
+        """
+        cache = self._ite_cache
+        stats = self._stats
+        level_arr, low_arr, high_arr = self._level, self._low, self._high
+        normalize = self._normalize
+        max_cache = self._max_cache_size
+        tasks: list[tuple] = [(False, f, g, h)]
+        values: list[int] = []
+        while tasks:
+            frame = tasks.pop()
+            if frame[0]:
+                _, key, level = frame
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(level, low, high)
+                if max_cache is not None and len(cache) >= max_cache:
+                    self._evict_ite_cache()
+                cache[key] = result
+                values.append(result)
+                continue
+            _, f, g, h = frame
+            stats.ite_calls += 1
+            result = -1
+            probed = False
+            while True:
+                # Terminal shortcuts.
+                if f == TRUE:
+                    result = g
+                elif f == FALSE:
+                    result = h
+                elif g == h:
+                    result = g
+                elif g == TRUE and h == FALSE:
+                    result = f
+                elif g == FALSE and h == TRUE:
+                    result = self._not(f)
+                else:
+                    # Non-terminal: this triple is one probe of the
+                    # cache layer (counted once, even if normalization
+                    # then rewrites it).
+                    if not probed:
+                        probed = True
+                        stats.cache_lookups += 1
+                    if normalize:
+                        nf, ng, nh = self._normalize_triple(f, g, h)
+                        if (nf, ng, nh) != (f, g, h):
+                            f, g, h = nf, ng, nh
+                            continue  # a rewrite can expose a terminal
+                break
+            if result >= 0:
+                if probed:
+                    # Answered by a normalization rewrite: no expansion,
+                    # no recomputation — a hit of the cache layer.
+                    stats.cache_hits += 1
+                values.append(result)
+                continue
+            key = (f, g, h)
+            cached = cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                values.append(cached)
+                continue
+            level = min(level_arr[f], level_arr[g], level_arr[h])
+            if level_arr[f] == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if level_arr[g] == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            if level_arr[h] == level:
+                h0, h1 = low_arr[h], high_arr[h]
+            else:
+                h0 = h1 = h
+            tasks.append((True, key, level))
+            tasks.append((False, f1, g1, h1))
+            tasks.append((False, f0, g0, h0))
+        return values[-1]
 
     def _cofactors(self, u: int, level: int) -> tuple[int, int]:
         """(low, high) cofactors of ``u`` with respect to ``level``."""
@@ -205,40 +437,78 @@ class BddManager:
         return u, u
 
     # ------------------------------------------------------------------
+    # Generic memoized postorder (the iterative-recursion workhorse)
+    # ------------------------------------------------------------------
+    def _run_postorder(self, root, children, combine, cache) -> int:
+        """Evaluate a memoized structural recursion without recursing.
+
+        ``children(key)`` lists the sub-keys a key depends on;
+        ``combine(key, values)`` computes its result once every child's
+        value is in ``cache``.  Keys may be nodes or tuples of nodes.
+        LIFO scheduling gives the exact evaluation order (and therefore
+        the exact cache behaviour) of the recursive original.
+        """
+        hit = cache.get(root)
+        if hit is not None:
+            return hit
+        stack: list[tuple] = [(root, None)]
+        while stack:
+            key, kids = stack.pop()
+            if key in cache:
+                continue
+            if kids is None:
+                kids = children(key)
+                stack.append((key, kids))
+                for kid in kids:
+                    if kid not in cache:
+                        stack.append((kid, None))
+                continue
+            cache[key] = combine(key, [cache[kid] for kid in kids])
+        return cache[root]
+
+    # ------------------------------------------------------------------
     # Public Boolean algebra (used by Function operators)
     # ------------------------------------------------------------------
     def ite(self, f: Function, g: Function, h: Function) -> Function:
         """If-then-else: ``f & g | ~f & h``."""
+        self._maybe_gc()
         return Function(self, self._ite(self._check(f), self._check(g), self._check(h)))
 
     def apply_not(self, f: Function) -> Function:
         """Complement of ``f``."""
+        self._maybe_gc()
         return Function(self, self._not(self._check(f)))
 
     def apply_and(self, f: Function, g: Function) -> Function:
         """Conjunction of ``f`` and ``g``."""
+        self._maybe_gc()
         return Function(self, self._ite(self._check(f), self._check(g), FALSE))
 
     def apply_or(self, f: Function, g: Function) -> Function:
         """Disjunction of ``f`` and ``g``."""
+        self._maybe_gc()
         return Function(self, self._ite(self._check(f), TRUE, self._check(g)))
 
     def apply_xor(self, f: Function, g: Function) -> Function:
         """Exclusive-or of ``f`` and ``g``."""
+        self._maybe_gc()
         gn = self._check(g)
         return Function(self, self._ite(self._check(f), self._not(gn), gn))
 
     def apply_xnor(self, f: Function, g: Function) -> Function:
         """Equivalence (complement of xor)."""
+        self._maybe_gc()
         gn = self._check(g)
         return Function(self, self._ite(self._check(f), gn, self._not(gn)))
 
     def apply_implies(self, f: Function, g: Function) -> Function:
         """Implication ``f -> g``."""
+        self._maybe_gc()
         return Function(self, self._ite(self._check(f), self._check(g), TRUE))
 
     def conjoin(self, functions: Iterable[Function]) -> Function:
         """AND of an iterable of functions (TRUE for empty input)."""
+        self._maybe_gc()
         acc = TRUE
         for f in functions:
             acc = self._ite(self._check(f), acc, FALSE)
@@ -248,6 +518,7 @@ class BddManager:
 
     def disjoin(self, functions: Iterable[Function]) -> Function:
         """OR of an iterable of functions (FALSE for empty input)."""
+        self._maybe_gc()
         acc = FALSE
         for f in functions:
             acc = self._ite(self._check(f), TRUE, acc)
@@ -260,24 +531,24 @@ class BddManager:
     # ------------------------------------------------------------------
     def restrict(self, f: Function, assignment: Mapping[str, bool]) -> Function:
         """Cofactor ``f`` by fixing the variables in ``assignment``."""
+        self._maybe_gc()
         by_level = {self.level_of(name): bool(val) for name, val in assignment.items()}
-        cache: dict[int, int] = {}
+        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
 
-        def rec(u: int) -> int:
-            if u <= TRUE:
-                return u
-            hit = cache.get(u)
-            if hit is not None:
-                return hit
+        def children(u: int) -> tuple:
+            if self._level[u] in by_level:
+                return (self._high[u] if by_level[self._level[u]] else self._low[u],)
+            return (self._low[u], self._high[u])
+
+        def combine(u: int, values: list[int]) -> int:
             level = self._level[u]
             if level in by_level:
-                result = rec(self._high[u] if by_level[level] else self._low[u])
-            else:
-                result = self._mk(level, rec(self._low[u]), rec(self._high[u]))
-            cache[u] = result
-            return result
+                return values[0]
+            return self._mk(level, values[0], values[1])
 
-        return Function(self, rec(self._check(f)))
+        return Function(
+            self, self._run_postorder(self._check(f), children, combine, cache)
+        )
 
     def compose(self, f: Function, name: str, g: Function) -> Function:
         """Substitute function ``g`` for variable ``name`` in ``f``."""
@@ -289,30 +560,27 @@ class BddManager:
         The substitution is simultaneous: substituted results are not
         re-substituted, so ``{x: y, y: x}`` swaps the two variables.
         """
+        self._maybe_gc()
         subs_by_level = {
             self.level_of(name): self._check(g) for name, g in substitution.items()
         }
         if not subs_by_level:
             return f
-        cache: dict[int, int] = {}
+        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
 
-        def rec(u: int) -> int:
-            if u <= TRUE:
-                return u
-            hit = cache.get(u)
-            if hit is not None:
-                return hit
+        def children(u: int) -> tuple:
+            return (self._low[u], self._high[u])
+
+        def combine(u: int, values: list[int]) -> int:
             level = self._level[u]
-            low = rec(self._low[u])
-            high = rec(self._high[u])
             branch = subs_by_level.get(level)
             if branch is None:
                 branch = self._var_node[self._level_var[level]]
-            result = self._ite(branch, high, low)
-            cache[u] = result
-            return result
+            return self._ite(branch, values[1], values[0])
 
-        return Function(self, rec(self._check(f)))
+        return Function(
+            self, self._run_postorder(self._check(f), children, combine, cache)
+        )
 
     def rename(self, f: Function, mapping: Mapping[str, str]) -> Function:
         """Rename variables (a special case of vector composition)."""
@@ -320,50 +588,64 @@ class BddManager:
 
     def exists(self, names: Iterable[str], f: Function) -> Function:
         """Existential quantification over ``names``."""
+        self._maybe_gc()
         return self._quantify(f, names, conj=False)
 
     def forall(self, names: Iterable[str], f: Function) -> Function:
         """Universal quantification over ``names``."""
+        self._maybe_gc()
         return self._quantify(f, names, conj=True)
 
     def _quantify(self, f: Function, names: Iterable[str], conj: bool) -> Function:
+        # No _maybe_gc here: and_exists calls this mid-traversal with raw
+        # node indices live on its stack — a remap would corrupt them.
         levels = frozenset(self.level_of(name) for name in names)
         if not levels:
             return f
-        cache: dict[int, int] = {}
+        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
 
-        def rec(u: int) -> int:
-            if u <= TRUE:
-                return u
-            hit = cache.get(u)
-            if hit is not None:
-                return hit
+        def children(u: int) -> tuple:
+            return (self._low[u], self._high[u])
+
+        def combine(u: int, values: list[int]) -> int:
+            low, high = values
             level = self._level[u]
-            low = rec(self._low[u])
-            high = rec(self._high[u])
             if level in levels:
                 if conj:
-                    result = self._ite(low, high, FALSE)
-                else:
-                    result = self._ite(low, TRUE, high)
-            else:
-                result = self._mk(level, low, high)
-            cache[u] = result
-            return result
+                    return self._ite(low, high, FALSE)
+                return self._ite(low, TRUE, high)
+            return self._mk(level, low, high)
 
-        return Function(self, rec(self._check(f)))
+        return Function(
+            self, self._run_postorder(self._check(f), children, combine, cache)
+        )
 
     def and_exists(self, names: Iterable[str], f: Function, g: Function) -> Function:
-        """Relational product ``exists names . f & g`` in one recursion.
+        """Relational product ``exists names . f & g`` in one traversal.
 
         The workhorse of BDD reachability (image computation): fusing the
         conjunction with the quantification avoids building the full
         conjunct, which is often the peak-memory step.
         """
+        self._maybe_gc()
+        names = [str(name) for name in names]
         levels = frozenset(self.level_of(name) for name in names)
         cache: dict[tuple[int, int], int] = {}
 
-        def rec(u: int, v: int) -> int:
+        def key_of(u: int, v: int) -> tuple[int, int]:
+            return (u, v) if u <= v else (v, u)
+
+        def children(key: tuple[int, int]) -> tuple:
+            u, v = key
+            if u <= TRUE or v <= TRUE:
+                return ()
+            level = min(self._level[u], self._level[v])
+            u0, u1 = self._cofactors(u, level)
+            v0, v1 = self._cofactors(v, level)
+            return (key_of(u0, v0), key_of(u1, v1))
+
+        def combine(key: tuple[int, int], values: list[int]) -> int:
+            u, v = key
             if u == FALSE or v == FALSE:
                 return FALSE
             if u == TRUE and v == TRUE:
@@ -371,29 +653,21 @@ class BddManager:
             if u == TRUE or v == TRUE:
                 # Reduce to single-operand quantification.
                 w = v if u == TRUE else u
-                return self._check(self._quantify(Function(self, w),
-                                                  (self._level_var[l] for l in levels),
-                                                  conj=False))
-            key = (u, v) if u <= v else (v, u)
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
+                return self._check(
+                    self._quantify(Function(self, w), names, conj=False)
+                )
             level = min(self._level[u], self._level[v])
-            u0, u1 = self._cofactors(u, level)
-            v0, v1 = self._cofactors(v, level)
-            low = rec(u0, v0)
-            if level in levels and low == TRUE:
-                result = TRUE
-            else:
-                high = rec(u1, v1)
-                if level in levels:
-                    result = self._ite(low, TRUE, high)
-                else:
-                    result = self._mk(level, low, high)
-            cache[key] = result
-            return result
+            low, high = values
+            if level in levels:
+                return self._ite(low, TRUE, high)
+            return self._mk(level, low, high)
 
-        return Function(self, rec(self._check(f), self._check(g)))
+        return Function(
+            self,
+            self._run_postorder(
+                key_of(self._check(f), self._check(g)), children, combine, cache
+            ),
+        )
 
     def constrain(self, f: Function, c: Function) -> Function:
         """Coudert–Madre generalized cofactor ``f ↓ c``.
@@ -402,69 +676,72 @@ class BddManager:
         whatever values shrink the BDD (the image-restrictor used in
         reachability optimizations).  ``c`` must be satisfiable.
         """
+        self._maybe_gc()
         fn, cn = self._check(f), self._check(c)
         if cn == FALSE:
             raise BddError("constrain by the empty care set")
         cache: dict[tuple[int, int], int] = {}
 
-        def rec(u: int, k: int) -> int:
-            if k == TRUE or u <= TRUE:
-                return u
-            if u == k:
-                return TRUE
-            key = (u, k)
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
+        def children(key: tuple[int, int]) -> tuple:
+            u, k = key
+            if k == TRUE or u <= TRUE or u == k:
+                return ()
             level = min(self._level[u], self._level[k])
             k0, k1 = self._cofactors(k, level)
             u0, u1 = self._cofactors(u, level)
             if k0 == FALSE:
-                result = rec(u1, k1)
-            elif k1 == FALSE:
-                result = rec(u0, k0)
-            else:
-                result = self._mk(level, rec(u0, k0), rec(u1, k1))
-            cache[key] = result
-            return result
+                return ((u1, k1),)
+            if k1 == FALSE:
+                return ((u0, k0),)
+            return ((u0, k0), (u1, k1))
 
-        return Function(self, rec(fn, cn))
+        def combine(key: tuple[int, int], values: list[int]) -> int:
+            u, k = key
+            if k == TRUE or u <= TRUE:
+                return u
+            if u == k:
+                return TRUE
+            if len(values) == 1:
+                return values[0]
+            level = min(self._level[u], self._level[k])
+            return self._mk(level, values[0], values[1])
+
+        return Function(self, self._run_postorder((fn, cn), children, combine, cache))
 
     def restrict_care(self, f: Function, c: Function) -> Function:
         """The "restrict" heuristic: like :meth:`constrain` but a care
         variable absent from ``f``'s support never enters the result
         (restrict quantifies it out of the care set instead)."""
+        self._maybe_gc()
         fn, cn = self._check(f), self._check(c)
         if cn == FALSE:
             raise BddError("restrict by the empty care set")
         cache: dict[tuple[int, int], int] = {}
 
-        def rec(u: int, k: int) -> int:
+        def children(key: tuple[int, int]) -> tuple:
+            u, k = key
             if k == TRUE or u <= TRUE:
-                return u
-            key = (u, k)
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
+                return ()
             u_level, k_level = self._level[u], self._level[k]
             if k_level < u_level:
                 # Care splits on a variable f ignores: drop it.
-                result = rec(u, self._ite(self._low[k], TRUE, self._high[k]))
-            else:
-                level = u_level
-                k0, k1 = self._cofactors(k, level)
-                if k0 == FALSE:
-                    result = rec(self._high[u], k1)
-                elif k1 == FALSE:
-                    result = rec(self._low[u], k0)
-                else:
-                    result = self._mk(
-                        level, rec(self._low[u], k0), rec(self._high[u], k1)
-                    )
-            cache[key] = result
-            return result
+                return ((u, self._ite(self._low[k], TRUE, self._high[k])),)
+            k0, k1 = self._cofactors(k, u_level)
+            if k0 == FALSE:
+                return ((self._high[u], k1),)
+            if k1 == FALSE:
+                return ((self._low[u], k0),)
+            return ((self._low[u], k0), (self._high[u], k1))
 
-        return Function(self, rec(fn, cn))
+        def combine(key: tuple[int, int], values: list[int]) -> int:
+            u, k = key
+            if k == TRUE or u <= TRUE:
+                return u
+            if len(values) == 1:
+                return values[0]
+            return self._mk(self._level[u], values[0], values[1])
+
+        return Function(self, self._run_postorder((fn, cn), children, combine, cache))
 
     # ------------------------------------------------------------------
     # Inspection: support, evaluation, satisfiability, counting
@@ -526,7 +803,7 @@ class BddManager:
         order = {name: i for i, name in enumerate(names)}
         node = self._check(f)
 
-        def rec(u: int, idx: int) -> Iterator[dict[str, bool]]:
+        def walk(u: int, idx: int) -> Iterator[dict[str, bool]]:
             if u == FALSE:
                 return
             if idx == len(names):
@@ -546,7 +823,7 @@ class BddManager:
             else:
                 low = high = u
             for value, child in ((False, low), (True, high)):
-                for tail in rec(child, idx + 1):
+                for tail in walk(child, idx + 1):
                     tail[name] = value
                     yield tail
 
@@ -554,7 +831,7 @@ class BddManager:
         extra = self.support(f) - set(names)
         if extra:
             raise BddError(f"function depends on {sorted(extra)} outside care_vars")
-        for assignment in rec(node, 0):
+        for assignment in walk(node, 0):
             yield dict(sorted(assignment.items(), key=lambda kv: order[kv[0]]))
 
     def sat_count(self, f: Function, nvars: int | None = None) -> int:
@@ -570,24 +847,37 @@ class BddManager:
             nvars = len(support_levels)
         if nvars < len(support_levels):
             raise BddError("nvars smaller than the function's support")
-        cache: dict[int, int] = {}
+        if u <= TRUE:
+            return u << nvars
         # Count over the support only, then scale by free variables.
         index_of = {level: i for i, level in enumerate(support_levels)}
+        total = len(support_levels)
+        cache: dict[int, int] = {}
 
-        def rec(u: int, depth: int) -> int:
-            """Assignments of support vars from position ``depth`` on."""
-            if u == FALSE:
+        def count_child(child: int, position: int) -> int:
+            """Assignments of support vars strictly below ``position``."""
+            if child == FALSE:
                 return 0
-            if u == TRUE:
-                return 1 << (len(support_levels) - depth)
-            position = index_of[self._level[u]]
-            hit = cache.get(u)
-            if hit is None:
-                hit = rec(self._low[u], position + 1) + rec(self._high[u], position + 1)
-                cache[u] = hit
-            return hit << (position - depth)
+            if child == TRUE:
+                return 1 << (total - position - 1)
+            return cache[child] << (index_of[self._level[child]] - position - 1)
 
-        return rec(u, 0) << (nvars - len(support_levels))
+        def children(node: int) -> tuple:
+            return tuple(
+                child
+                for child in (self._low[node], self._high[node])
+                if child > TRUE
+            )
+
+        def combine(node: int, _values: list[int]) -> int:
+            position = index_of[self._level[node]]
+            return count_child(self._low[node], position) + count_child(
+                self._high[node], position
+            )
+
+        self._run_postorder(u, children, combine, cache)
+        root_count = cache[u] << index_of[self._level[u]]
+        return root_count << (nvars - total)
 
     def node_count(self, f: Function) -> int:
         """Number of nodes in ``f``'s DAG (terminals included)."""
@@ -604,12 +894,88 @@ class BddManager:
         return len(seen)
 
     # ------------------------------------------------------------------
-    # Maintenance
+    # Maintenance: cache hygiene and garbage collection
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop operation caches (keeps the node table and variables)."""
         self._ite_cache.clear()
         self._not_cache.clear()
+
+    def _maybe_gc(self) -> None:
+        """Collect if the table grew past the threshold.
+
+        Called only at public-operation boundaries: mid-traversal state
+        (raw node indices on explicit stacks) must never see a remap.
+        """
+        if (
+            self._gc_threshold is not None
+            and len(self._level) - self._last_gc_size >= self._gc_threshold
+        ):
+            self.collect_garbage()
+
+    def collect_garbage(self) -> int:
+        """Mark-and-sweep dead nodes; returns how many were reclaimed.
+
+        Roots are every live :class:`Function` handle plus every
+        declared variable.  Surviving nodes are compacted to the front
+        of the table (children always precede parents, so a single
+        ascending pass remaps consistently), live handles are
+        re-pointed at their new indices, and both operation caches are
+        flushed (their keys name old indices).  Reclaimed nodes that a
+        later operation needs again are simply recreated — and charged
+        to the budget again, since the budget meters allocation work.
+        """
+        stats = self.stats  # property access refreshes peak_nodes
+        size = len(self._level)
+        marks = bytearray(size)
+        marks[FALSE] = marks[TRUE] = 1
+        live_handles: list[Function] = []
+        roots: list[int] = list(self._var_node.values())
+        for ref in self._handles:
+            handle = ref()
+            if handle is not None:
+                live_handles.append(handle)
+                roots.append(handle.node)
+        stack = roots
+        while stack:
+            u = stack.pop()
+            if marks[u]:
+                continue
+            marks[u] = 1
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        # Compact: children have smaller indices than their parents, so
+        # remap entries are always ready when a survivor needs them.
+        remap = [0] * size
+        new_level: list[int] = []
+        new_low: list[int] = []
+        new_high: list[int] = []
+        for old in range(size):
+            if not marks[old]:
+                continue
+            remap[old] = len(new_level)
+            new_level.append(self._level[old])
+            new_low.append(remap[self._low[old]])
+            new_high.append(remap[self._high[old]])
+        reclaimed = size - len(new_level)
+        self._level, self._low, self._high = new_level, new_low, new_high
+        self._unique = {
+            (new_level[n], new_low[n], new_high[n]): n
+            for n in range(2, len(new_level))
+        }
+        self._ite_cache.clear()
+        self._not_cache.clear()
+        self._var_node = {
+            name: remap[node] for name, node in self._var_node.items()
+        }
+        for handle in live_handles:
+            handle.node = remap[handle.node]
+        self._handles = [weakref.ref(handle) for handle in live_handles]
+        self._handle_prune_at = max(1024, 2 * len(self._handles))
+        self._last_gc_size = len(new_level)
+        stats.gc_runs += 1
+        stats.nodes_reclaimed += reclaimed
+        return reclaimed
 
     def to_dot(self, f: Function, name: str = "bdd") -> str:
         """Graphviz dot text for ``f`` (debugging / documentation aid)."""

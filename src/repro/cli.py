@@ -132,6 +132,11 @@ def cmd_analyze(args) -> int:
                   f"init={init}, diverges at cycle {witness.diverged_at}")
     print(f"    candidates      : {len(result.candidates)}"
           f" ({result.decisions_run} decisions, {result.elapsed_seconds:.2f}s)")
+    if args.stats:
+        if result.bdd_stats is not None:
+            print(f"    BDD stats       : {result.bdd_stats.summary()}")
+        else:
+            print("    BDD stats       : none (no decision context was built)")
     if result.budget_exceeded:
         print("    NOTE: work budget exhausted; bound is partial (†)")
     if result.deadline_exceeded:
@@ -315,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reachability", action="store_true",
                    help="use reachable-state don't cares in the decision")
     p.add_argument("--budget", type=int, default=None, help="work budget")
+    p.add_argument("--stats", action="store_true",
+                   help="print BDD-engine counters (ite calls, cache hit "
+                        "rate, GC runs) after the sweep")
     p.add_argument("--witness", action="store_true",
                    help="search for a simulated divergence below the bound")
     p.add_argument("--time-limit", type=float, default=None,

@@ -114,6 +114,11 @@ class DecisionContext:
         self._outcomes: dict[frozenset, DecisionOutcome] = {}
         self.decisions_run = 0
 
+    @property
+    def bdd_stats(self):
+        """Live counters of this context's BDD manager."""
+        return self.manager.stats
+
     # ------------------------------------------------------------------
     # Variable helpers
     # ------------------------------------------------------------------

@@ -38,7 +38,7 @@ import dataclasses
 import time
 from fractions import Fraction
 
-from repro.bdd import Function
+from repro.bdd import BddStats, Function
 from repro.errors import (
     AnalysisError,
     Budget,
@@ -120,6 +120,10 @@ class CandidateRecord:
     elapsed_seconds: float = 0.0
     #: Degradation-ladder rung that produced this verdict.
     rung: str = "exact"
+    #: ITE subproblems the BDD engine examined while deciding this
+    #: window (0 for steady windows; replayed checkpoint records keep
+    #: the count measured when the window was originally decided).
+    ite_calls: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -172,6 +176,10 @@ class MctResult:
     #: pressure; pass to ``minimum_cycle_time(resume_from=...)`` or
     #: save to disk for ``repro-mct analyze --resume``.
     checkpoint: SweepCheckpoint | None = None
+    #: Merged BDD-engine counters of every decision context the sweep
+    #: used (``None`` when the sweep never built one — e.g. the budget
+    #: blew during path collection).
+    bdd_stats: BddStats | None = None
 
     @property
     def improves_on(self) -> Fraction | None:
@@ -417,6 +425,21 @@ class _Sweep:
             self._oracle_cache = _exact_oracle(self.machine, self.options)
         return self._oracle_cache
 
+    def _bdd_stats(self) -> BddStats | None:
+        """Merged BDD counters across every context built so far."""
+        if not self.contexts:
+            return None
+        merged = BddStats()
+        for context in self.contexts.values():
+            merged.merge(context.bdd_stats)
+        return merged
+
+    def _ite_calls(self) -> int:
+        """Total ITE calls across every context built so far."""
+        return sum(
+            context.bdd_stats.ite_calls for context in self.contexts.values()
+        )
+
     def _context(self, idx: int) -> DecisionContext:
         """The decision context of rung ``idx`` (created on demand).
 
@@ -513,6 +536,7 @@ class _Sweep:
                 )
                 window = (tau, window_top)
                 window_start = time.monotonic()
+                ite_before = self._ite_calls()
                 verdict = self._examine(regime, m, tau, window)
                 elapsed = time.monotonic() - window_start
                 self.records.append(
@@ -522,6 +546,7 @@ class _Sweep:
                         verdict.m,
                         elapsed,
                         self.rungs[self.rung_idx].name,
+                        self._ite_calls() - ite_before,
                     )
                 )
                 if verdict.status != "fail":
@@ -574,6 +599,7 @@ class _Sweep:
             rung=self.rungs[self.rung_idx].name,
             degradations=tuple(self.degradations),
             checkpoint=self._checkpoint(notes) if interrupted else None,
+            bdd_stats=self._bdd_stats(),
         )
 
     # ------------------------------------------------------------------

@@ -55,6 +55,10 @@ class TableRow:
     mct_partial: bool = False  # the paper's † (budget/deadline mid-sweep)
     paper: dict | None = None  # the original row's published numbers
     mct_rung: str = "exact"  # degradation-ladder rung of the MCT bound
+    #: BDD-engine counters of the MCT sweep (``BddStats.as_dict()``);
+    #: not rendered in the paper table, but carried for perf tooling
+    #: (``BENCH_mct.json``) and ``--stats`` output.
+    bdd_stats: dict | None = None
 
     def cells(self) -> list[str]:
         mct_text = format_fraction(self.mct)
@@ -145,6 +149,9 @@ def analyze_circuit(
         mct_partial=partial,
         paper=paper,
         mct_rung=result.rung,
+        bdd_stats=(
+            result.bdd_stats.as_dict() if result.bdd_stats is not None else None
+        ),
     )
 
 

@@ -86,6 +86,7 @@ class SweepCheckpoint:
                     "m": r.m,
                     "elapsed_seconds": r.elapsed_seconds,
                     "rung": r.rung,
+                    "ite_calls": r.ite_calls,
                 }
                 for r in self.records
             ],
@@ -113,6 +114,7 @@ class SweepCheckpoint:
                     m=int(entry["m"]),
                     elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
                     rung=str(entry.get("rung", "exact")),
+                    ite_calls=int(entry.get("ite_calls", 0)),
                 )
                 for entry in data.get("records", ())
             )

@@ -278,3 +278,60 @@ class TestBudget:
         f = a ^ b
         mgr.clear_caches()
         assert (a ^ b) == f
+
+
+class TestIteNormalization:
+    """Regression for the raw-key cache bug: commuted and complemented
+    ITE triples must share one operation-cache entry (the module
+    docstring promised "standard triple normalisation" all along)."""
+
+    def _snap(self, mgr):
+        stats = mgr.stats
+        return stats.cache_lookups, stats.cache_hits
+
+    def test_and_commutes_into_a_cache_hit(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        _ = a & b
+        lookups, hits = self._snap(mgr)
+        _ = b & a  # normalized to the same (a, b, FALSE) triple
+        assert mgr.stats.cache_lookups == lookups + 1
+        assert mgr.stats.cache_hits == hits + 1
+
+    def test_or_commutes_into_a_cache_hit(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        _ = a | b
+        _, hits = self._snap(mgr)
+        _ = b | a
+        assert mgr.stats.cache_hits == hits + 1
+
+    def test_complemented_test_shares_the_entry(self):
+        mgr = BddManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        na = ~a  # populates the NOT cache so normalization can see it
+        _ = na & b  # rewritten to ite(a, FALSE, b)
+        _, hits = self._snap(mgr)
+        assert mgr.ite(a, mgr.false, b) == na & b
+        assert mgr.stats.cache_hits > hits
+
+    def test_raw_keys_missed_without_normalization(self):
+        # The pre-fix behaviour, pinned so the regression is visible:
+        # with normalization off, the commuted AND recomputes.
+        mgr = BddManager(normalize_ite=False)
+        a, b = mgr.var("a"), mgr.var("b")
+        _ = a & b
+        lookups, hits = self._snap(mgr)
+        _ = b & a
+        assert mgr.stats.cache_lookups == lookups + 1
+        assert mgr.stats.cache_hits == hits  # miss: raw (b, a, 0) key
+
+    def test_stats_counters_monotone(self):
+        mgr = BddManager()
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        _ = (a & b) | (b & c) | (a ^ c)
+        stats = mgr.stats
+        assert stats.ite_calls > 0
+        assert stats.nodes_created >= 3
+        assert stats.peak_nodes == len(mgr)
+        assert 0.0 <= stats.cache_hit_rate <= 1.0

@@ -6,7 +6,14 @@ import pytest
 
 from repro.bdd import BddManager
 from repro.bdd.reorder import order_size, reorder, sift_order
-from repro.errors import BddError
+from repro.errors import (
+    BddError,
+    Budget,
+    DeadlineExceeded,
+    ResourceBudgetExceeded,
+)
+from repro.resilience import Deadline
+from repro.resilience.faults import inject_faults, observe_calls
 
 
 def comb_function(mgr: BddManager, n: int, interleaved: bool):
@@ -94,3 +101,65 @@ class TestSifting:
     def test_empty_rejected(self):
         with pytest.raises(BddError):
             sift_order([])
+
+
+class TestResourcePropagation:
+    """reorder()/order_size()/sift_order() must run under the caller's
+    Budget and Deadline — a sift inside a time-limited sweep has to be
+    chargeable and interruptible (it used to build bare managers that
+    silently dropped both)."""
+
+    def _comb(self, n=4):
+        mgr = BddManager()
+        return comb_function(mgr, n, interleaved=False)
+
+    def test_reorder_charges_budget(self):
+        f = self._comb(3)
+        order = sorted(f.support())
+        with observe_calls() as plan:
+            reorder([f], order, budget=Budget(10**9, "reorder"))
+        assert plan.budget_calls > 0
+
+    def test_reorder_budget_fault_interrupts(self):
+        f = self._comb()
+        order = sorted(f.support())
+        with inject_faults(budget_at=5):
+            with pytest.raises(ResourceBudgetExceeded):
+                reorder([f], order, budget=Budget(10**9, "reorder"))
+
+    def test_order_size_deadline_fault_interrupts(self):
+        f = self._comb()
+        order = sorted(f.support())
+        with inject_faults(deadline_at=5):
+            with pytest.raises(DeadlineExceeded):
+                order_size([f], order, deadline=Deadline(3600.0))
+
+    def test_sift_order_budget_fault_interrupts(self):
+        f = self._comb()
+        with inject_faults(budget_at=50):
+            with pytest.raises(ResourceBudgetExceeded):
+                sift_order([f], budget=Budget(10**9, "sift"))
+
+    def test_sift_order_deadline_fault_interrupts(self):
+        f = self._comb()
+        with inject_faults(deadline_at=50):
+            with pytest.raises(DeadlineExceeded):
+                sift_order([f], deadline=Deadline(3600.0))
+
+    def test_sift_real_budget_exhausts(self):
+        # A genuinely tiny budget (no fault hook) also stops the sift.
+        f = self._comb()
+        with pytest.raises(ResourceBudgetExceeded):
+            sift_order([f], budget=Budget(3, "sift"))
+
+    def test_unfaulted_results_unchanged(self):
+        f = self._comb(3)
+        bad = sorted(f.support())
+        plain = sift_order([f], initial_order=bad)
+        resourced = sift_order(
+            [f],
+            initial_order=bad,
+            budget=Budget(10**9, "sift"),
+            deadline=Deadline(3600.0),
+        )
+        assert plain == resourced
