@@ -7,18 +7,23 @@ Measures, with wall-clock timing and full BDD-engine counters
 * every benchgen suite row (the Table 1 stand-ins), MCT sweep only;
 * a normalization ablation on Example 2 — the same sweep with ITE
   triple normalization off, establishing the pre-normalization cache
-  hit rate the normalized run must beat.
+  hit rate the normalized run must beat;
+* a serial-vs-sharded suite comparison — the report harness run
+  in-process and on a 2-worker pool, with per-worker stats and a
+  row-identity check.
 
 Run from the repo root::
 
     PYTHONPATH=src python -m benchmarks.perf_baseline --output BENCH_mct.json
 
-The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/1``):
+The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/2``):
 a ``cases`` list with per-case ``wall_seconds``/``mct``/``bdd``
-objects, plus a ``normalization_ablation`` object comparing the two
-Example 2 runs.  ``benchmarks/test_perf_baseline.py`` runs this module
-end-to-end and enforces the ablation win and generous wall ceilings;
-the CI bench job uploads the JSON as an artifact.
+objects, a ``normalization_ablation`` object comparing the two
+Example 2 runs, and a ``suite_parallel`` object with the
+serial/parallel wall clocks.  ``benchmarks/test_perf_baseline.py``
+runs this module end-to-end and enforces the ablation win, the
+parallel row identity, and generous wall ceilings; the CI bench job
+uploads the JSON as an artifact.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from repro.benchgen.suite import build_case, suite_cases
 from repro.bdd import set_default_ite_normalization
 from repro.mct import MctOptions, minimum_cycle_time
 
-SCHEMA = "repro-mct-bench/1"
+SCHEMA = "repro-mct-bench/2"
 
 
 def _frac(value) -> str | None:
@@ -111,10 +116,56 @@ def measure_normalization_ablation() -> dict:
     }
 
 
+def _row_identity(row) -> tuple:
+    """The deterministic fields of a TableRow (no wall-clock columns)."""
+    return (
+        row.name,
+        row.flags,
+        _frac(row.topological),
+        _frac(row.floating),
+        _frac(row.transition),
+        _frac(row.mct),
+        row.mct_partial,
+        row.mct_rung,
+    )
+
+
+def measure_suite_parallel(jobs: int = 2) -> dict:
+    """The report harness, serial vs sharded on ``jobs`` workers.
+
+    Compares only the deterministic row fields (CPU columns are
+    measurements); ``rows_match`` is the acceptance criterion the
+    bench test enforces.
+    """
+    from repro.parallel.suite import run_suite_sharded
+    from repro.report.harness import run_suite
+
+    t0 = time.monotonic()
+    serial_rows = run_suite(include_s27=True)
+    serial_wall = time.monotonic() - t0
+    t0 = time.monotonic()
+    parallel_rows, workers = run_suite_sharded(include_s27=True, jobs=jobs)
+    parallel_wall = time.monotonic() - t0
+    serial_ids = [_row_identity(row) for row in serial_rows]
+    parallel_ids = [_row_identity(row) for row in parallel_rows]
+    return {
+        "jobs": jobs,
+        "rows": len(serial_rows),
+        "rows_match": serial_ids == parallel_ids,
+        "serial_wall_seconds": round(serial_wall, 6),
+        "parallel_wall_seconds": round(parallel_wall, 6),
+        "speedup": round(serial_wall / parallel_wall, 6)
+        if parallel_wall > 0
+        else None,
+        "workers": [worker.as_dict() for worker in workers],
+    }
+
+
 def build_report() -> dict:
     t0 = time.monotonic()
     cases = measure_example2() + measure_suite()
     ablation = measure_normalization_ablation()
+    suite_parallel = measure_suite_parallel()
     return {
         "schema": SCHEMA,
         "generated_by": "benchmarks.perf_baseline",
@@ -122,6 +173,7 @@ def build_report() -> dict:
         "total_wall_seconds": round(time.monotonic() - t0, 6),
         "cases": cases,
         "normalization_ablation": ablation,
+        "suite_parallel": suite_parallel,
     }
 
 
@@ -149,6 +201,13 @@ def main(argv=None) -> int:
         f"{ablation['unnormalized']['bdd']['cache_hit_rate']:.3f} -> "
         f"{ablation['normalized']['bdd']['cache_hit_rate']:.3f} "
         f"(gain {ablation['hit_rate_gain']:+.3f})"
+    )
+    par = report["suite_parallel"]
+    print(
+        f"suite x{par['jobs']} workers: serial "
+        f"{par['serial_wall_seconds']:.2f}s, parallel "
+        f"{par['parallel_wall_seconds']:.2f}s, rows "
+        f"{'match' if par['rows_match'] else 'DIFFER'}"
     )
     return 0
 

@@ -3,11 +3,13 @@
 Runs ``benchmarks.perf_baseline`` exactly as the CI bench job does,
 then enforces the report's contract:
 
-* the ``repro-mct-bench/1`` schema (cases for Example 2 and every
+* the ``repro-mct-bench/2`` schema (cases for Example 2 and every
   benchgen row, each with wall-clock and full ``BddStats``);
-* the tentpole's acceptance criterion — the normalized Example 2 sweep
-  reports a cache hit rate *strictly higher* than the unnormalized
-  baseline measured in the same run;
+* the normalized Example 2 sweep reports a cache hit rate *strictly
+  higher* than the unnormalized baseline measured in the same run;
+* the sharded suite run produces row-for-row the same deterministic
+  fields as the serial harness (``suite_parallel.rows_match``), with
+  per-worker telemetry accounting for every task;
 * generous wall-clock ceilings, so a pathological perf regression in
   the BDD core fails loudly instead of just slowing CI down.
 """
@@ -81,6 +83,20 @@ def test_normalization_strictly_improves_hit_rate(report):
     assert normalized["ite_calls"] <= baseline["ite_calls"]
     # Both runs agree on the published answer, of course.
     assert ablation["unnormalized"]["mct"] == ablation["normalized"]["mct"] == "5/2"
+
+
+def test_suite_parallel_matches_serial(report):
+    par = report["suite_parallel"]
+    assert par["jobs"] >= 2
+    assert par["rows_match"] is True
+    assert par["rows"] > 0
+    assert par["serial_wall_seconds"] >= 0
+    assert par["parallel_wall_seconds"] >= 0
+    # Every row was measured by exactly one worker.
+    assert sum(w["tasks"] for w in par["workers"]) == par["rows"]
+    for worker in par["workers"]:
+        assert worker["pid"] > 0
+        assert set(worker["bdd"]) == BDD_KEYS
 
 
 def test_wall_clock_ceilings(report):

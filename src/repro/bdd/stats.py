@@ -68,6 +68,18 @@ class BddStats:
         self.nodes_reclaimed += other.nodes_reclaimed
         return self
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "BddStats":
+        """Rebuild counters from an :meth:`as_dict` payload.
+
+        The inverse used when counters cross a process boundary (the
+        parallel sweep ships worker stats as plain dicts).  Derived
+        fields like ``cache_hit_rate`` are ignored; unknown keys are
+        too, so older payloads stay readable.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in fields})
+
     def as_dict(self) -> dict:
         """JSON-ready view (the ``BENCH_mct.json`` ``bdd`` object)."""
         return {

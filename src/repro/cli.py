@@ -74,11 +74,31 @@ def cmd_analyze(args) -> int:
     if time_limit is not None and time_limit < 0:
         print("error: --time-limit must be non-negative", file=sys.stderr)
         return 1
+    for flag, value in (
+        ("--fail-budget-at", args.fail_budget_at),
+        ("--fail-deadline-at", args.fail_deadline_at),
+    ):
+        if value is not None and value < 0:
+            print(f"error: {flag} must be non-negative", file=sys.stderr)
+            return 1
+    faulted = (
+        args.fail_budget_at is not None or args.fail_deadline_at is not None
+    )
+    jobs = args.jobs
+    if jobs < 0:
+        print("error: --jobs must be non-negative", file=sys.stderr)
+        return 1
+    if jobs > 1 and faulted:
+        # Fault hooks are process-global: a pool worker would never see
+        # them, so the injected fault must run in this process.
+        print("note: fault injection forces a serial sweep; ignoring --jobs")
+        jobs = 1
     # The fault flags exercise the resilience path deterministically
     # (used by the CI smoke job); they need a budget/deadline to fail.
-    if args.fail_budget_at and work_budget is None:
+    # Gate on `is not None`: 0 is a valid (never-firing) call index.
+    if args.fail_budget_at is not None and work_budget is None:
         work_budget = 10**9
-    if args.fail_deadline_at and time_limit is None:
+    if args.fail_deadline_at is not None and time_limit is None:
         time_limit = 3600.0
     options = MctOptions(
         use_reachability=args.reachability,
@@ -96,11 +116,11 @@ def cmd_analyze(args) -> int:
 
     def run():
         return minimum_cycle_time(
-            circuit, delays, options, resume_from=resume_from
+            circuit, delays, options, resume_from=resume_from, jobs=jobs
         )
 
     try:
-        if args.fail_budget_at or args.fail_deadline_at:
+        if faulted:
             with inject_faults(
                 budget_at=args.fail_budget_at,
                 deadline_at=args.fail_deadline_at,
@@ -156,7 +176,10 @@ def cmd_analyze(args) -> int:
                   "started; rerun from scratch")
         else:
             print("    checkpoint      : analysis completed; nothing to save")
-    return 0
+    # Exit-code contract (docs/USAGE.md): 0 complete, 3 partial — a
+    # bound cut short by the budget/deadline is not a full answer and
+    # scripts must be able to tell the difference.
+    return 3 if result.interrupted else 0
 
 
 def cmd_table(args) -> int:
@@ -167,16 +190,28 @@ def cmd_table(args) -> int:
         if not cases:
             print(f"no suite rows match {args.rows!r}", file=sys.stderr)
             return 1
+    if args.jobs < 0:
+        print("error: --jobs must be non-negative", file=sys.stderr)
+        return 1
     widen = None if args.fixed else Fraction(9, 10)
-    rows = run_suite(cases, include_s27=not args.no_s27, widen=widen)
+    rows = run_suite(
+        cases, include_s27=not args.no_s27, widen=widen, jobs=args.jobs
+    )
     condition = "fixed delays" if args.fixed else "delays in [90%, 100%] of max"
+    with_cpu = not args.no_cpu
     if args.markdown:
         from repro.report import HEADER
         from repro.report.tables import format_markdown_table
 
-        print(format_markdown_table(HEADER, [r.cells() for r in rows]))
+        print(format_markdown_table(
+            HEADER, [r.cells(with_cpu=with_cpu) for r in rows]
+        ))
     else:
-        print(render_rows(rows, title=f"Minimum cycle times ({condition})"))
+        print(render_rows(
+            rows,
+            title=f"Minimum cycle times ({condition})",
+            with_cpu=with_cpu,
+        ))
         print("\n‡ combinational delays pessimistic; § topological > floating;"
               " - memory (budget) out; † partial sweep")
     return 0
@@ -335,9 +370,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retry exhausted windows at degraded settings "
                         "instead of giving up (see docs/ROBUSTNESS.md)")
     p.add_argument("--fail-budget-at", type=int, default=None, metavar="N",
-                   help="fault injection: fail the Nth budget charge")
+                   help="fault injection: fail the Nth budget charge "
+                        "(0 arms the counters but never fires)")
     p.add_argument("--fail-deadline-at", type=int, default=None, metavar="N",
-                   help="fault injection: fail the Nth deadline check")
+                   help="fault injection: fail the Nth deadline check "
+                        "(0 arms the counters but never fires)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="decide up to N breakpoint windows in parallel "
+                        "(worker processes; same bound and candidates "
+                        "as a serial sweep)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("table", help="regenerate the paper's results table")
@@ -347,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="include the equal-profile rows the paper omits")
     p.add_argument("--markdown", action="store_true", help="markdown output")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="measure circuits on N worker processes "
+                        "(rows keep the serial order)")
+    p.add_argument("--no-cpu", action="store_true",
+                   help="dash the CPU columns (deterministic output "
+                        "for run-to-run comparison)")
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("example2", help="walk through the paper's Example 2")

@@ -197,6 +197,7 @@ def minimum_cycle_time(
     delays: DelayMap,
     options: MctOptions | None = None,
     resume_from: SweepCheckpoint | None = None,
+    jobs: int = 1,
 ) -> MctResult:
     """Compute an upper bound on the machine's minimum cycle time.
 
@@ -213,6 +214,16 @@ def minimum_cycle_time(
     (:class:`~repro.errors.CheckpointError` otherwise); the work budget
     and time limit are intentionally *not* part of that fingerprint —
     resuming with fresh resources is the point.
+
+    ``jobs > 1`` decides the upcoming breakpoint windows speculatively
+    on a pool of worker processes (see :mod:`repro.parallel`): verdicts
+    are committed strictly in breakpoint order and speculative work
+    past the first failing window is discarded, so the bound, candidate
+    sequence, and any checkpoint match the serial sweep.  Like the
+    budget and time limit, ``jobs`` is a resource knob and not part of
+    the checkpoint fingerprint — serial and parallel checkpoints are
+    interchangeable.  A configured ``degradation_ladder`` is stateful
+    across windows and therefore always runs serially.
     """
     options = options or MctOptions()
     start = time.monotonic()
@@ -249,7 +260,7 @@ def minimum_cycle_time(
             elapsed_seconds=time.monotonic() - start,
             notes="time limit reached during path collection",
         )
-    sweep = _Sweep(circuit, machine, options, budget, deadline, start)
+    sweep = _Sweep(circuit, machine, options, budget, deadline, start, jobs=jobs)
     if resume_from is not None:
         sweep.restore(resume_from)
     return sweep.run()
@@ -353,6 +364,62 @@ class _SweepStop(Exception):
 _UNSET = object()
 
 
+def decide_window(
+    context,
+    regime,
+    window,
+    options: MctOptions,
+    oracle_factory=None,
+    deadline=None,
+) -> _Verdict:
+    """Decision + feasibility pass for one breakpoint window.
+
+    The rung-agnostic core of the sweep, shared by the serial ladder
+    (:meth:`_Sweep._examine_at`) and the parallel window workers
+    (:mod:`repro.parallel.windows`).  ``oracle_factory`` lazily builds
+    the exact gate-coupled LP oracle; it is only invoked when failing
+    combinations actually need filtering.
+    """
+    outcome = context.decide(regime)
+    if outcome.passed_structurally:
+        return _Verdict("pass", outcome.m)
+    window_top = window[1]
+    if not outcome.has_choices:
+        return _Verdict(
+            "fail",
+            outcome.m,
+            bound=window_top,
+            sigmas=tuple(
+                (sigma, window_top) for sigma in outcome.failing_options
+            ),
+            roots=outcome.failing_roots,
+        )
+    oracle = oracle_factory() if oracle_factory is not None else None
+    feasible = []
+    for sigma in outcome.failing_options:
+        sup = sigma_sup_tau(sigma, window, deadline=deadline)
+        if sup is None:
+            continue
+        if oracle is not None:
+            exact_sup = _exact_sup(oracle, sigma, window, options, deadline)
+            if exact_sup is _RELAXED:
+                pass  # fell back: keep the relaxed sup
+            elif exact_sup is None:
+                continue  # coupled LP proves σ unrealizable
+            else:
+                sup = exact_sup
+        feasible.append((sigma, sup))
+    if not feasible:
+        return _Verdict("pass-infeasible", outcome.m)
+    return _Verdict(
+        "fail",
+        outcome.m,
+        bound=max(sup for _, sup in feasible),
+        sigmas=tuple(feasible),
+        roots=outcome.failing_roots,
+    )
+
+
 class _Sweep:
     """One τ-sweep run: breakpoint loop, ladder, checkpointing."""
 
@@ -364,6 +431,7 @@ class _Sweep:
         budget: Budget | None,
         deadline: Deadline | None,
         start: float,
+        jobs: int = 1,
     ):
         self.circuit = circuit
         self.machine = machine
@@ -371,6 +439,7 @@ class _Sweep:
         self.budget = budget
         self.deadline = deadline
         self.start = start
+        self.jobs = max(1, int(jobs))
         self.rungs = _ladder(options)
         self.rung_idx = 0
         self.contexts: dict[int, DecisionContext] = {}
@@ -475,6 +544,17 @@ class _Sweep:
     # The sweep
     # ------------------------------------------------------------------
     def run(self) -> MctResult:
+        """Serial sweep, or the speculative parallel sweep for jobs > 1.
+
+        The degradation ladder mutates rung state across windows, so a
+        ladder-configured sweep always runs serially regardless of
+        ``jobs``.
+        """
+        if self.jobs > 1 and not self.options.degradation_ladder:
+            return self._run_parallel()
+        return self._run_serial()
+
+    def _run_serial(self) -> MctResult:
         options = self.options
         machine = self.machine
         tau_floor = options.tau_floor
@@ -567,6 +647,41 @@ class _Sweep:
             notes = stop.notes
             interrupted = True
 
+        return self._finalize(
+            mct_ub=mct_ub,
+            failure_found=failure_found,
+            failing_window=failing_window,
+            failing_sigmas=failing_sigmas,
+            failing_roots=failing_roots,
+            budget_exceeded=budget_exceeded,
+            deadline_exceeded=deadline_exceeded,
+            exhausted=exhausted,
+            notes=notes,
+            interrupted=interrupted,
+            decisions_run=sum(
+                ctx.decisions_run for ctx in self.contexts.values()
+            ),
+            bdd_stats=self._bdd_stats(),
+        )
+
+    def _finalize(
+        self,
+        *,
+        mct_ub: Fraction | None,
+        failure_found: bool,
+        failing_window,
+        failing_sigmas: tuple,
+        failing_roots: tuple[str, ...],
+        budget_exceeded: bool,
+        deadline_exceeded: bool,
+        exhausted: bool,
+        notes: str,
+        interrupted: bool,
+        decisions_run: int,
+        bdd_stats: BddStats | None,
+    ) -> MctResult:
+        """Assemble the :class:`MctResult` (shared serial/parallel tail)."""
+        machine = self.machine
         if mct_ub is None:
             # Never failed: report the last *examined* breakpoint — the
             # machine is proven equivalent for every τ ≥ that value.
@@ -588,9 +703,7 @@ class _Sweep:
             failing_sigmas=failing_sigmas,
             failing_roots=failing_roots,
             candidates=tuple(self.records),
-            decisions_run=sum(
-                ctx.decisions_run for ctx in self.contexts.values()
-            ),
+            decisions_run=decisions_run,
             elapsed_seconds=time.monotonic() - self.start,
             budget_exceeded=budget_exceeded,
             deadline_exceeded=deadline_exceeded,
@@ -599,7 +712,229 @@ class _Sweep:
             rung=self.rungs[self.rung_idx].name,
             degradations=tuple(self.degradations),
             checkpoint=self._checkpoint(notes) if interrupted else None,
-            bdd_stats=self._bdd_stats(),
+            bdd_stats=bdd_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # The parallel sweep (speculative window decisions)
+    # ------------------------------------------------------------------
+    def _plan_events(self):
+        """Planned sweep events, independent of window verdicts.
+
+        Which windows need a decision — their regimes, unrolling depths
+        and window tops — is a pure function of the breakpoint stream;
+        a verdict only determines *whether the sweep continues*.  This
+        generator replays the serial loop's bookkeeping (resume skips,
+        candidate cap, age cap, same-regime skips, steady windows)
+        without deciding anything, so the parallel sweep can submit
+        decisions speculatively and still commit records in exactly the
+        serial order.  Events::
+
+            ("skip", tau)                     same regime: advance prev_tau
+            ("steady", tau, m)                steady window: record, no decision
+            ("decide", tau, window, regime, m) undecided window
+            ("stop", notes)                   sweep exhausted (cap/floor)
+        """
+        options = self.options
+        machine = self.machine
+        tau_floor = options.tau_floor
+        if tau_floor is None:
+            tau_floor = machine.L / options.max_age
+        steady = machine.steady_regime()
+        rung = self.rungs[self.rung_idx]
+        planned = len(self.records)
+        prev_tau = self.prev_tau
+        prev_regime = self.prev_regime
+        for tau in tau_breakpoints(machine.endpoint_values, tau_floor):
+            if self.resume_below is not None and tau >= self.resume_below:
+                continue  # already examined before the checkpoint
+            if planned >= options.max_candidates:
+                yield ("stop", "candidate cap reached")
+                return
+            regime = machine.regime(tau)
+            m = max(max(ages) for ages in regime.values())
+            if m > rung.max_age:
+                yield ("stop", f"age cap {rung.max_age} reached")
+                return
+            if regime == prev_regime:
+                yield ("skip", tau)
+                prev_tau = tau
+                continue
+            prev_regime = regime
+            if regime == steady:
+                yield ("steady", tau, m)
+                prev_tau = tau
+                planned += 1
+                continue
+            window_top = prev_tau if prev_tau is not None else machine.L
+            yield ("decide", tau, (tau, window_top), regime, m)
+            prev_tau = tau
+            planned += 1
+        yield ("stop", "breakpoint stream exhausted (τ floor)")
+
+    def _run_parallel(self) -> MctResult:
+        """Decide the next ``jobs`` windows speculatively, commit in order.
+
+        Worker processes each own a BDD manager and decide whole
+        windows (decision + feasibility); the parent commits verdicts
+        strictly in breakpoint order and discards speculative results
+        past the first failing window, so the bound, candidate
+        sequence, and checkpoint match :meth:`_run_serial` exactly.
+        Per-record ``elapsed_seconds``/``ite_calls`` and the merged
+        ``bdd_stats`` are measurements of the parallel execution (each
+        worker warms its own caches) and legitimately differ from a
+        serial run's.
+        """
+        from collections import deque
+
+        from repro.parallel.windows import WindowDecider, collect_result
+
+        mct_ub: Fraction | None = None
+        failure_found = False
+        failing_window = None
+        failing_sigmas: tuple = ()
+        failing_roots: tuple[str, ...] = ()
+        exhausted = False
+        budget_exceeded = False
+        deadline_exceeded = False
+        notes = ""
+        interrupted = False
+        rung_name = self.rungs[self.rung_idx].name
+        #: pid -> (seq, BddStats dict, decisions_run): latest cumulative
+        #: snapshot each worker attached to a task result.
+        snapshots: dict[int, tuple[int, dict, int]] = {}
+
+        def absorb(payload: dict) -> None:
+            snap = payload.get("worker")
+            if snap is None:
+                return
+            have = snapshots.get(snap["pid"])
+            if have is None or have[0] < snap["seq"]:
+                snapshots[snap["pid"]] = (
+                    snap["seq"], snap["stats"], snap["decisions_run"]
+                )
+
+        decider = WindowDecider(
+            self.circuit,
+            self.machine.delays,
+            self.options,
+            jobs=self.jobs,
+            budget=self.budget,
+            deadline=self.deadline,
+        )
+        plan = self._plan_events()
+        pending: deque = deque()
+        in_flight = 0
+        plan_done = False
+        try:
+            while True:
+                while not plan_done and in_flight < self.jobs:
+                    try:
+                        event = next(plan)
+                    except StopIteration:
+                        plan_done = True
+                        break
+                    if event[0] == "decide":
+                        _, tau, window, regime, m = event
+                        future = decider.submit(regime, window)
+                        pending.append(("decide", tau, window, m, future))
+                        in_flight += 1
+                    else:
+                        pending.append(event)
+                        if event[0] == "stop":
+                            plan_done = True
+                if not pending:
+                    break
+                event = pending.popleft()
+                kind = event[0]
+                if kind == "stop":
+                    exhausted, notes = True, event[1]
+                    break
+                if self.deadline is not None and self.deadline.expired():
+                    exhausted = deadline_exceeded = interrupted = True
+                    notes = "time limit reached"
+                    break
+                if kind == "skip":
+                    self.prev_tau = event[1]
+                    continue
+                if kind == "steady":
+                    _, tau, m = event
+                    self.records.append(
+                        CandidateRecord(tau, "steady", m, 0.0, rung_name)
+                    )
+                    self.prev_tau = tau
+                    continue
+                _, tau, window, m, future = event
+                in_flight -= 1
+                payload = collect_result(future)
+                absorb(payload)
+                error = payload.get("error")
+                if error == "budget":
+                    budget_exceeded = interrupted = True
+                    notes = "work budget exhausted; last passing bound reported"
+                    break
+                if error == "deadline":
+                    deadline_exceeded = exhausted = interrupted = True
+                    notes = (
+                        "time limit exceeded mid-window; "
+                        "last passing bound reported"
+                    )
+                    break
+                if error is not None:
+                    raise AnalysisError(
+                        "parallel sweep worker failed: "
+                        f"{payload.get('detail', error)}"
+                    )
+                verdict = payload["verdict"]
+                self.records.append(
+                    CandidateRecord(
+                        tau,
+                        verdict.status,
+                        verdict.m,
+                        payload["elapsed"],
+                        rung_name,
+                        payload["ite_calls"],
+                    )
+                )
+                if verdict.status != "fail":
+                    self.prev_tau = tau
+                    continue
+                mct_ub = verdict.bound
+                failure_found = True
+                failing_window = window
+                failing_sigmas = verdict.sigmas
+                failing_roots = verdict.roots
+                break
+        finally:
+            # Drain telemetry from any completed speculative tasks, then
+            # abandon the rest (their verdicts are intentionally unused).
+            for event in pending:
+                if event[0] == "decide" and event[4].done():
+                    try:
+                        absorb(event[4].result())
+                    except Exception:
+                        pass
+            decider.shutdown()
+        merged: BddStats | None = None
+        decisions = 0
+        if snapshots:
+            merged = BddStats()
+            for _, stats_dict, decided in snapshots.values():
+                merged.merge(BddStats.from_dict(stats_dict))
+                decisions += decided
+        return self._finalize(
+            mct_ub=mct_ub,
+            failure_found=failure_found,
+            failing_window=failing_window,
+            failing_sigmas=failing_sigmas,
+            failing_roots=failing_roots,
+            budget_exceeded=budget_exceeded,
+            deadline_exceeded=deadline_exceeded,
+            exhausted=exhausted,
+            notes=notes,
+            interrupted=interrupted,
+            decisions_run=decisions,
+            bdd_stats=merged,
         )
 
     # ------------------------------------------------------------------
@@ -657,46 +992,13 @@ class _Sweep:
 
     def _examine_at(self, rung: _RungConfig, regime, window) -> _Verdict:
         """Run the decision + feasibility pass at one rung's settings."""
-        context = self._context(self.rung_idx)
-        outcome = context.decide(regime)
-        if outcome.passed_structurally:
-            return _Verdict("pass", outcome.m)
-        window_top = window[1]
-        if not outcome.has_choices:
-            return _Verdict(
-                "fail",
-                outcome.m,
-                bound=window_top,
-                sigmas=tuple(
-                    (sigma, window_top) for sigma in outcome.failing_options
-                ),
-                roots=outcome.failing_roots,
-            )
-        oracle = self._oracle() if rung.exact_feasibility else None
-        feasible = []
-        for sigma in outcome.failing_options:
-            sup = sigma_sup_tau(sigma, window, deadline=self.deadline)
-            if sup is None:
-                continue
-            if oracle is not None:
-                exact_sup = _exact_sup(
-                    oracle, sigma, window, self.options, self.deadline
-                )
-                if exact_sup is _RELAXED:
-                    pass  # fell back: keep the relaxed sup
-                elif exact_sup is None:
-                    continue  # coupled LP proves σ unrealizable
-                else:
-                    sup = exact_sup
-            feasible.append((sigma, sup))
-        if not feasible:
-            return _Verdict("pass-infeasible", outcome.m)
-        return _Verdict(
-            "fail",
-            outcome.m,
-            bound=max(sup for _, sup in feasible),
-            sigmas=tuple(feasible),
-            roots=outcome.failing_roots,
+        return decide_window(
+            self._context(self.rung_idx),
+            regime,
+            window,
+            self.options,
+            oracle_factory=self._oracle if rung.exact_feasibility else None,
+            deadline=self.deadline,
         )
 
 

@@ -27,6 +27,9 @@ from repro.logic.delays import Interval
 from repro.mct.discretize import TimedLeaf
 
 #: Half-open τ-range [lo, hi); ``hi = None`` means unbounded above.
+#: τ-sets live in the *positive* rationals — a clock period of 0 is
+#: never valid — so a ``lo`` of 0 denotes an open bottom: the range is
+#: (0, hi), not [0, hi).  :func:`tau_set_contains` enforces this.
 TauRange = tuple[Fraction, Fraction | None]
 #: A union of disjoint, sorted half-open ranges.
 TauSet = list[TauRange]
@@ -41,13 +44,30 @@ def age_tau_range(k: Interval, age: int) -> TauRange | None:
     if age < 0:
         return None
     if age == 0:
-        # ⌈k/τ⌉ = 0 only for k = 0, at every τ.
+        # ⌈k/τ⌉ = 0 only for k = 0, at every *positive* τ.  τ = 0 is
+        # not a clock period, so the range is strictly positive at the
+        # bottom: (0, ∞), encoded with the module convention that a
+        # ``lo`` of 0 is exclusive.
         return (Fraction(0), None) if k.lo == 0 else None
     lo = k.lo / age
     hi = k.hi / (age - 1) if age >= 2 else None
     if hi is not None and lo >= hi:
         return None
     return (lo, hi)
+
+
+def tau_set_contains(tau_set: TauSet, tau: Fraction) -> bool:
+    """Membership of a clock period in a τ-set.
+
+    Only positive periods are ever members: a ``lo`` of 0 marks an
+    open bottom (the set is (0, hi)), so a zero-delay leaf at age 0
+    cannot admit a zero period.
+    """
+    if tau <= 0:
+        return False
+    return any(
+        lo <= tau and (hi is None or tau < hi) for lo, hi in tau_set
+    )
 
 
 def options_tau_set(k: Interval, ages: tuple[int, ...]) -> TauSet:
@@ -107,6 +127,9 @@ def feasible_tau_range(
     breakpoint interval ``[b_low, b_high)``.  A cooperative ``deadline``
     is polled once per leaf so ``MctOptions.time_limit`` holds even
     inside a large feasibility pass.
+
+    Without a window the universe is every *positive* τ — the returned
+    set's bottom at 0 is open (see :func:`tau_set_contains`).
     """
     current: TauSet = [window] if window is not None else [(Fraction(0), None)]
     for tl, ages in sigma.items():

@@ -1,0 +1,43 @@
+"""Multi-process parallelism for the τ-sweep and the report harness.
+
+Two independent levers, both behind ``--jobs N``:
+
+* :mod:`repro.parallel.suite` shards the report harness across a
+  process pool — one circuit per task, one BDD manager per worker —
+  and returns the rows in the serial order plus per-worker telemetry
+  (:class:`WorkerStats`).
+* :mod:`repro.parallel.windows` decides the next ``N`` breakpoint
+  windows of a *single* sweep speculatively.  The engine
+  (:meth:`repro.mct.engine._Sweep._run_parallel`) commits verdicts
+  strictly in breakpoint order and discards speculation past the first
+  failing window, so the bound, candidate sequence, and checkpoint are
+  identical to the serial sweep's.
+
+Resources cross the process boundary explicitly
+(:mod:`repro.parallel.pool`): a :class:`~repro.resilience.Deadline` is
+shipped as its ``(seconds, start)`` pair — CLOCK_MONOTONIC is
+system-wide on Linux, so the absolute expiry is preserved — and a
+:class:`~repro.errors.Budget` is split per worker via ``Budget.child``.
+Worker charges cannot propagate back across processes, so a parallel
+run's *aggregate* budget is ``jobs`` worker shares rather than one
+shared pool; each share still bounds its worker exactly.
+"""
+
+from repro.parallel.pool import (
+    deadline_payload,
+    resolve_jobs,
+    restore_deadline,
+    worker_budget_limit,
+)
+from repro.parallel.suite import WorkerStats, run_suite_sharded
+from repro.parallel.windows import WindowDecider
+
+__all__ = [
+    "WindowDecider",
+    "WorkerStats",
+    "deadline_payload",
+    "resolve_jobs",
+    "restore_deadline",
+    "run_suite_sharded",
+    "worker_budget_limit",
+]

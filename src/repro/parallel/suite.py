@@ -1,0 +1,113 @@
+"""Sharded report harness: one suite circuit per pool task.
+
+Suite rows are fully independent analyses, so the harness shards
+trivially: each task builds and measures one circuit with the same
+:func:`repro.report.harness.run_case` / ``analyze_circuit`` path the
+serial harness uses, in its own process with its own BDD manager.
+``executor.map`` preserves submission order, so the returned rows are
+in exactly the serial order regardless of which worker finished first.
+
+Per-worker telemetry comes back as :class:`WorkerStats`: task count,
+wall-clock spent, and the merged BDD counters of that worker's rows —
+the ``workers`` array of ``BENCH_mct.json`` schema 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from fractions import Fraction
+
+from repro.bdd import BddStats
+from repro.parallel.pool import resolve_jobs
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """What one pool process contributed to a sharded suite run."""
+
+    pid: int
+    tasks: int = 0
+    #: Summed in-task wall seconds (not the worker's lifetime).
+    wall_seconds: float = 0.0
+    #: Merged BDD counters of the MCT sweeps this worker ran.
+    bdd: BddStats = dataclasses.field(default_factory=BddStats)
+
+    def as_dict(self) -> dict:
+        return {
+            "pid": self.pid,
+            "tasks": self.tasks,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "bdd": self.bdd.as_dict(),
+        }
+
+
+#: Per-process harness configuration (set by :func:`_suite_init`).
+_CONFIG: dict = {}
+
+
+def _suite_init(widen, degrade) -> None:
+    _CONFIG["widen"] = widen
+    _CONFIG["degrade"] = degrade
+
+
+def _suite_task(case) -> tuple:
+    """Measure one row (``case=None`` is the introductory s27 row)."""
+    from repro.benchgen.circuits import s27
+    from repro.report.harness import analyze_circuit, run_case
+
+    widen = _CONFIG["widen"]
+    started = time.monotonic()
+    if case is None:
+        circuit, delays = s27()
+        if widen is not None:
+            delays = delays.widen(widen)
+        row = analyze_circuit(circuit, delays, degrade=_CONFIG["degrade"])
+    else:
+        row = run_case(case, widen=widen, degrade=_CONFIG["degrade"])
+    return row, os.getpid(), time.monotonic() - started
+
+
+def run_suite_sharded(
+    cases=None,
+    include_s27: bool = True,
+    widen: Fraction | None = Fraction(9, 10),
+    degrade: bool = False,
+    jobs: int = 2,
+) -> tuple[list, list[WorkerStats]]:
+    """The suite table, measured on ``jobs`` worker processes.
+
+    Returns ``(rows, worker_stats)`` with rows in the serial
+    :func:`repro.report.harness.run_suite` order.  ``jobs <= 1`` runs
+    the serial harness in-process and reports no workers.
+    """
+    from repro.benchgen.suite import suite_cases
+    from repro.report.harness import run_suite
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        rows = run_suite(
+            cases=cases, include_s27=include_s27, widen=widen, degrade=degrade
+        )
+        return rows, []
+    if cases is None:
+        cases = suite_cases()
+    tasks: list = []
+    if include_s27:
+        tasks.append(None)
+    tasks.extend(cases)
+    rows = []
+    stats: dict[int, WorkerStats] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_suite_init, initargs=(widen, degrade)
+    ) as executor:
+        for row, pid, wall in executor.map(_suite_task, tasks):
+            rows.append(row)
+            worker = stats.setdefault(pid, WorkerStats(pid=pid))
+            worker.tasks += 1
+            worker.wall_seconds += wall
+            if row.bdd_stats is not None:
+                worker.bdd.merge(BddStats.from_dict(row.bdd_stats))
+    return rows, sorted(stats.values(), key=lambda w: w.pid)

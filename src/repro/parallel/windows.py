@@ -1,0 +1,231 @@
+"""Speculative breakpoint-window decisions on a process pool.
+
+The engine's planner (:meth:`repro.mct.engine._Sweep._plan_events`)
+knows which windows need deciding without knowing any verdict, so a
+:class:`WindowDecider` can run Decision Algorithm 6.1 on the next few
+windows concurrently while the sweep commits results in breakpoint
+order.  Each pool process builds its own discretized machine and
+:class:`~repro.mct.decision.DecisionContext` once (the initializer),
+then answers ``(regime, window)`` tasks with the same
+:func:`repro.mct.engine.decide_window` core the serial sweep uses.
+
+Exceptions with constructor arguments do not round-trip reliably
+through :mod:`pickle`, so workers never raise across the boundary:
+every task resolves to a payload dict — ``{"verdict", "elapsed",
+"ite_calls", "worker"}`` on success, ``{"error": "budget" |
+"deadline" | ..., "detail"}`` on exhaustion or failure.  The
+``worker`` entry is a cumulative telemetry snapshot (pid, sequence
+number, merged :class:`~repro.bdd.BddStats` dict, decisions run); the
+parent keeps the latest snapshot per pid and merges them into the
+result's ``bdd_stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+
+from repro.errors import (
+    AnalysisError,
+    Budget,
+    DeadlineExceeded,
+    ResourceBudgetExceeded,
+)
+from repro.parallel.pool import (
+    deadline_payload,
+    resolve_jobs,
+    restore_deadline,
+    worker_budget_limit,
+)
+
+#: Per-process worker state, populated by :func:`_worker_init`.
+_STATE: dict = {}
+
+#: Sentinel: the exact-feasibility oracle has not been built yet.
+_UNBUILT = object()
+
+
+def _worker_init(circuit, delays, config) -> None:
+    """Build one worker's analysis state (once per pool process).
+
+    Failures are recorded in ``_STATE`` instead of raised: an
+    initializer exception would break the whole pool, whereas a marker
+    lets every task report the error as an ordinary payload.
+    """
+    from repro.mct.decision import DecisionContext
+    from repro.mct.discretize import build_discretized_machine
+
+    _STATE.clear()
+    _STATE["seq"] = 0
+    options = config["options"]
+    try:
+        deadline = restore_deadline(config["deadline"])
+        limit = config["budget_limit"]
+        budget = (
+            Budget(limit=limit, resource="mct work/worker")
+            if limit is not None
+            else None
+        )
+        machine = build_discretized_machine(
+            circuit, delays, budget=budget, deadline=deadline
+        )
+        reachable = None
+        if options.use_reachability:
+            from repro.fsm.reachability import reachable_states
+
+            reachable = reachable_states(
+                circuit, initial_state=options.initial_state
+            )
+        context = DecisionContext(
+            machine,
+            initial_state=options.initial_state,
+            check_outputs=options.check_outputs,
+            reachable=reachable,
+            budget=budget,
+            max_failing_options=options.max_failing_options,
+            deadline=deadline,
+        )
+    except ResourceBudgetExceeded as exc:
+        _STATE["init_error"] = ("budget", str(exc))
+        return
+    except DeadlineExceeded as exc:
+        _STATE["init_error"] = ("deadline", str(exc))
+        return
+    except Exception as exc:  # pragma: no cover - defensive
+        _STATE["init_error"] = ("init", f"{type(exc).__name__}: {exc}")
+        return
+    _STATE["options"] = options
+    _STATE["machine"] = machine
+    _STATE["context"] = context
+    _STATE["deadline"] = deadline
+    _STATE["oracle"] = _UNBUILT
+
+
+def _oracle_factory():
+    """Worker-side lazy exact-feasibility oracle (built at most once)."""
+    from repro.mct.engine import _exact_oracle
+
+    if _STATE["oracle"] is _UNBUILT:
+        _STATE["oracle"] = _exact_oracle(_STATE["machine"], _STATE["options"])
+    return _STATE["oracle"]
+
+
+def _snapshot() -> dict:
+    """Cumulative telemetry of this worker process."""
+    context = _STATE["context"]
+    return {
+        "pid": os.getpid(),
+        "seq": _STATE["seq"],
+        "stats": context.bdd_stats.as_dict(),
+        "decisions_run": context.decisions_run,
+    }
+
+
+def _decide_task(regime, window) -> dict:
+    """Decide one window; always returns a payload dict (never raises).
+
+    The regime's :class:`~repro.mct.discretize.TimedLeaf` keys compare
+    by value, so the parent's regime addresses this worker's own
+    machine correctly.
+    """
+    error = _STATE.get("init_error")
+    if error is not None:
+        kind, detail = error
+        return {"error": kind, "detail": detail}
+    _STATE["seq"] += 1
+    context = _STATE["context"]
+    options = _STATE["options"]
+    ite_before = context.bdd_stats.ite_calls
+    started = time.monotonic()
+    try:
+        verdict = decide_window(
+            context,
+            regime,
+            window,
+            options,
+            oracle_factory=(
+                _oracle_factory if options.exact_feasibility else None
+            ),
+            deadline=_STATE["deadline"],
+        )
+    except ResourceBudgetExceeded as exc:
+        return {"error": "budget", "detail": str(exc), "worker": _snapshot()}
+    except DeadlineExceeded as exc:
+        return {"error": "deadline", "detail": str(exc), "worker": _snapshot()}
+    except Exception as exc:
+        return {
+            "error": "error",
+            "detail": f"{type(exc).__name__}: {exc}",
+            "worker": _snapshot(),
+        }
+    return {
+        "verdict": verdict,
+        "elapsed": time.monotonic() - started,
+        "ite_calls": context.bdd_stats.ite_calls - ite_before,
+        "worker": _snapshot(),
+    }
+
+
+def decide_window(*args, **kwargs):
+    """Indirection so workers import the engine lazily (no cycle)."""
+    from repro.mct.engine import decide_window as _impl
+
+    return _impl(*args, **kwargs)
+
+
+class WindowDecider:
+    """A pool of window-deciding workers for one sweep.
+
+    The constructor only records the configuration; the pool processes
+    spawn on the first :meth:`submit`, so a sweep that never reaches an
+    undecided window pays nothing.
+    """
+
+    def __init__(
+        self,
+        circuit,
+        delays,
+        options,
+        *,
+        jobs: int,
+        budget: Budget | None = None,
+        deadline=None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self._initargs = (
+            circuit,
+            delays,
+            {
+                "options": options,
+                "budget_limit": worker_budget_limit(budget, self.jobs),
+                "deadline": deadline_payload(deadline),
+            },
+        )
+        self._executor: ProcessPoolExecutor | None = None
+
+    def submit(self, regime, window) -> Future:
+        """Queue one window decision; returns its future."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=self._initargs,
+            )
+        return self._executor.submit(_decide_task, regime, window)
+
+    def shutdown(self) -> None:
+        """Stop the pool without waiting for abandoned speculation."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+
+def collect_result(future: Future) -> dict:
+    """A committed task's payload; pool breakage becomes AnalysisError."""
+    try:
+        return future.result()
+    except BrokenExecutor as exc:
+        raise AnalysisError(
+            f"parallel sweep worker pool broke: {exc}"
+        ) from exc

@@ -60,19 +60,29 @@ class TableRow:
     #: (``BENCH_mct.json``) and ``--stats`` output.
     bdd_stats: dict | None = None
 
-    def cells(self) -> list[str]:
+    def cells(self, with_cpu: bool = True) -> list[str]:
+        """Rendered cells; ``with_cpu=False`` dashes the CPU columns.
+
+        The exact-value columns are deterministic, the CPU columns are
+        wall-clock measurements — dashing the latter makes two runs'
+        tables byte-comparable (the CI serial-vs-parallel check).
+        """
         mct_text = format_fraction(self.mct)
         if self.mct_partial and self.mct is not None:
             mct_text += "†"
+
+        def cpu(value):
+            return format_seconds(value) if with_cpu else "-"
+
         return [
             f"{self.name}{self.flags}",
             format_fraction(self.topological),
             format_fraction(self.floating),
-            format_seconds(self.floating_cpu),
+            cpu(self.floating_cpu),
             format_fraction(self.transition),
-            format_seconds(self.transition_cpu),
+            cpu(self.transition_cpu),
             mct_text,
-            format_seconds(self.mct_cpu),
+            cpu(self.mct_cpu),
         ]
 
 
@@ -187,8 +197,25 @@ def run_suite(
     include_s27: bool = True,
     widen: Fraction | None = Fraction(9, 10),
     degrade: bool = False,
+    jobs: int = 1,
 ) -> list[TableRow]:
-    """Measure the whole table (the benchmark harness entry point)."""
+    """Measure the whole table (the benchmark harness entry point).
+
+    ``jobs > 1`` shards the circuits across a process pool
+    (:func:`repro.parallel.run_suite_sharded`); the rows come back in
+    this function's serial order either way.
+    """
+    if jobs > 1:
+        from repro.parallel.suite import run_suite_sharded
+
+        rows, _ = run_suite_sharded(
+            cases=cases,
+            include_s27=include_s27,
+            widen=widen,
+            degrade=degrade,
+            jobs=jobs,
+        )
+        return rows
     if cases is None:
         cases = suite_cases()
     rows = []
@@ -201,6 +228,12 @@ def run_suite(
     return rows
 
 
-def render_rows(rows: list[TableRow], title: str | None = None) -> str:
-    """The paper-style text table."""
-    return format_table(HEADER, [row.cells() for row in rows], title=title)
+def render_rows(
+    rows: list[TableRow],
+    title: str | None = None,
+    with_cpu: bool = True,
+) -> str:
+    """The paper-style text table (``with_cpu=False`` dashes timings)."""
+    return format_table(
+        HEADER, [row.cells(with_cpu=with_cpu) for row in rows], title=title
+    )

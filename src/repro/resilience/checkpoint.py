@@ -18,8 +18,11 @@ change the meaning of the replayed records.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
+import os
+import tempfile
 from collections.abc import Mapping
 from fractions import Fraction
 from pathlib import Path
@@ -147,7 +150,28 @@ class SweepCheckpoint:
         return cls.from_dict(data)
 
     def save(self, path) -> None:
-        Path(path).write_text(self.to_json() + "\n")
+        """Write the checkpoint atomically.
+
+        The JSON goes to a temporary file in the target's directory and
+        is renamed into place with :func:`os.replace`, so a crash
+        mid-write can never leave a truncated checkpoint that would
+        then fail ``--resume``; readers see either the old file or the
+        complete new one.
+        """
+        target = Path(path)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(self.to_json() + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
     @classmethod
     def load(cls, path) -> "SweepCheckpoint":

@@ -1,5 +1,6 @@
 """Unit tests for the interval algebra (Def. 4) and feasibility."""
 
+import random
 from fractions import Fraction
 
 from repro.logic import Interval
@@ -12,6 +13,7 @@ from repro.mct.feasibility import (
     options_tau_set,
     sigma_is_feasible,
     sigma_sup_tau,
+    tau_set_contains,
 )
 
 
@@ -30,6 +32,15 @@ class TestAgeTauRange:
     def test_age_zero_only_for_zero_delay(self):
         assert age_tau_range(Interval.of(0, 0), 0) == (F(0), None)
         assert age_tau_range(Interval.of(1, 2), 0) is None
+
+    def test_age_zero_range_excludes_zero_period(self):
+        # The (0, None) range is open at the bottom by module
+        # convention: tau = 0 is not a clock period, so a zero-delay
+        # leaf at age 0 must not admit it.
+        tau_set = [age_tau_range(Interval.of(0, 0), 0)]
+        assert not tau_set_contains(tau_set, F(0))
+        assert tau_set_contains(tau_set, Fraction(1, 10**9))
+        assert tau_set_contains(tau_set, F(5))
 
     def test_negative_age(self):
         assert age_tau_range(Interval.of(1, 2), -1) is None
@@ -85,6 +96,86 @@ class TestRangeAlgebra:
     def test_options_union_contiguous(self):
         # ages {2,3} of point delay 6: [2,3) ∪ [3,6) = [2,6)
         assert options_tau_set(Interval.point(6), (2, 3)) == [(F(2), F(6))]
+
+    def test_merge_touching_half_open(self):
+        # [a,b) + [b,c) is exactly [a,c): the half-open convention
+        # leaves no gap and no double cover at b.
+        assert merge_ranges([(F(1), F(2)), (F(2), F(3))]) == [(F(1), F(3))]
+        out = merge_ranges([(F(1), F(2)), (F(2), F(3)), (F(3), None)])
+        assert out == [(F(1), None)]
+
+    def test_merge_equal_finite_endpoints(self):
+        assert merge_ranges([(F(1), F(3)), (F(1), F(3))]) == [(F(1), F(3))]
+        # Same lo, different hi: the wider one wins.
+        assert merge_ranges([(F(1), F(2)), (F(1), F(5))]) == [(F(1), F(5))]
+        # Same hi, different lo: still one range.
+        assert merge_ranges([(F(2), F(5)), (F(1), F(5))]) == [(F(1), F(5))]
+
+    def test_merge_duplicates_and_nested(self):
+        ranges = [(F(1), F(4)), (F(2), F(3)), (F(1), F(4)), (F(2), F(3))]
+        assert merge_ranges(ranges) == [(F(1), F(4))]
+
+    def test_merge_same_lo_bounded_and_unbounded(self):
+        # Sort must put the unbounded range after bounded ones at the
+        # same lo so the sweep extends instead of truncating.
+        assert merge_ranges([(F(1), None), (F(1), F(2))]) == [(F(1), None)]
+        assert merge_ranges([(F(1), F(2)), (F(1), None)]) == [(F(1), None)]
+
+    def test_intersect_touching_is_empty(self):
+        # [1,2) ∩ [2,3) = ∅ under the half-open convention.
+        assert intersect_sets([(F(1), F(2))], [(F(2), F(3))]) == []
+
+    def test_intersect_identical_sets(self):
+        a = [(F(1), F(2)), (F(4), None)]
+        assert intersect_sets(a, a) == a
+
+    def test_intersect_both_unbounded(self):
+        assert intersect_sets([(F(1), None)], [(F(3), None)]) == [(F(3), None)]
+
+    def test_intersect_unbounded_with_multi_segment(self):
+        a = [(F(2), None)]
+        b = [(F(0), F(1)), (F(3), F(4)), (F(5), None)]
+        assert intersect_sets(a, b) == [(F(3), F(4)), (F(5), None)]
+
+    def test_intersect_randomized_against_membership(self):
+        # Cross-check the sweep-line intersection against brute-force
+        # rational membership sampling: for every probe point, tau is
+        # in the intersection iff it is in both operands.
+        rng = random.Random(0xDAC94)
+
+        def random_set():
+            ranges = []
+            for _ in range(rng.randint(0, 4)):
+                lo = Fraction(rng.randint(0, 40), rng.randint(1, 8))
+                if rng.random() < 0.2:
+                    ranges.append((lo, None))
+                else:
+                    hi = lo + Fraction(rng.randint(1, 30), rng.randint(1, 8))
+                    ranges.append((lo, hi))
+            return merge_ranges(ranges)
+
+        for _ in range(200):
+            a, b = random_set(), random_set()
+            out = intersect_sets(a, b)
+            # The result must itself be normalized (sorted, disjoint).
+            assert out == merge_ranges(out)
+            probes = {Fraction(n, d) for n in range(0, 61, 3)
+                      for d in (1, 2, 7)}
+            # Probe all endpoints too (the half-open boundaries).
+            for tau_set in (a, b, out):
+                for lo, hi in tau_set:
+                    probes.add(lo)
+                    if hi is not None:
+                        probes.add(hi)
+            for tau in probes:
+                if tau <= 0:
+                    continue
+                expected = tau_set_contains(a, tau) and tau_set_contains(
+                    b, tau
+                )
+                assert tau_set_contains(out, tau) == expected, (
+                    a, b, out, tau
+                )
 
 
 class TestSigmaFeasibility:

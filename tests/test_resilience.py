@@ -198,6 +198,51 @@ class TestCheckpoint:
         loaded = SweepCheckpoint.load(path)
         assert loaded.L == ckpt.L
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # save() must go through a same-directory temp file + rename:
+        # a crash mid-write may leave old content (or nothing), never
+        # a truncated JSON that would then fail --resume.
+        import os
+
+        path = tmp_path / "ckpt.json"
+        ckpt = self.make()
+        ckpt.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+
+        replaced = []
+        real_replace = os.replace
+
+        def tracking_replace(src, dst):
+            # The temp file must already be fully written and in the
+            # target's directory when the rename happens.
+            assert os.path.dirname(src) == str(tmp_path)
+            SweepCheckpoint.from_json(open(src).read())  # complete JSON
+            replaced.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", tracking_replace)
+        ckpt.save(path)
+        assert len(replaced) == 1
+        assert SweepCheckpoint.load(path).L == ckpt.L
+
+    def test_save_failure_keeps_old_file_and_no_tmp(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "ckpt.json"
+        self.make().save(path)
+        before = path.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            self.make().save(path)
+        monkeypatch.undo()
+        # The old checkpoint is intact and the temp file was cleaned up.
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+
     def test_rejects_bad_version(self):
         data = self.make().to_dict()
         data["version"] = 99
@@ -440,7 +485,7 @@ class TestCliResume:
             ]
         )
         out = capsys.readouterr().out
-        assert rc == 0
+        assert rc == 3  # exit-code contract: partial/interrupted result
         assert "work budget exhausted" in out
         assert ckpt.exists()
 
@@ -465,7 +510,7 @@ class TestCliResume:
                 str(ckpt),
             ]
         )
-        assert rc == 0
+        assert rc == 3  # interrupted on purpose
         capsys.readouterr()
         rc = main(
             ["analyze", str(bench), "--reachability", "--resume", str(ckpt)]
