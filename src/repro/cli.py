@@ -13,7 +13,9 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
+import signal
 import sys
 from fractions import Fraction
 
@@ -35,6 +37,7 @@ from repro.mct import (
     minimum_cycle_time,
     optimize_skew,
 )
+from repro.parallel import RetryPolicy
 from repro.resilience import SweepCheckpoint, inject_faults
 from repro.report import analyze_circuit, render_rows, run_suite
 from repro.report.tables import format_fraction
@@ -45,6 +48,29 @@ _DELAY_MODELS = {
     "typed": typed_delays,
     "fanout": fanout_loaded_delays,
 }
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as KeyboardInterrupt for the duration.
+
+    The sweep turns a KeyboardInterrupt into a cancelled-but-
+    checkpointed result, so an operator ``kill`` becomes resumable
+    exactly like Ctrl-C instead of dropping the work on the floor.
+    """
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, handler)
+    except ValueError:  # not the main thread (embedded use)
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _load(args) -> tuple:
@@ -77,10 +103,15 @@ def cmd_analyze(args) -> int:
     for flag, value in (
         ("--fail-budget-at", args.fail_budget_at),
         ("--fail-deadline-at", args.fail_deadline_at),
+        ("--kill-worker-at", args.kill_worker_at),
+        ("--max-retries", args.max_retries),
     ):
         if value is not None and value < 0:
             print(f"error: {flag} must be non-negative", file=sys.stderr)
             return 1
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print("error: --task-timeout must be positive", file=sys.stderr)
+        return 1
     faulted = (
         args.fail_budget_at is not None or args.fail_deadline_at is not None
     )
@@ -90,7 +121,9 @@ def cmd_analyze(args) -> int:
         return 1
     if jobs > 1 and faulted:
         # Fault hooks are process-global: a pool worker would never see
-        # them, so the injected fault must run in this process.
+        # them, so the injected fault must run in this process.  Worker
+        # kills (--kill-worker-at) are different: they target the pool
+        # itself and keep --jobs in force.
         print("note: fault injection forces a serial sweep; ignoring --jobs")
         jobs = 1
     # The fault flags exercise the resilience path deterministically
@@ -105,6 +138,10 @@ def cmd_analyze(args) -> int:
         work_budget=work_budget,
         time_limit=time_limit,
         degradation_ladder=DEFAULT_LADDER if args.degrade else (),
+        retry_policy=RetryPolicy(
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+        ),
     )
     resume_from = None
     if args.resume:
@@ -119,15 +156,18 @@ def cmd_analyze(args) -> int:
             circuit, delays, options, resume_from=resume_from, jobs=jobs
         )
 
+    injecting = faulted or args.kill_worker_at is not None
     try:
-        if faulted:
-            with inject_faults(
-                budget_at=args.fail_budget_at,
-                deadline_at=args.fail_deadline_at,
-            ):
+        with _sigterm_as_interrupt():
+            if injecting:
+                with inject_faults(
+                    budget_at=args.fail_budget_at,
+                    deadline_at=args.fail_deadline_at,
+                    kill_worker_at=args.kill_worker_at,
+                ):
+                    result = run()
+            else:
                 result = run()
-        else:
-            result = run()
     except CheckpointError as exc:
         print(f"error: cannot resume: {exc}", file=sys.stderr)
         return 1
@@ -157,10 +197,19 @@ def cmd_analyze(args) -> int:
             print(f"    BDD stats       : {result.bdd_stats.summary()}")
         else:
             print("    BDD stats       : none (no decision context was built)")
+        if result.supervision is not None:
+            print(f"    supervision     : {result.supervision.summary()}")
+        quarantined = sum(1 for r in result.candidates if r.quarantined)
+        retried = sum(r.attempts - 1 for r in result.candidates)
+        if quarantined or retried:
+            print(f"    recovered       : {retried} extra attempts, "
+                  f"{quarantined} windows decided serially (quarantine)")
     if result.budget_exceeded:
         print("    NOTE: work budget exhausted; bound is partial (†)")
     if result.deadline_exceeded:
         print("    NOTE: time limit reached; bound is partial (†)")
+    if result.cancelled:
+        print("    NOTE: interrupted by operator; bound is partial (†)")
     for step in result.degradations:
         print(f"    degraded        : {step.from_rung} -> {step.to_rung} "
               f"at tau={format_fraction(step.tau)}")
@@ -193,10 +242,30 @@ def cmd_table(args) -> int:
     if args.jobs < 0:
         print("error: --jobs must be non-negative", file=sys.stderr)
         return 1
+    for flag, value in (
+        ("--kill-worker-at", args.kill_worker_at),
+        ("--max-retries", args.max_retries),
+    ):
+        if value is not None and value < 0:
+            print(f"error: {flag} must be non-negative", file=sys.stderr)
+            return 1
     widen = None if args.fixed else Fraction(9, 10)
-    rows = run_suite(
-        cases, include_s27=not args.no_s27, widen=widen, jobs=args.jobs
-    )
+    retry = RetryPolicy(max_retries=args.max_retries)
+
+    def measure():
+        return run_suite(
+            cases,
+            include_s27=not args.no_s27,
+            widen=widen,
+            jobs=args.jobs,
+            retry=retry,
+        )
+
+    if args.kill_worker_at is not None:
+        with inject_faults(kill_worker_at=args.kill_worker_at):
+            rows = measure()
+    else:
+        rows = measure()
     condition = "fixed delays" if args.fixed else "delays in [90%, 100%] of max"
     with_cpu = not args.no_cpu
     if args.markdown:
@@ -379,6 +448,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decide up to N breakpoint windows in parallel "
                         "(worker processes; same bound and candidates "
                         "as a serial sweep)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="resubmissions per window after a worker crash "
+                        "before quarantining it (serial in-process "
+                        "fallback); parallel sweeps only")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                   help="per-window wall timeout under --jobs; a stuck "
+                        "worker is treated like a crashed one")
+    p.add_argument("--kill-worker-at", type=int, default=None, metavar="N",
+                   help="fault injection: each pool worker kills itself "
+                        "on its Nth task (exercises crash recovery; "
+                        "0 arms the counters but never fires)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("table", help="regenerate the paper's results table")
@@ -394,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cpu", action="store_true",
                    help="dash the CPU columns (deterministic output "
                         "for run-to-run comparison)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="resubmissions per row after a worker crash "
+                        "before measuring it serially in-process")
+    p.add_argument("--kill-worker-at", type=int, default=None, metavar="N",
+                   help="fault injection: each pool worker kills itself "
+                        "on its Nth task (exercises crash recovery)")
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("example2", help="walk through the paper's Example 2")

@@ -43,7 +43,8 @@ class TbfError(ReproError):
 
 
 class AnalysisError(ReproError):
-    """A timing analysis was invoked on an unsupported circuit."""
+    """A timing analysis was invoked on an unsupported circuit or with
+    invalid analysis inputs."""
 
 
 class InfeasibleError(ReproError):
@@ -81,9 +82,14 @@ class DeadlineExceeded(ReproError):
         self.where = where
 
 
-class CheckpointError(ReproError):
+class CheckpointError(AnalysisError):
     """A sweep checkpoint is malformed or does not match the analysis
-    (different circuit, options, or an unknown format version)."""
+    (different circuit, options, or an unknown format version).
+
+    A member of the :class:`AnalysisError` family: a bad checkpoint is
+    an invalid analysis input, and callers that already turn analysis
+    errors into clean diagnostics (CLI exit code 1) handle it for free.
+    """
 
 
 #: Optional fault-injection hooks (see :mod:`repro.resilience.faults`).

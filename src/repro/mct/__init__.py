@@ -42,6 +42,7 @@ from repro.mct.engine import (
     DegradationStep,
     MctOptions,
     MctResult,
+    RetryPolicy,
     minimum_cycle_time,
 )
 from repro.mct.level_sensitive import LevelSensitiveResult, level_sensitive_mct
@@ -65,6 +66,7 @@ __all__ = [
     "DegradationStep",
     "MctOptions",
     "MctResult",
+    "RetryPolicy",
     "minimum_cycle_time",
     "SkewResult",
     "optimize_skew",

@@ -51,6 +51,7 @@ from repro.mct.breakpoints import tau_breakpoints
 from repro.mct.decision import DecisionContext
 from repro.mct.discretize import DiscretizedMachine, build_discretized_machine
 from repro.mct.feasibility import sigma_sup_tau
+from repro.parallel.supervise import Quarantined, RetryPolicy, SupervisionStats
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.deadline import Deadline
 
@@ -104,6 +105,10 @@ class MctOptions:
     degradation_ladder: tuple[str, ...] = ()
     #: The age cap applied by the "reduced-age" rung.
     degraded_max_age: int = 4
+    #: Supervision policy of the parallel pools (``jobs > 1``): per-task
+    #: attempt budget, wall timeout, and backoff schedule.  A resource
+    #: knob like ``work_budget``: not part of the checkpoint fingerprint.
+    retry_policy: RetryPolicy = RetryPolicy()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,6 +129,14 @@ class CandidateRecord:
     #: window (0 for steady windows; replayed checkpoint records keep
     #: the count measured when the window was originally decided).
     ite_calls: int = 0
+    #: Worker attempts this window consumed under supervision (1 on the
+    #: serial path and for undisturbed parallel windows).  A
+    #: measurement, like ``elapsed_seconds`` — not part of the verdict.
+    attempts: int = 1
+    #: True when the supervisor gave up on the pool for this window and
+    #: it was decided serially in-process (the verdict is identical
+    #: either way; this records *how* it was obtained).
+    quarantined: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -180,6 +193,12 @@ class MctResult:
     #: used (``None`` when the sweep never built one — e.g. the budget
     #: blew during path collection).
     bdd_stats: BddStats | None = None
+    #: What the parallel supervisor had to do (crashes survived,
+    #: retries, quarantines); ``None`` on the serial path.
+    supervision: SupervisionStats | None = None
+    #: True when an operator interrupt (Ctrl-C / SIGTERM) stopped the
+    #: sweep; the checkpoint is attached so ``--resume`` continues it.
+    cancelled: bool = False
 
     @property
     def improves_on(self) -> Fraction | None:
@@ -188,8 +207,8 @@ class MctResult:
 
     @property
     def interrupted(self) -> bool:
-        """True when resource pressure stopped the sweep early."""
-        return self.budget_exceeded or self.deadline_exceeded
+        """True when the sweep was stopped early (resources or operator)."""
+        return self.budget_exceeded or self.deadline_exceeded or self.cancelled
 
 
 def minimum_cycle_time(
@@ -572,6 +591,7 @@ class _Sweep:
         deadline_exceeded = False
         notes = ""
         interrupted = False
+        cancelled = False
         try:
             for tau in tau_breakpoints(machine.endpoint_values, tau_floor):
                 if self.resume_below is not None and tau >= self.resume_below:
@@ -615,20 +635,7 @@ class _Sweep:
                     self.prev_tau if self.prev_tau is not None else machine.L
                 )
                 window = (tau, window_top)
-                window_start = time.monotonic()
-                ite_before = self._ite_calls()
-                verdict = self._examine(regime, m, tau, window)
-                elapsed = time.monotonic() - window_start
-                self.records.append(
-                    CandidateRecord(
-                        tau,
-                        verdict.status,
-                        verdict.m,
-                        elapsed,
-                        self.rungs[self.rung_idx].name,
-                        self._ite_calls() - ite_before,
-                    )
-                )
+                verdict = self._decide_serial(regime, m, tau, window)
                 if verdict.status != "fail":
                     self.prev_tau = tau
                     continue
@@ -639,13 +646,52 @@ class _Sweep:
                 failing_roots = verdict.roots
                 break
             else:
-                exhausted, notes = True, "breakpoint stream exhausted (τ floor)"
+                # The stream only yields breakpoints strictly above the
+                # floor; examine the floor itself so the exhausted-sweep
+                # bound is the grid-independent τ floor rather than the
+                # smallest breakpoint the delay values happened to put
+                # on the grid (which is not monotone under widening —
+                # hypothesis seed 2476).
+                event = self._floor_event(
+                    tau_floor,
+                    self.prev_tau,
+                    self.prev_regime,
+                    len(self.records),
+                )
+                if event is not None and event[0] == "steady":
+                    _, tau, m = event
+                    self.records.append(
+                        CandidateRecord(
+                            tau, "steady", m, 0.0,
+                            self.rungs[self.rung_idx].name,
+                        )
+                    )
+                    self.prev_tau = tau
+                elif event is not None:
+                    _, tau, window, regime, m = event
+                    verdict = self._decide_serial(regime, m, tau, window)
+                    if verdict.status == "fail":
+                        mct_ub = verdict.bound
+                        failure_found = True
+                        failing_window = window
+                        failing_sigmas = verdict.sigmas
+                        failing_roots = verdict.roots
+                    else:
+                        self.prev_tau = tau
+                if not failure_found:
+                    exhausted = True
+                    notes = "breakpoint stream exhausted (τ floor)"
         except _SweepStop as stop:
             budget_exceeded = budget_exceeded or stop.budget
             deadline_exceeded = deadline_exceeded or stop.deadline
             exhausted = exhausted or stop.exhausted
             notes = stop.notes
             interrupted = True
+        except KeyboardInterrupt:
+            # Operator Ctrl-C / SIGTERM: keep everything decided so far
+            # and attach a checkpoint — the sweep is always resumable.
+            cancelled = interrupted = True
+            notes = "interrupted by operator; resume with the checkpoint"
 
         return self._finalize(
             mct_ub=mct_ub,
@@ -658,11 +704,29 @@ class _Sweep:
             exhausted=exhausted,
             notes=notes,
             interrupted=interrupted,
+            cancelled=cancelled,
             decisions_run=sum(
                 ctx.decisions_run for ctx in self.contexts.values()
             ),
             bdd_stats=self._bdd_stats(),
         )
+
+    def _decide_serial(self, regime, m: int, tau: Fraction, window) -> _Verdict:
+        """Examine one window via the ladder and append its record."""
+        window_start = time.monotonic()
+        ite_before = self._ite_calls()
+        verdict = self._examine(regime, m, tau, window)
+        self.records.append(
+            CandidateRecord(
+                tau,
+                verdict.status,
+                verdict.m,
+                time.monotonic() - window_start,
+                self.rungs[self.rung_idx].name,
+                self._ite_calls() - ite_before,
+            )
+        )
+        return verdict
 
     def _finalize(
         self,
@@ -679,6 +743,8 @@ class _Sweep:
         interrupted: bool,
         decisions_run: int,
         bdd_stats: BddStats | None,
+        supervision: SupervisionStats | None = None,
+        cancelled: bool = False,
     ) -> MctResult:
         """Assemble the :class:`MctResult` (shared serial/parallel tail)."""
         machine = self.machine
@@ -713,6 +779,8 @@ class _Sweep:
             degradations=tuple(self.degradations),
             checkpoint=self._checkpoint(notes) if interrupted else None,
             bdd_stats=bdd_stats,
+            supervision=supervision,
+            cancelled=cancelled,
         )
 
     # ------------------------------------------------------------------
@@ -770,7 +838,40 @@ class _Sweep:
             yield ("decide", tau, (tau, window_top), regime, m)
             prev_tau = tau
             planned += 1
+        event = self._floor_event(tau_floor, prev_tau, prev_regime, planned)
+        if event is not None:
+            yield event
         yield ("stop", "breakpoint stream exhausted (τ floor)")
+
+    def _floor_event(self, tau_floor, prev_tau, prev_regime, planned):
+        """The synthetic final window ``[τ floor, prev_tau)``, or None.
+
+        :func:`~repro.mct.breakpoints.tau_breakpoints` yields only
+        values strictly above the floor, so an exhausted sweep used to
+        report the smallest *breakpoint* examined as its bound — a
+        delay-grid artifact: adding grid points (e.g. a setup guard
+        band) could shrink the reported bound of a strictly more
+        pessimistic machine.  Examining the floor itself pins the
+        exhausted-sweep bound to the grid-independent ``τ floor``.
+        Shared by the serial for-else and the parallel planner so both
+        paths stay event-for-event identical.
+        """
+        machine = self.machine
+        if prev_tau is None or tau_floor <= 0 or tau_floor >= prev_tau:
+            return None
+        if self.resume_below is not None and tau_floor >= self.resume_below:
+            return None
+        if planned >= self.options.max_candidates:
+            return None
+        regime = machine.regime(tau_floor)
+        m = max(max(ages) for ages in regime.values())
+        if m > self.rungs[self.rung_idx].max_age:
+            return None
+        if regime == prev_regime:
+            return None  # same machine as the last examined window
+        if regime == machine.steady_regime():
+            return ("steady", tau_floor, m)
+        return ("decide", tau_floor, (tau_floor, prev_tau), regime, m)
 
     def _run_parallel(self) -> MctResult:
         """Decide the next ``jobs`` windows speculatively, commit in order.
@@ -787,7 +888,7 @@ class _Sweep:
         """
         from collections import deque
 
-        from repro.parallel.windows import WindowDecider, collect_result
+        from repro.parallel.windows import WindowDecider
 
         mct_ub: Fraction | None = None
         failure_found = False
@@ -799,6 +900,7 @@ class _Sweep:
         deadline_exceeded = False
         notes = ""
         interrupted = False
+        cancelled = False
         rung_name = self.rungs[self.rung_idx].name
         #: pid -> (seq, BddStats dict, decisions_run): latest cumulative
         #: snapshot each worker attached to a task result.
@@ -821,6 +923,7 @@ class _Sweep:
             jobs=self.jobs,
             budget=self.budget,
             deadline=self.deadline,
+            policy=self.options.retry_policy,
         )
         plan = self._plan_events()
         pending: deque = deque()
@@ -836,8 +939,10 @@ class _Sweep:
                         break
                     if event[0] == "decide":
                         _, tau, window, regime, m = event
-                        future = decider.submit(regime, window)
-                        pending.append(("decide", tau, window, m, future))
+                        handle = decider.submit(regime, window)
+                        pending.append(
+                            ("decide", tau, window, regime, m, handle)
+                        )
                         in_flight += 1
                     else:
                         pending.append(event)
@@ -864,38 +969,86 @@ class _Sweep:
                     )
                     self.prev_tau = tau
                     continue
-                _, tau, window, m, future = event
+                _, tau, window, regime, m, handle = event
                 in_flight -= 1
-                payload = collect_result(future)
-                absorb(payload)
-                error = payload.get("error")
-                if error == "budget":
-                    budget_exceeded = interrupted = True
-                    notes = "work budget exhausted; last passing bound reported"
+                try:
+                    outcome = decider.result(handle)
+                except DeadlineExceeded:
+                    exhausted = deadline_exceeded = interrupted = True
+                    notes = "time limit reached"
                     break
-                if error == "deadline":
-                    deadline_exceeded = exhausted = interrupted = True
-                    notes = (
-                        "time limit exceeded mid-window; "
-                        "last passing bound reported"
+                if isinstance(outcome, Quarantined):
+                    # The pool could not produce this window within the
+                    # attempt budget: decide it serially in-process.
+                    # Same decide_window core, parent-side context —
+                    # degraded throughput, identical verdict.
+                    window_start = time.monotonic()
+                    ite_before = self._ite_calls()
+                    try:
+                        verdict = self._examine_at(
+                            self.rungs[self.rung_idx], regime, window
+                        )
+                    except ResourceBudgetExceeded:
+                        budget_exceeded = interrupted = True
+                        notes = (
+                            "work budget exhausted; "
+                            "last passing bound reported"
+                        )
+                        break
+                    except DeadlineExceeded:
+                        deadline_exceeded = exhausted = interrupted = True
+                        notes = (
+                            "time limit exceeded mid-window; "
+                            "last passing bound reported"
+                        )
+                        break
+                    self.records.append(
+                        CandidateRecord(
+                            tau,
+                            verdict.status,
+                            verdict.m,
+                            time.monotonic() - window_start,
+                            rung_name,
+                            self._ite_calls() - ite_before,
+                            attempts=outcome.attempts,
+                            quarantined=True,
+                        )
                     )
-                    break
-                if error is not None:
-                    raise AnalysisError(
-                        "parallel sweep worker failed: "
-                        f"{payload.get('detail', error)}"
+                else:
+                    payload = outcome
+                    absorb(payload)
+                    error = payload.get("error")
+                    if error == "budget":
+                        budget_exceeded = interrupted = True
+                        notes = (
+                            "work budget exhausted; "
+                            "last passing bound reported"
+                        )
+                        break
+                    if error == "deadline":
+                        deadline_exceeded = exhausted = interrupted = True
+                        notes = (
+                            "time limit exceeded mid-window; "
+                            "last passing bound reported"
+                        )
+                        break
+                    if error is not None:
+                        raise AnalysisError(
+                            "parallel sweep worker failed: "
+                            f"{payload.get('detail', error)}"
+                        )
+                    verdict = payload["verdict"]
+                    self.records.append(
+                        CandidateRecord(
+                            tau,
+                            verdict.status,
+                            verdict.m,
+                            payload["elapsed"],
+                            rung_name,
+                            payload["ite_calls"],
+                            attempts=handle.attempts,
+                        )
                     )
-                verdict = payload["verdict"]
-                self.records.append(
-                    CandidateRecord(
-                        tau,
-                        verdict.status,
-                        verdict.m,
-                        payload["elapsed"],
-                        rung_name,
-                        payload["ite_calls"],
-                    )
-                )
                 if verdict.status != "fail":
                     self.prev_tau = tau
                     continue
@@ -905,20 +1058,34 @@ class _Sweep:
                 failing_sigmas = verdict.sigmas
                 failing_roots = verdict.roots
                 break
+        except KeyboardInterrupt:
+            # Operator Ctrl-C / SIGTERM: keep every committed record and
+            # attach a checkpoint — the sweep is always resumable.
+            cancelled = interrupted = True
+            notes = "interrupted by operator; resume with the checkpoint"
         finally:
             # Drain telemetry from any completed speculative tasks, then
             # abandon the rest (their verdicts are intentionally unused).
             for event in pending:
-                if event[0] == "decide" and event[4].done():
-                    try:
-                        absorb(event[4].result())
-                    except Exception:
-                        pass
+                if event[0] != "decide":
+                    continue
+                future = event[5].future
+                if future is None or not future.done():
+                    continue
+                try:
+                    payload = future.result(timeout=0)
+                except Exception:
+                    continue
+                if isinstance(payload, dict):
+                    absorb(payload)
             decider.shutdown()
-        merged: BddStats | None = None
-        decisions = 0
+        # Parent-side contexts exist only for quarantined windows; merge
+        # them with the workers' cumulative snapshots.
+        merged = self._bdd_stats()
+        decisions = sum(ctx.decisions_run for ctx in self.contexts.values())
         if snapshots:
-            merged = BddStats()
+            if merged is None:
+                merged = BddStats()
             for _, stats_dict, decided in snapshots.values():
                 merged.merge(BddStats.from_dict(stats_dict))
                 decisions += decided
@@ -933,8 +1100,10 @@ class _Sweep:
             exhausted=exhausted,
             notes=notes,
             interrupted=interrupted,
+            cancelled=cancelled,
             decisions_run=decisions,
             bdd_stats=merged,
+            supervision=decider.stats,
         )
 
     # ------------------------------------------------------------------

@@ -30,9 +30,19 @@ from repro.parallel.pool import (
     worker_budget_limit,
 )
 from repro.parallel.suite import WorkerStats, run_suite_sharded
+from repro.parallel.supervise import (
+    Quarantined,
+    RetryPolicy,
+    SupervisionStats,
+    Supervisor,
+)
 from repro.parallel.windows import WindowDecider
 
 __all__ = [
+    "Quarantined",
+    "RetryPolicy",
+    "SupervisionStats",
+    "Supervisor",
     "WindowDecider",
     "WorkerStats",
     "deadline_payload",

@@ -4,12 +4,20 @@ Suite rows are fully independent analyses, so the harness shards
 trivially: each task builds and measures one circuit with the same
 :func:`repro.report.harness.run_case` / ``analyze_circuit`` path the
 serial harness uses, in its own process with its own BDD manager.
-``executor.map`` preserves submission order, so the returned rows are
-in exactly the serial order regardless of which worker finished first.
+Tasks are submitted and collected in submission order, so the returned
+rows are in exactly the serial order regardless of which worker
+finished first.
+
+The pool runs under a :class:`~repro.parallel.supervise.Supervisor`: a
+worker death rebuilds the pool and resubmits the uncollected rows, and
+a row whose attempt budget runs out is quarantined — measured serially
+in the parent process — so a sharded run always produces the full
+table.
 
 Per-worker telemetry comes back as :class:`WorkerStats`: task count,
-wall-clock spent, and the merged BDD counters of that worker's rows —
-the ``workers`` array of ``BENCH_mct.json`` schema 2.
+wall-clock spent, the merged BDD counters of that worker's rows, plus
+the supervision counters (retries charged, quarantined rows) — the
+``workers`` array of ``BENCH_mct.json`` schema 2.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from fractions import Fraction
 
 from repro.bdd import BddStats
 from repro.parallel.pool import resolve_jobs
+from repro.parallel.supervise import Quarantined, RetryPolicy, Supervisor
+from repro.resilience.faults import maybe_kill_worker, worker_kill_limit
 
 
 @dataclasses.dataclass
@@ -34,6 +44,12 @@ class WorkerStats:
     wall_seconds: float = 0.0
     #: Merged BDD counters of the MCT sweeps this worker ran.
     bdd: BddStats = dataclasses.field(default_factory=BddStats)
+    #: Resubmissions the supervisor charged before this worker finally
+    #: delivered a row (attempts beyond the first).
+    retries: int = 0
+    #: Rows whose attempt budget ran out and were measured serially in
+    #: this process instead (only ever non-zero on the parent's entry).
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -41,6 +57,8 @@ class WorkerStats:
             "tasks": self.tasks,
             "wall_seconds": round(self.wall_seconds, 6),
             "bdd": self.bdd.as_dict(),
+            "retries": self.retries,
+            "quarantined": self.quarantined,
         }
 
 
@@ -48,26 +66,42 @@ class WorkerStats:
 _CONFIG: dict = {}
 
 
-def _suite_init(widen, degrade) -> None:
+def _suite_init(widen, degrade, kill_at=None) -> None:
+    from repro.parallel.windows import _reset_sigterm
+
+    _reset_sigterm()
     _CONFIG["widen"] = widen
     _CONFIG["degrade"] = degrade
+    _CONFIG["seq"] = 0
+    _CONFIG["kill_at"] = kill_at
 
 
-def _suite_task(case) -> tuple:
-    """Measure one row (``case=None`` is the introductory s27 row)."""
+def _measure_case(case, widen, degrade) -> tuple:
+    """Measure one row (``case=None`` is the introductory s27 row).
+
+    Shared by the pool task and the parent-side quarantine fallback;
+    returns ``(row, pid, wall_seconds)``.
+    """
     from repro.benchgen.circuits import s27
     from repro.report.harness import analyze_circuit, run_case
 
-    widen = _CONFIG["widen"]
     started = time.monotonic()
     if case is None:
         circuit, delays = s27()
         if widen is not None:
             delays = delays.widen(widen)
-        row = analyze_circuit(circuit, delays, degrade=_CONFIG["degrade"])
+        row = analyze_circuit(circuit, delays, degrade=degrade)
     else:
-        row = run_case(case, widen=widen, degrade=_CONFIG["degrade"])
+        row = run_case(case, widen=widen, degrade=degrade)
     return row, os.getpid(), time.monotonic() - started
+
+
+def _suite_task(case) -> tuple:
+    _CONFIG["seq"] += 1
+    # Deterministic crash injection (see repro.resilience.faults): die
+    # on this process's Nth task, before any work happens.
+    maybe_kill_worker(_CONFIG["seq"], _CONFIG.get("kill_at"))
+    return _measure_case(case, _CONFIG["widen"], _CONFIG["degrade"])
 
 
 def run_suite_sharded(
@@ -76,12 +110,16 @@ def run_suite_sharded(
     widen: Fraction | None = Fraction(9, 10),
     degrade: bool = False,
     jobs: int = 2,
+    retry: RetryPolicy | None = None,
 ) -> tuple[list, list[WorkerStats]]:
-    """The suite table, measured on ``jobs`` worker processes.
+    """The suite table, measured on ``jobs`` supervised worker processes.
 
     Returns ``(rows, worker_stats)`` with rows in the serial
     :func:`repro.report.harness.run_suite` order.  ``jobs <= 1`` runs
-    the serial harness in-process and reports no workers.
+    the serial harness in-process and reports no workers.  ``retry``
+    tunes the supervisor (crash recovery / quarantine); rows the pool
+    cannot deliver are measured serially in the parent, so the table is
+    always complete and identical to the serial harness's.
     """
     from repro.benchgen.suite import suite_cases
     from repro.report.harness import run_suite
@@ -98,16 +136,35 @@ def run_suite_sharded(
     if include_s27:
         tasks.append(None)
     tasks.extend(cases)
-    rows = []
+    supervisor = Supervisor(
+        lambda: ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_suite_init,
+            initargs=(widen, degrade, worker_kill_limit()),
+        ),
+        policy=retry,
+    )
+    rows: list = []
     stats: dict[int, WorkerStats] = {}
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_suite_init, initargs=(widen, degrade)
-    ) as executor:
-        for row, pid, wall in executor.map(_suite_task, tasks):
+    try:
+        handles = [supervisor.submit(_suite_task, task) for task in tasks]
+        for task, handle in zip(tasks, handles):
+            outcome = supervisor.result(handle)
+            if isinstance(outcome, Quarantined):
+                # The pool kept losing this row: measure it here, in
+                # the parent, and attribute it to the parent's entry.
+                row, pid, wall = _measure_case(task, widen, degrade)
+                worker = stats.setdefault(pid, WorkerStats(pid=pid))
+                worker.quarantined += 1
+            else:
+                row, pid, wall = outcome
+                worker = stats.setdefault(pid, WorkerStats(pid=pid))
+                worker.retries += handle.attempts - 1
             rows.append(row)
-            worker = stats.setdefault(pid, WorkerStats(pid=pid))
             worker.tasks += 1
             worker.wall_seconds += wall
             if row.bdd_stats is not None:
                 worker.bdd.merge(BddStats.from_dict(row.bdd_stats))
+    finally:
+        supervisor.shutdown()
     return rows, sorted(stats.values(), key=lambda w: w.pid)

@@ -18,16 +18,20 @@ every task resolves to a payload dict — ``{"verdict", "elapsed",
 number, merged :class:`~repro.bdd.BddStats` dict, decisions run); the
 parent keeps the latest snapshot per pid and merges them into the
 result's ``bdd_stats``.
+
+The pool runs under a :class:`~repro.parallel.supervise.Supervisor`:
+a worker death no longer aborts the sweep — the pool is rebuilt, the
+uncommitted windows resubmitted, and a window that keeps losing its
+worker is quarantined for the engine to decide serially in-process.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.errors import (
-    AnalysisError,
     Budget,
     DeadlineExceeded,
     ResourceBudgetExceeded,
@@ -38,9 +42,26 @@ from repro.parallel.pool import (
     restore_deadline,
     worker_budget_limit,
 )
+from repro.parallel.supervise import RetryPolicy, Supervisor, TaskHandle
+from repro.resilience.faults import maybe_kill_worker, worker_kill_limit
 
 #: Per-process worker state, populated by :func:`_worker_init`.
 _STATE: dict = {}
+
+
+def _reset_sigterm() -> None:
+    """Restore the default SIGTERM action in a pool worker.
+
+    Workers fork after the CLI converts SIGTERM to KeyboardInterrupt
+    for the *operator's* benefit; inheriting that handler would make
+    the supervisor's own ``terminate()`` during a pool rebuild print a
+    spurious interrupt from the dying worker.
+    """
+    import contextlib
+    import signal
+
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
 #: Sentinel: the exact-feasibility oracle has not been built yet.
 _UNBUILT = object()
@@ -56,8 +77,10 @@ def _worker_init(circuit, delays, config) -> None:
     from repro.mct.decision import DecisionContext
     from repro.mct.discretize import build_discretized_machine
 
+    _reset_sigterm()
     _STATE.clear()
     _STATE["seq"] = 0
+    _STATE["kill_at"] = config.get("kill_at")
     options = config["options"]
     try:
         deadline = restore_deadline(config["deadline"])
@@ -134,6 +157,9 @@ def _decide_task(regime, window) -> dict:
         kind, detail = error
         return {"error": kind, "detail": detail}
     _STATE["seq"] += 1
+    # Deterministic crash injection: die on this process's Nth task,
+    # before any work happens, exactly like an OOM kill would.
+    maybe_kill_worker(_STATE["seq"], _STATE.get("kill_at"))
     context = _STATE["context"]
     options = _STATE["options"]
     ite_before = context.bdd_stats.ite_calls
@@ -175,11 +201,16 @@ def decide_window(*args, **kwargs):
 
 
 class WindowDecider:
-    """A pool of window-deciding workers for one sweep.
+    """A supervised pool of window-deciding workers for one sweep.
 
     The constructor only records the configuration; the pool processes
     spawn on the first :meth:`submit`, so a sweep that never reaches an
-    undecided window pays nothing.
+    undecided window pays nothing.  Crash recovery, per-task timeouts,
+    retries and quarantine live in the wrapped
+    :class:`~repro.parallel.supervise.Supervisor`; :meth:`result`
+    returns either a payload dict or a
+    :class:`~repro.parallel.supervise.Quarantined` marker the engine
+    resolves with an in-process serial decision.
     """
 
     def __init__(
@@ -191,6 +222,7 @@ class WindowDecider:
         jobs: int,
         budget: Budget | None = None,
         deadline=None,
+        policy: RetryPolicy | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self._initargs = (
@@ -200,32 +232,33 @@ class WindowDecider:
                 "options": options,
                 "budget_limit": worker_budget_limit(budget, self.jobs),
                 "deadline": deadline_payload(deadline),
+                "kill_at": worker_kill_limit(),
             },
         )
-        self._executor: ProcessPoolExecutor | None = None
+        self._supervisor = Supervisor(
+            self._spawn, policy=policy, deadline=deadline
+        )
 
-    def submit(self, regime, window) -> Future:
-        """Queue one window decision; returns its future."""
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_worker_init,
-                initargs=self._initargs,
-            )
-        return self._executor.submit(_decide_task, regime, window)
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_worker_init,
+            initargs=self._initargs,
+        )
+
+    @property
+    def stats(self):
+        """The supervisor's :class:`SupervisionStats` (live object)."""
+        return self._supervisor.stats
+
+    def submit(self, regime, window) -> TaskHandle:
+        """Queue one window decision; returns its supervised handle."""
+        return self._supervisor.submit(_decide_task, regime, window)
+
+    def result(self, handle: TaskHandle):
+        """The committed task's payload, or a ``Quarantined`` marker."""
+        return self._supervisor.result(handle)
 
     def shutdown(self) -> None:
         """Stop the pool without waiting for abandoned speculation."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
-
-
-def collect_result(future: Future) -> dict:
-    """A committed task's payload; pool breakage becomes AnalysisError."""
-    try:
-        return future.result()
-    except BrokenExecutor as exc:
-        raise AnalysisError(
-            f"parallel sweep worker pool broke: {exc}"
-        ) from exc
+        self._supervisor.shutdown()

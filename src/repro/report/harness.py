@@ -198,12 +198,15 @@ def run_suite(
     widen: Fraction | None = Fraction(9, 10),
     degrade: bool = False,
     jobs: int = 1,
+    retry=None,
 ) -> list[TableRow]:
     """Measure the whole table (the benchmark harness entry point).
 
-    ``jobs > 1`` shards the circuits across a process pool
+    ``jobs > 1`` shards the circuits across a supervised process pool
     (:func:`repro.parallel.run_suite_sharded`); the rows come back in
-    this function's serial order either way.
+    this function's serial order either way.  ``retry`` is an optional
+    :class:`~repro.parallel.RetryPolicy` tuning the pool's crash
+    recovery; ignored on the serial path.
     """
     if jobs > 1:
         from repro.parallel.suite import run_suite_sharded
@@ -214,6 +217,7 @@ def run_suite(
             widen=widen,
             degrade=degrade,
             jobs=jobs,
+            retry=retry,
         )
         return rows
     if cases is None:

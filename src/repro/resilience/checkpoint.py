@@ -90,6 +90,8 @@ class SweepCheckpoint:
                     "elapsed_seconds": r.elapsed_seconds,
                     "rung": r.rung,
                     "ite_calls": r.ite_calls,
+                    "attempts": r.attempts,
+                    "quarantined": r.quarantined,
                 }
                 for r in self.records
             ],
@@ -118,6 +120,8 @@ class SweepCheckpoint:
                     elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
                     rung=str(entry.get("rung", "exact")),
                     ite_calls=int(entry.get("ite_calls", 0)),
+                    attempts=int(entry.get("attempts", 1)),
+                    quarantined=bool(entry.get("quarantined", False)),
                 )
                 for entry in data.get("records", ())
             )
@@ -175,7 +179,27 @@ class SweepCheckpoint:
 
     @classmethod
     def load(cls, path) -> "SweepCheckpoint":
-        return cls.from_json(Path(path).read_text())
+        """Read one checkpoint file, validating as it goes.
+
+        Any defect — unreadable file, binary garbage, truncated or
+        invalid JSON, schema/version mismatch — surfaces as a
+        :class:`~repro.errors.CheckpointError` naming the offending
+        path, never a raw traceback.
+        """
+        p = Path(path)
+        try:
+            text = p.read_text()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {p}: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {p} is not a text file "
+                f"(binary or wrong encoding): {exc}"
+            ) from exc
+        try:
+            return cls.from_json(text)
+        except CheckpointError as exc:
+            raise CheckpointError(f"checkpoint {p}: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Resume validation

@@ -28,9 +28,16 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 
 from repro import errors
 from repro.errors import DeadlineExceeded, ResourceBudgetExceeded
+
+#: The innermost active :class:`FaultPlan` (see :func:`inject_faults`).
+#: Worker-kill injection is read from here by the parallel pools when
+#: they configure their workers — the hook state itself cannot cross a
+#: process boundary, but a task-count threshold can.
+_ACTIVE_PLAN: "FaultPlan | None" = None
 
 
 @dataclasses.dataclass
@@ -41,11 +48,15 @@ class FaultPlan:
     disables that fault.  With ``once`` (the default) a fault fires a
     single time and then disarms, so a degraded retry or a resumed run
     inside the same block proceeds unfaulted; otherwise every call from
-    the N-th on fails.
+    the N-th on fails.  ``kill_worker_at`` arms *worker crash*
+    injection instead: every pool worker process spawned while the plan
+    is active kills itself (``os._exit``) on its N-th task, exercising
+    the supervisor's crash-recovery path deterministically.
     """
 
     budget_at: int | None = None
     deadline_at: int | None = None
+    kill_worker_at: int | None = None
     once: bool = True
     #: Total observed calls (also useful in pure counting mode).
     budget_calls: int = 0
@@ -88,21 +99,61 @@ def inject_faults(
     budget_at: int | None = None,
     deadline_at: int | None = None,
     once: bool = True,
+    kill_worker_at: int | None = None,
 ):
     """Fail the N-th budget charge and/or deadline check in the block.
 
     Yields the :class:`FaultPlan`, whose counters keep updating while
     the block runs.  Hooks are restored on exit, even on error; nesting
-    restores the previously installed hooks.
+    restores the previously installed hooks.  ``kill_worker_at=N``
+    additionally arms worker-crash injection: pools started inside the
+    block configure each worker process to die on its N-th task (see
+    :func:`worker_kill_limit` / :func:`maybe_kill_worker`).
     """
-    plan = FaultPlan(budget_at=budget_at, deadline_at=deadline_at, once=once)
-    previous = (errors.budget_fault_hook, errors.deadline_fault_hook)
+    global _ACTIVE_PLAN
+    plan = FaultPlan(
+        budget_at=budget_at,
+        deadline_at=deadline_at,
+        kill_worker_at=kill_worker_at,
+        once=once,
+    )
+    previous = (errors.budget_fault_hook, errors.deadline_fault_hook, _ACTIVE_PLAN)
     errors.budget_fault_hook = plan.on_budget_charge
     errors.deadline_fault_hook = plan.on_deadline_check
+    _ACTIVE_PLAN = plan
     try:
         yield plan
     finally:
-        errors.budget_fault_hook, errors.deadline_fault_hook = previous
+        errors.budget_fault_hook, errors.deadline_fault_hook, _ACTIVE_PLAN = previous
+
+
+def worker_kill_limit() -> int | None:
+    """The armed ``kill_worker_at`` threshold, or ``None``.
+
+    Called by the parallel pools in the *parent* process when they
+    build a worker's configuration: the threshold is shipped across
+    the process boundary in the pool initargs (the hook globals
+    themselves never propagate to workers).  0 arms the counters but
+    never fires, mirroring the budget/deadline flags.
+    """
+    if _ACTIVE_PLAN is None:
+        return None
+    return _ACTIVE_PLAN.kill_worker_at
+
+
+def maybe_kill_worker(task_index: int, kill_at: int | None) -> None:
+    """Worker-side crash injection: die on the configured task.
+
+    ``task_index`` is the 1-based count of tasks this worker process
+    has started.  The death is an ``os._exit`` — no exception, no
+    cleanup — exactly what an OOM kill or segfault looks like from the
+    parent's side (``BrokenExecutor`` on every pending future).  Every
+    *fresh* worker dies at the same count, so ``kill_at=1`` produces a
+    pool that can never finish a task (the quarantine/serial-fallback
+    path), while larger values let respawned workers make progress.
+    """
+    if kill_at is not None and kill_at > 0 and task_index == kill_at:
+        os._exit(113)
 
 
 @contextlib.contextmanager
