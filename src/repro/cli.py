@@ -29,7 +29,7 @@ from repro.logic.delays import (
     typed_delays,
     unit_delays,
 )
-from repro.errors import CheckpointError
+from repro.errors import AnalysisError, CheckpointError, OptionsError
 from repro.mct import (
     DEFAULT_LADDER,
     MctOptions,
@@ -37,7 +37,7 @@ from repro.mct import (
     minimum_cycle_time,
     optimize_skew,
 )
-from repro.parallel import RetryPolicy
+from repro.parallel import RetryPolicy, SocketTransport
 from repro.resilience import SweepCheckpoint, inject_faults
 from repro.report import analyze_circuit, render_rows, run_suite
 from repro.report.tables import format_fraction
@@ -71,6 +71,25 @@ def _sigterm_as_interrupt():
         yield
     finally:
         signal.signal(signal.SIGTERM, previous)
+
+
+def _cluster_transport(args):
+    """The :class:`SocketTransport` of ``--workers``, or ``None``.
+
+    ``--workers`` is repeatable and comma-splittable; bad addresses
+    raise :class:`~repro.errors.OptionsError` (the caller turns that
+    into the flag-named exit-1 message).
+    """
+    specs: list[str] = []
+    for entry in args.workers or ():
+        specs.extend(part for part in entry.split(",") if part.strip())
+    if not specs:
+        return None
+    return SocketTransport(
+        specs,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
 
 
 def _load(args) -> tuple:
@@ -112,6 +131,21 @@ def cmd_analyze(args) -> int:
     if args.task_timeout is not None and args.task_timeout <= 0:
         print("error: --task-timeout must be positive", file=sys.stderr)
         return 1
+    if args.heartbeat_interval <= 0:
+        print("error: --heartbeat-interval must be positive", file=sys.stderr)
+        return 1
+    if args.heartbeat_timeout < args.heartbeat_interval:
+        print(
+            "error: --heartbeat-timeout must be at least "
+            "--heartbeat-interval",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        transport = _cluster_transport(args)
+    except OptionsError as exc:
+        print(f"error: --workers: {exc}", file=sys.stderr)
+        return 1
     faulted = (
         args.fail_budget_at is not None or args.fail_deadline_at is not None
     )
@@ -119,13 +153,17 @@ def cmd_analyze(args) -> int:
     if jobs < 0:
         print("error: --jobs must be non-negative", file=sys.stderr)
         return 1
-    if jobs > 1 and faulted:
-        # Fault hooks are process-global: a pool worker would never see
-        # them, so the injected fault must run in this process.  Worker
-        # kills (--kill-worker-at) are different: they target the pool
-        # itself and keep --jobs in force.
-        print("note: fault injection forces a serial sweep; ignoring --jobs")
+    if (jobs > 1 or transport is not None) and faulted:
+        # Fault hooks are process-global: a pool or cluster worker would
+        # never see them, so the injected fault must run in this
+        # process.  Worker kills (--kill-worker-at) are different: they
+        # target the pool itself and keep --jobs in force.
+        print(
+            "note: fault injection forces a serial sweep; "
+            "ignoring --jobs/--workers"
+        )
         jobs = 1
+        transport = None
     # The fault flags exercise the resilience path deterministically
     # (used by the CI smoke job); they need a budget/deadline to fail.
     # Gate on `is not None`: 0 is a valid (never-firing) call index.
@@ -133,16 +171,24 @@ def cmd_analyze(args) -> int:
         work_budget = 10**9
     if args.fail_deadline_at is not None and time_limit is None:
         time_limit = 3600.0
-    options = MctOptions(
-        use_reachability=args.reachability,
-        work_budget=work_budget,
-        time_limit=time_limit,
-        degradation_ladder=DEFAULT_LADDER if args.degrade else (),
-        retry_policy=RetryPolicy(
-            max_retries=args.max_retries,
-            task_timeout=args.task_timeout,
-        ),
-    )
+    try:
+        options = MctOptions(
+            use_reachability=args.reachability,
+            work_budget=work_budget,
+            time_limit=time_limit,
+            degradation_ladder=DEFAULT_LADDER if args.degrade else (),
+            retry_policy=RetryPolicy(
+                max_retries=args.max_retries,
+                task_timeout=args.task_timeout,
+            ),
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+    except OptionsError as exc:
+        # Safety net behind the flag-named checks above: every knob is
+        # validated at construction time, never inside a pool.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     resume_from = None
     if args.resume:
         try:
@@ -153,7 +199,12 @@ def cmd_analyze(args) -> int:
 
     def run():
         return minimum_cycle_time(
-            circuit, delays, options, resume_from=resume_from, jobs=jobs
+            circuit,
+            delays,
+            options,
+            resume_from=resume_from,
+            jobs=jobs,
+            transport=transport,
         )
 
     injecting = faulted or args.kill_worker_at is not None
@@ -170,6 +221,10 @@ def cmd_analyze(args) -> int:
                 result = run()
     except CheckpointError as exc:
         print(f"error: cannot resume: {exc}", file=sys.stderr)
+        return 1
+    except AnalysisError as exc:
+        # e.g. no cluster worker reachable, or a worker failed hard.
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     marker = "" if result.failure_found else " (no failing window found; bound from sweep floor)"
     print(f"  minimum cycle time: {format_fraction(result.mct_upper_bound)}{marker}")
@@ -249,8 +304,23 @@ def cmd_table(args) -> int:
         if value is not None and value < 0:
             print(f"error: {flag} must be non-negative", file=sys.stderr)
             return 1
+    if args.heartbeat_interval <= 0:
+        print("error: --heartbeat-interval must be positive", file=sys.stderr)
+        return 1
+    if args.heartbeat_timeout < args.heartbeat_interval:
+        print(
+            "error: --heartbeat-timeout must be at least "
+            "--heartbeat-interval",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        transport = _cluster_transport(args)
+        retry = RetryPolicy(max_retries=args.max_retries)
+    except OptionsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     widen = None if args.fixed else Fraction(9, 10)
-    retry = RetryPolicy(max_retries=args.max_retries)
 
     def measure():
         return run_suite(
@@ -259,13 +329,19 @@ def cmd_table(args) -> int:
             widen=widen,
             jobs=args.jobs,
             retry=retry,
+            transport=transport,
         )
 
-    if args.kill_worker_at is not None:
-        with inject_faults(kill_worker_at=args.kill_worker_at):
+    try:
+        if args.kill_worker_at is not None:
+            with inject_faults(kill_worker_at=args.kill_worker_at):
+                rows = measure()
+        else:
             rows = measure()
-    else:
-        rows = measure()
+    except AnalysisError as exc:
+        # e.g. no cluster worker reachable, or a worker failed hard.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     condition = "fixed delays" if args.fixed else "delays in [90%, 100%] of max"
     with_cpu = not args.no_cpu
     if args.markdown:
@@ -404,6 +480,61 @@ def cmd_simulate(args) -> int:
     return 0 if ok else 2
 
 
+def _add_cluster_args(p) -> None:
+    """Coordinator-side cluster flags (shared by analyze and table)."""
+    p.add_argument("--workers", action="append", default=None,
+                   metavar="HOST:PORT[,HOST:PORT...]",
+                   help="decide on remote repro-mct workers instead of "
+                        "local processes (repeatable / comma-separated); "
+                        "results stay identical to a serial run")
+    p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   metavar="SEC",
+                   help="seconds between liveness pings to each cluster "
+                        "worker")
+    p.add_argument("--heartbeat-timeout", type=float, default=2.5,
+                   metavar="SEC",
+                   help="declare a cluster worker dead after this many "
+                        "seconds of silence; its leased windows are "
+                        "re-dispatched to the survivors")
+
+
+def cmd_worker(args) -> int:
+    """Run one cluster worker until interrupted (clean exit on SIGTERM)."""
+    from repro.parallel.cluster import parse_worker_address, serve_worker
+
+    try:
+        host, port = parse_worker_address(args.listen, allow_port_zero=True)
+    except OptionsError as exc:
+        print(f"error: --listen: {exc}", file=sys.stderr)
+        return 1
+    for flag, value in (
+        ("--kill-at", args.kill_at),
+        ("--drop-heartbeats-after", args.drop_heartbeats_after),
+    ):
+        if value is not None and value < 0:
+            print(f"error: {flag} must be non-negative", file=sys.stderr)
+            return 1
+
+    def on_ready(address):
+        print(f"listening on {address[0]}:{address[1]}", flush=True)
+
+    try:
+        with _sigterm_as_interrupt():
+            serve_worker(
+                host,
+                port,
+                kill_at=args.kill_at,
+                drop_heartbeats_after=args.drop_heartbeats_after,
+                on_ready=on_ready,
+            )
+    except KeyboardInterrupt:
+        pass  # Ctrl-C / SIGTERM: a clean shutdown, not an error
+    except OSError as exc:
+        print(f"error: cannot listen on {args.listen}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mct",
@@ -459,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault injection: each pool worker kills itself "
                         "on its Nth task (exercises crash recovery; "
                         "0 arms the counters but never fires)")
+    _add_cluster_args(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("table", help="regenerate the paper's results table")
@@ -480,7 +612,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-worker-at", type=int, default=None, metavar="N",
                    help="fault injection: each pool worker kills itself "
                         "on its Nth task (exercises crash recovery)")
+    _add_cluster_args(p)
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("worker", help="serve decide tasks to a cluster "
+                       "coordinator (repro-mct ... --workers host:port)")
+    p.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="address to listen on (port 0 picks a free port, "
+                        "printed on startup)")
+    p.add_argument("--kill-at", type=int, default=None, metavar="N",
+                   help="fault injection: die (exit 113) on the Nth task "
+                        "of a connection, like an OOM-killed host")
+    p.add_argument("--drop-heartbeats-after", type=int, default=None,
+                   metavar="N",
+                   help="fault injection: stop answering coordinator "
+                        "pings after the Nth pong (0 never answers), "
+                        "like a network partition")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("example2", help="walk through the paper's Example 2")
     p.set_defaults(func=cmd_example2)

@@ -82,6 +82,19 @@ class DeadlineExceeded(ReproError):
         self.where = where
 
 
+class OptionsError(AnalysisError, ValueError):
+    """An analysis or execution knob has an invalid value.
+
+    Raised at *construction* time — ``MctOptions``/``RetryPolicy`` and
+    the cluster heartbeat knobs validate eagerly, so a negative task
+    timeout or a heartbeat timeout below its interval fails with a
+    clean diagnostic (CLI exit code 1) instead of a deep traceback
+    from inside a pool or a socket thread.  Doubles as a
+    :class:`ValueError` for callers that treat bad dataclass fields
+    pythonically.
+    """
+
+
 class CheckpointError(AnalysisError):
     """A sweep checkpoint is malformed or does not match the analysis
     (different circuit, options, or an unknown format version).

@@ -43,6 +43,7 @@ from repro.errors import (
     AnalysisError,
     Budget,
     DeadlineExceeded,
+    OptionsError,
     ResourceBudgetExceeded,
 )
 from repro.logic.delays import DelayMap
@@ -109,6 +110,24 @@ class MctOptions:
     #: attempt budget, wall timeout, and backoff schedule.  A resource
     #: knob like ``work_budget``: not part of the checkpoint fingerprint.
     retry_policy: RetryPolicy = RetryPolicy()
+    #: Cluster liveness cadence (socket transports only): the
+    #: coordinator pings every worker each ``heartbeat_interval``
+    #: seconds and declares one dead after ``heartbeat_timeout``
+    #: seconds of silence.  Execution knobs like ``retry_policy``: not
+    #: part of the checkpoint fingerprint.
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 2.5
+
+    def __post_init__(self):
+        # Validate execution knobs at construction time so a bad value
+        # fails with a clean OptionsError (CLI exit 1) here, not as a
+        # traceback from deep inside a pool or a cluster session.
+        if self.heartbeat_interval <= 0:
+            raise OptionsError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout < self.heartbeat_interval:
+            raise OptionsError(
+                "heartbeat_timeout must be at least the heartbeat interval"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -217,6 +236,7 @@ def minimum_cycle_time(
     options: MctOptions | None = None,
     resume_from: SweepCheckpoint | None = None,
     jobs: int = 1,
+    transport=None,
 ) -> MctResult:
     """Compute an upper bound on the machine's minimum cycle time.
 
@@ -243,6 +263,15 @@ def minimum_cycle_time(
     the checkpoint fingerprint — serial and parallel checkpoints are
     interchangeable.  A configured ``degradation_ladder`` is stateful
     across windows and therefore always runs serially.
+
+    ``transport`` swaps the execution substrate of the parallel sweep:
+    a :class:`~repro.parallel.Transport` whose session decides the
+    windows — the in-process pool of ``jobs=N``
+    (:class:`~repro.parallel.LocalTransport`) or remote socket workers
+    (:class:`~repro.parallel.SocketTransport`).  Transport identity is
+    an execution detail like ``jobs``: excluded from the checkpoint
+    fingerprint, so checkpoints move freely between serial, pooled,
+    and clustered runs.
     """
     options = options or MctOptions()
     start = time.monotonic()
@@ -279,7 +308,10 @@ def minimum_cycle_time(
             elapsed_seconds=time.monotonic() - start,
             notes="time limit reached during path collection",
         )
-    sweep = _Sweep(circuit, machine, options, budget, deadline, start, jobs=jobs)
+    sweep = _Sweep(
+        circuit, machine, options, budget, deadline, start,
+        jobs=jobs, transport=transport,
+    )
     if resume_from is not None:
         sweep.restore(resume_from)
     return sweep.run()
@@ -290,7 +322,11 @@ def _fingerprint(options: MctOptions) -> dict:
 
     ``work_budget`` and ``time_limit`` are deliberately absent: they
     describe *resources*, not the analysis, and resuming with more of
-    either is the normal use.
+    either is the normal use.  Execution-side options are excluded for
+    the same reason — ``retry_policy``, the heartbeat knobs, ``jobs``,
+    and the transport identity (local pool vs. socket cluster) never
+    enter the fingerprint, so a checkpoint written by any execution
+    configuration resumes under any other.
     """
     return {
         "check_outputs": bool(options.check_outputs),
@@ -451,6 +487,7 @@ class _Sweep:
         deadline: Deadline | None,
         start: float,
         jobs: int = 1,
+        transport=None,
     ):
         self.circuit = circuit
         self.machine = machine
@@ -459,6 +496,7 @@ class _Sweep:
         self.deadline = deadline
         self.start = start
         self.jobs = max(1, int(jobs))
+        self.transport = transport
         self.rungs = _ladder(options)
         self.rung_idx = 0
         self.contexts: dict[int, DecisionContext] = {}
@@ -489,7 +527,12 @@ class _Sweep:
                 self.rung_idx = idx
                 break
 
-    def _checkpoint(self, reason: str) -> SweepCheckpoint:
+    def _checkpoint(
+        self,
+        reason: str,
+        bdd_stats: BddStats | None = None,
+        supervision: SupervisionStats | None = None,
+    ) -> SweepCheckpoint:
         return SweepCheckpoint(
             circuit_name=self.circuit.name,
             L=self.machine.L,
@@ -498,6 +541,10 @@ class _Sweep:
             rung=self.rungs[self.rung_idx].name,
             reason=reason,
             fingerprint=_fingerprint(self.options),
+            bdd_stats=None if bdd_stats is None else bdd_stats.as_dict(),
+            supervision=(
+                None if supervision is None else supervision.as_dict()
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -567,9 +614,10 @@ class _Sweep:
 
         The degradation ladder mutates rung state across windows, so a
         ladder-configured sweep always runs serially regardless of
-        ``jobs``.
+        ``jobs`` or ``transport``.
         """
-        if self.jobs > 1 and not self.options.degradation_ladder:
+        parallel = self.transport is not None or self.jobs > 1
+        if parallel and not self.options.degradation_ladder:
             return self._run_parallel()
         return self._run_serial()
 
@@ -777,7 +825,11 @@ class _Sweep:
             notes=notes,
             rung=self.rungs[self.rung_idx].name,
             degradations=tuple(self.degradations),
-            checkpoint=self._checkpoint(notes) if interrupted else None,
+            checkpoint=(
+                self._checkpoint(notes, bdd_stats, supervision)
+                if interrupted
+                else None
+            ),
             bdd_stats=bdd_stats,
             supervision=supervision,
             cancelled=cancelled,
@@ -874,21 +926,23 @@ class _Sweep:
         return ("decide", tau_floor, (tau_floor, prev_tau), regime, m)
 
     def _run_parallel(self) -> MctResult:
-        """Decide the next ``jobs`` windows speculatively, commit in order.
+        """Decide upcoming windows speculatively, commit in order.
 
-        Worker processes each own a BDD manager and decide whole
-        windows (decision + feasibility); the parent commits verdicts
-        strictly in breakpoint order and discards speculative results
-        past the first failing window, so the bound, candidate
-        sequence, and checkpoint match :meth:`_run_serial` exactly.
-        Per-record ``elapsed_seconds``/``ite_calls`` and the merged
-        ``bdd_stats`` are measurements of the parallel execution (each
-        worker warms its own caches) and legitimately differ from a
-        serial run's.
+        Workers (pool processes or cluster hosts — whatever the
+        :class:`~repro.parallel.Transport` session provides) each own a
+        BDD manager and decide whole windows (decision + feasibility);
+        the parent keeps up to ``session.capacity`` windows in flight,
+        commits verdicts strictly in breakpoint order, and discards
+        speculative results past the first failing window, so the
+        bound, candidate sequence, and checkpoint match
+        :meth:`_run_serial` exactly.  Per-record
+        ``elapsed_seconds``/``ite_calls`` and the merged ``bdd_stats``
+        are measurements of the parallel execution (each worker warms
+        its own caches) and legitimately differ from a serial run's.
         """
         from collections import deque
 
-        from repro.parallel.windows import WindowDecider
+        from repro.parallel.transport import LocalTransport
 
         mct_ub: Fraction | None = None
         failure_found = False
@@ -916,14 +970,13 @@ class _Sweep:
                     snap["seq"], snap["stats"], snap["decisions_run"]
                 )
 
-        decider = WindowDecider(
+        transport = self.transport or LocalTransport(self.jobs)
+        session = transport.open_windows(
             self.circuit,
             self.machine.delays,
             self.options,
-            jobs=self.jobs,
             budget=self.budget,
             deadline=self.deadline,
-            policy=self.options.retry_policy,
         )
         plan = self._plan_events()
         pending: deque = deque()
@@ -931,7 +984,7 @@ class _Sweep:
         plan_done = False
         try:
             while True:
-                while not plan_done and in_flight < self.jobs:
+                while not plan_done and in_flight < session.capacity:
                     try:
                         event = next(plan)
                     except StopIteration:
@@ -939,7 +992,7 @@ class _Sweep:
                         break
                     if event[0] == "decide":
                         _, tau, window, regime, m = event
-                        handle = decider.submit(regime, window)
+                        handle = session.submit(regime, window)
                         pending.append(
                             ("decide", tau, window, regime, m, handle)
                         )
@@ -972,7 +1025,7 @@ class _Sweep:
                 _, tau, window, regime, m, handle = event
                 in_flight -= 1
                 try:
-                    outcome = decider.result(handle)
+                    outcome = session.result(handle)
                 except DeadlineExceeded:
                     exhausted = deadline_exceeded = interrupted = True
                     notes = "time limit reached"
@@ -1069,16 +1122,10 @@ class _Sweep:
             for event in pending:
                 if event[0] != "decide":
                     continue
-                future = event[5].future
-                if future is None or not future.done():
-                    continue
-                try:
-                    payload = future.result(timeout=0)
-                except Exception:
-                    continue
-                if isinstance(payload, dict):
+                payload = session.peek(event[5])
+                if payload is not None:
                     absorb(payload)
-            decider.shutdown()
+            session.shutdown()
         # Parent-side contexts exist only for quarantined windows; merge
         # them with the workers' cumulative snapshots.
         merged = self._bdd_stats()
@@ -1103,7 +1150,7 @@ class _Sweep:
             cancelled=cancelled,
             decisions_run=decisions,
             bdd_stats=merged,
-            supervision=decider.stats,
+            supervision=session.stats,
         )
 
     # ------------------------------------------------------------------

@@ -13,6 +13,16 @@ Two independent levers, both behind ``--jobs N``:
   failing window, so the bound, candidate sequence, and checkpoint are
   identical to the serial sweep's.
 
+Where those windows (or suite rows) actually execute is behind the
+:class:`Transport` abstraction (:mod:`repro.parallel.transport`):
+:class:`LocalTransport` is the supervised process pool on this host
+(``jobs=N`` is sugar for one), and :class:`SocketTransport`
+(:mod:`repro.parallel.cluster`) shards the same tasks across remote
+``repro-mct worker`` processes with heartbeat liveness detection,
+lease-based work stealing, and the same retry → quarantine → serial
+fallback ladder, so results stay byte-identical to serial no matter
+which subset of hosts survives.
+
 Resources cross the process boundary explicitly
 (:mod:`repro.parallel.pool`): a :class:`~repro.resilience.Deadline` is
 shipped as its ``(seconds, start)`` pair — CLOCK_MONOTONIC is
@@ -23,6 +33,13 @@ run's *aggregate* budget is ``jobs`` worker shares rather than one
 shared pool; each share still bounds its worker exactly.
 """
 
+from repro.parallel.cluster import (
+    ClusterSession,
+    SocketTransport,
+    WorkerServer,
+    parse_worker_address,
+    serve_worker,
+)
 from repro.parallel.pool import (
     deadline_payload,
     resolve_jobs,
@@ -31,23 +48,38 @@ from repro.parallel.pool import (
 )
 from repro.parallel.suite import WorkerStats, run_suite_sharded
 from repro.parallel.supervise import (
+    BackoffSchedule,
     Quarantined,
     RetryPolicy,
     SupervisionStats,
     Supervisor,
 )
+from repro.parallel.transport import (
+    LocalTransport,
+    Transport,
+    TransportSession,
+)
 from repro.parallel.windows import WindowDecider
 
 __all__ = [
+    "BackoffSchedule",
+    "ClusterSession",
+    "LocalTransport",
     "Quarantined",
     "RetryPolicy",
+    "SocketTransport",
     "SupervisionStats",
     "Supervisor",
+    "Transport",
+    "TransportSession",
     "WindowDecider",
+    "WorkerServer",
     "WorkerStats",
     "deadline_payload",
+    "parse_worker_address",
     "resolve_jobs",
     "restore_deadline",
     "run_suite_sharded",
+    "serve_worker",
     "worker_budget_limit",
 ]

@@ -1,0 +1,818 @@
+"""Distributed sweep execution: socket workers + a fault-tolerant coordinator.
+
+``jobs=N`` tops out at one machine; this module lifts the supervised
+planner/decider split across hosts.  A ``repro-mct worker --listen``
+process serves decide tasks over TCP; a :class:`SocketTransport` on
+the coordinator shards one sweep's windows (or one suite's rows)
+across every registered worker.  The design goal is the ROADMAP's
+byte-identical-under-faults contract, so robustness is structural, not
+bolted on:
+
+* **length-prefixed JSON frames** carry the protocol; Python objects
+  (regimes, verdicts, circuits) travel as base64 pickles inside the
+  frames.  Pickles execute code on load, so the protocol is for
+  *trusted* clusters only — the same stance as every MPI-style
+  scientific scheduler.
+* **lease-based ownership**: every task is leased to exactly one live
+  worker; a worker that dies, times out, or goes silent has its leases
+  *reclaimed* and re-dispatched to the survivors (work stealing from a
+  central queue).  Reclaims charge the same
+  :class:`~repro.parallel.supervise.RetryPolicy` attempt budget and
+  seeded decorrelated-jitter backoff as the in-process Supervisor.
+* **heartbeat liveness**: the coordinator pings every worker each
+  ``heartbeat_interval`` seconds and declares it dead after
+  ``heartbeat_timeout`` seconds of silence (any frame counts as life).
+  Workers answer pings from a dedicated reader thread, so a worker
+  busy inside a BDD build still proves it is alive.
+* **quarantine fallback**: a task out of attempts — or submitted after
+  every worker died — resolves to
+  :class:`~repro.parallel.supervise.Quarantined`, and the caller
+  computes it serially in-process (the PR 5 path).  A cluster where
+  every host burns down still produces the exact serial answer.
+
+Tasks are pure functions of their payload, so a re-dispatched or
+twice-computed task (a lease reclaimed from a silent-but-alive worker
+whose late result is then discarded) can never change the answer.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import dataclasses
+import json
+import os
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+
+from repro.errors import AnalysisError, Budget, DeadlineExceeded, OptionsError
+from repro.parallel.pool import worker_budget_limit
+from repro.parallel.supervise import (
+    BackoffSchedule,
+    Quarantined,
+    RetryPolicy,
+    SupervisionStats,
+)
+from repro.parallel.transport import Transport, TransportSession
+from repro.resilience.faults import heartbeat_drop_limit, host_kill_limit
+
+#: Bump when the wire protocol changes incompatibly.
+PROTOCOL = "repro-mct-cluster/1"
+
+#: Exit status of a host-kill-injected worker process (``--kill-at``).
+KILLED_EXIT = 113
+
+_LEN = struct.Struct(">I")
+#: Refuse absurd frames instead of allocating unbounded buffers.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+def _dump(obj) -> str:
+    """Base64 pickle: arbitrary Python objects inside a JSON frame."""
+    return base64.b64encode(pickle.dumps(obj, protocol=4)).decode("ascii")
+
+
+def _load(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """One length-prefixed JSON frame (callers hold their send lock)."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame; raises ``ConnectionError`` on EOF/bad framing."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    message = json.loads(_recv_exact(sock, length).decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ConnectionError("frame is not a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_worker_address(
+    text: str, *, allow_port_zero: bool = False
+) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``; :class:`OptionsError` on junk.
+
+    ``allow_port_zero`` is for listen addresses (the OS picks a free
+    port); a *connect* address must name a real port.
+    """
+    host, sep, port_text = str(text).strip().rpartition(":")
+    if not sep or not host:
+        raise OptionsError(
+            f"worker address {text!r} must be host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise OptionsError(
+            f"worker address {text!r} has a non-numeric port"
+        ) from None
+    floor = -1 if allow_port_zero else 0
+    if not floor < port < 65536:
+        raise OptionsError(f"worker address {text!r} port out of range")
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# Task handlers (what a worker can be configured to do)
+# ----------------------------------------------------------------------
+def _windows_init(config: dict) -> dict:
+    """Build a window-decider state from a ``configure`` payload."""
+    from repro.parallel.windows import build_decider_state
+
+    remaining = config.get("deadline_remaining")
+    wire_deadline = (
+        None if remaining is None else (max(0.0, remaining), time.monotonic())
+    )
+    state = build_decider_state(
+        config["circuit"],
+        config["delays"],
+        {
+            "options": config["options"],
+            "budget_limit": config.get("budget_limit"),
+            # Each host has its own CLOCK_MONOTONIC, so the *remaining*
+            # allowance travels and restarts on the worker's clock; the
+            # coordinator still enforces the true deadline on its side.
+            "deadline": wire_deadline,
+        },
+    )
+    state["label"] = f"{socket.gethostname()}:{os.getpid()}"
+    return state
+
+
+def _windows_task(state: dict, payload) -> dict:
+    from repro.parallel.windows import decide_in_state
+
+    regime, window = payload
+    return decide_in_state(state, regime, window)
+
+
+def _suite_init(config: dict) -> dict:
+    return {
+        "widen": config.get("widen"),
+        "degrade": bool(config.get("degrade", False)),
+        "label": f"{socket.gethostname()}:{os.getpid()}",
+    }
+
+
+def _suite_task(state: dict, case) -> dict:
+    from repro.parallel.suite import _measure_case
+
+    row, _pid, wall = _measure_case(case, state["widen"], state["degrade"])
+    return {"row": row, "pid": state["label"], "wall": wall}
+
+
+#: kind → (init(config_dict) -> state, task(state, payload) -> dict).
+HANDLERS = {
+    "windows": (_windows_init, _windows_task),
+    "suite": (_suite_init, _suite_task),
+}
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class WorkerServer:
+    """One cluster worker: accept coordinators, serve decide tasks.
+
+    Each connection gets two threads: a *reader* that answers pings
+    immediately (liveness must not wait behind a BDD build) and a
+    *work* thread that runs ``configure`` and task payloads in order.
+    State is per-connection, so consecutive sweeps (or several
+    coordinators) never share a machine.
+
+    ``kill_at``/``drop_heartbeats_after`` are the deterministic fault
+    injectors (defaulting to any active
+    :func:`~repro.resilience.faults.inject_faults` plan): the former
+    kills the worker on a connection's Nth task — ``os._exit`` when
+    ``hard_exit`` (a real worker process), an abrupt all-connection
+    close otherwise (an in-process test server) — and the latter
+    simulates an asymmetric network partition: after the Nth pong the
+    connection sends *nothing* more (no pongs, no results) while tasks
+    keep computing; with N=0 the silence starts right after the
+    session is configured, so tests see the partition deterministically.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        kill_at: int | None = None,
+        drop_heartbeats_after: int | None = None,
+        hard_exit: bool = False,
+    ):
+        self.kill_at = kill_at if kill_at is not None else host_kill_limit()
+        self.drop_heartbeats_after = (
+            drop_heartbeats_after
+            if drop_heartbeats_after is not None
+            else heartbeat_drop_limit()
+        )
+        self.hard_exit = hard_exit
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conns: list[socket.socket] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "WorkerServer":
+        """Serve in background threads; returns self (tests/CLI)."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="mct-worker-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI entry point); stop() unblocks it."""
+        self.start()
+        self._stopping.wait()
+
+    def stop(self) -> None:
+        """Close the listener and every live connection."""
+        self._stopping.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        with self._lock:
+            conns, self._conns = list(self._conns), []
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    # -- serving --------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="mct-worker-conn",
+                daemon=True,
+            ).start()
+
+    def _die(self) -> None:
+        """Deterministic host kill: vanish without goodbye frames."""
+        if self.hard_exit:
+            os._exit(KILLED_EXIT)  # a real worker process: just die
+        self.stop()  # in-process server: every socket drops at once
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        send_lock = threading.Lock()
+        work: queue.Queue = queue.Queue()
+        #: Injected partition: once set, this connection sends NOTHING
+        #: more — no pongs, no results — while tasks keep computing.
+        #: That is the failure mode only heartbeats can detect: the
+        #: socket stays open (no EOF for crash detection), the work is
+        #: silently lost.
+        muted = threading.Event()
+        pongs = 0
+
+        def reply(message: dict) -> None:
+            if muted.is_set():
+                return
+            with send_lock:
+                send_frame(conn, message)
+
+        worker_thread = threading.Thread(
+            target=self._work_loop,
+            args=(work, reply, muted),
+            name="mct-worker-work",
+            daemon=True,
+        )
+        worker_thread.start()
+        try:
+            while True:
+                message = recv_frame(conn)
+                kind = message.get("type")
+                if kind == "hello":
+                    reply({
+                        "type": "hello",
+                        "protocol": PROTOCOL,
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    })
+                elif kind == "ping":
+                    drop = self.drop_heartbeats_after
+                    if drop is not None and pongs >= drop:
+                        muted.set()
+                        continue
+                    pongs += 1
+                    reply({"type": "pong", "seq": message.get("seq")})
+                elif kind in ("configure", "task"):
+                    work.put(message)
+                elif kind == "shutdown":
+                    return
+        except (ConnectionError, OSError, ValueError):
+            return  # coordinator went away (or injected kill closed us)
+        finally:
+            work.put(None)
+            with contextlib.suppress(OSError):
+                conn.close()
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def _work_loop(self, work: queue.Queue, reply, muted) -> None:
+        state: dict | None = None
+        task_fn = None
+        tasks_served = 0
+        while True:
+            message = work.get()
+            if message is None:
+                return
+            try:
+                if message["type"] == "configure":
+                    init_fn, task_fn = HANDLERS[message["kind"]]
+                    state = init_fn(_load(message["config"]))
+                    reply({"type": "configured"})
+                    if self.drop_heartbeats_after == 0:
+                        # drop=0: deterministically silent from the
+                        # moment the session is up (never races the
+                        # first ping).
+                        muted.set()
+                    continue
+                tasks_served += 1
+                if self.kill_at is not None and tasks_served == self.kill_at:
+                    self._die()
+                    return  # in-process kill: stop serving silently
+                if state is None or task_fn is None:
+                    payload = {"error": "protocol", "detail": "not configured"}
+                else:
+                    payload = task_fn(state, _load(message["payload"]))
+                reply({
+                    "type": "result",
+                    "task_id": message["task_id"],
+                    "payload": _dump(payload),
+                })
+            except (ConnectionError, OSError):
+                return  # peer gone; reader thread will clean up
+            except Exception as exc:  # defensive: never kill the loop
+                with contextlib.suppress(ConnectionError, OSError):
+                    reply({
+                        "type": "result",
+                        "task_id": message.get("task_id", -1),
+                        "payload": _dump({
+                            "error": "error",
+                            "detail": f"{type(exc).__name__}: {exc}",
+                        }),
+                    })
+
+
+def serve_worker(
+    host: str,
+    port: int,
+    *,
+    kill_at: int | None = None,
+    drop_heartbeats_after: int | None = None,
+    on_ready=None,
+) -> None:
+    """Run one worker process until interrupted (the CLI entry point)."""
+    server = WorkerServer(
+        host,
+        port,
+        kill_at=kill_at,
+        drop_heartbeats_after=drop_heartbeats_after,
+        hard_exit=True,
+    )
+    if on_ready is not None:
+        on_ready(server.address)
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class _ClusterTask:
+    """One submitted task: payload blob, lease bookkeeping, outcome."""
+
+    __slots__ = (
+        "task_id", "blob", "attempts", "not_before", "done", "outcome"
+    )
+
+    def __init__(self, task_id: int, blob: str):
+        self.task_id = task_id
+        self.blob = blob
+        #: Dispatches charged so far (1 after the first send).
+        self.attempts = 0
+        #: Earliest monotonic time the next dispatch may happen
+        #: (backoff after a reclaim).
+        self.not_before = 0.0
+        self.done = threading.Event()
+        self.outcome = None
+
+
+@dataclasses.dataclass
+class _ClusterWorker:
+    """Coordinator-side view of one remote worker connection."""
+
+    address: tuple[str, int]
+    sock: socket.socket
+    send_lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock
+    )
+    alive: bool = True
+    configured: bool = False
+    last_seen: float = dataclasses.field(default_factory=time.monotonic)
+    lease: "_ClusterTask | None" = None
+    lease_since: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def send(self, message: dict) -> None:
+        with self.send_lock:
+            send_frame(self.sock, message)
+
+
+class ClusterSession(TransportSession):
+    """Shard tasks across socket workers; survive any subset dying.
+
+    The session is generic over the worker-side handler ``kind``
+    (window decisions, suite rows): it owns the work queue, the leases,
+    the heartbeat monitor, and the retry/quarantine ladder, and knows
+    nothing about what a task computes.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        kind: str,
+        config: dict,
+        *,
+        policy: RetryPolicy | None = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.5,
+        deadline=None,
+        connect_timeout: float = 10.0,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        if self.heartbeat_interval <= 0:
+            raise OptionsError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout < self.heartbeat_interval:
+            raise OptionsError(
+                "heartbeat_timeout must be at least the heartbeat interval"
+            )
+        self.deadline = deadline
+        self.stats = SupervisionStats()
+        self._schedule = BackoffSchedule(self.policy)
+        self._lock = threading.RLock()
+        self._queue: list[_ClusterTask] = []
+        self._tasks: dict[int, _ClusterTask] = {}
+        self._next_id = 0
+        self._closed = False
+        self._workers: list[_ClusterWorker] = []
+        config_blob = _dump(config)
+        for address in addresses:
+            worker = self._connect(address, connect_timeout)
+            if worker is None:
+                continue
+            worker.send({"type": "configure", "kind": kind,
+                         "config": config_blob})
+            self._workers.append(worker)
+        if not self._workers:
+            raise AnalysisError(
+                "no cluster workers reachable at "
+                + ", ".join(f"{h}:{p}" for h, p in addresses)
+            )
+        self.capacity = len(self._workers)
+        for worker in self._workers:
+            threading.Thread(
+                target=self._receive_loop,
+                args=(worker,),
+                name=f"mct-recv-{worker.name}",
+                daemon=True,
+            ).start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="mct-heartbeat", daemon=True
+        )
+        self._monitor_thread.start()
+
+    # -- connection management -----------------------------------------
+    def _connect(self, address, timeout) -> _ClusterWorker | None:
+        try:
+            sock = socket.create_connection(address, timeout=timeout)
+            sock.settimeout(timeout)
+            send_frame(sock, {"type": "hello", "protocol": PROTOCOL})
+            hello = recv_frame(sock)
+            if (
+                hello.get("type") != "hello"
+                or hello.get("protocol") != PROTOCOL
+            ):
+                raise ConnectionError(
+                    f"worker speaks {hello.get('protocol')!r}, not {PROTOCOL}"
+                )
+            sock.settimeout(None)
+            # Keep latency down for the small ping/result frames.
+            with contextlib.suppress(OSError):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return _ClusterWorker(address=tuple(address), sock=sock)
+        except (ConnectionError, OSError):
+            return None
+
+    def _live_workers(self) -> list[_ClusterWorker]:
+        return [w for w in self._workers if w.alive]
+
+    # -- TransportSession interface ------------------------------------
+    def submit(self, *payload):
+        payload = payload[0] if len(payload) == 1 else payload
+        task = None
+        with self._lock:
+            task = _ClusterTask(self._next_id, _dump(payload))
+            self._next_id += 1
+            self._tasks[task.task_id] = task
+            if not self._live_workers():
+                self._quarantine(task, "no-workers")
+            else:
+                self._queue.append(task)
+                self._pump()
+        return task
+
+    def result(self, handle: _ClusterTask):
+        while not handle.done.wait(timeout=0.05):
+            if self.deadline is not None and self.deadline.expired():
+                raise DeadlineExceeded(
+                    self.deadline.seconds, where="cluster result wait"
+                )
+        return handle.outcome
+
+    def peek(self, handle: _ClusterTask):
+        if handle.done.is_set() and isinstance(handle.outcome, dict):
+            return handle.outcome
+        return None
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            workers = list(self._workers)
+        for worker in workers:
+            if worker.alive:
+                with contextlib.suppress(ConnectionError, OSError):
+                    worker.send({"type": "shutdown"})
+            worker.alive = False
+            with contextlib.suppress(OSError):
+                worker.sock.close()
+
+    # -- dispatch / reclaim --------------------------------------------
+    def _pump(self) -> None:
+        """Lease queued tasks to idle live workers (lock held)."""
+        now = time.monotonic()
+        for worker in self._workers:
+            if not self._queue:
+                return
+            if not (worker.alive and worker.configured
+                    and worker.lease is None):
+                continue
+            index = next(
+                (
+                    i for i, task in enumerate(self._queue)
+                    if task.not_before <= now
+                ),
+                None,
+            )
+            if index is None:
+                return  # everything queued is still backing off
+            task = self._queue.pop(index)
+            worker.lease = task
+            worker.lease_since = now
+            task.attempts += 1
+            try:
+                worker.send({
+                    "type": "task",
+                    "task_id": task.task_id,
+                    "payload": task.blob,
+                })
+            except (ConnectionError, OSError):
+                self._worker_down(worker, "crash")
+                return  # _worker_down re-pumps survivors
+
+    def _worker_down(self, worker: _ClusterWorker, reason: str) -> None:
+        """Declare one worker dead and reclaim its lease.
+
+        ``reason`` feeds the stats ladder: ``crash`` (EOF/socket
+        error), ``heartbeat`` (silence past the timeout), ``timeout``
+        (a leased task exceeded ``RetryPolicy.task_timeout``).
+        """
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            if self._closed:
+                return
+            self.stats.workers_lost += 1
+            if reason == "heartbeat":
+                self.stats.heartbeat_failures += 1
+            elif reason == "timeout":
+                self.stats.timeouts += 1
+            else:
+                self.stats.crashes += 1
+            task, worker.lease = worker.lease, None
+            if task is not None and not task.done.is_set():
+                self.stats.leases_reclaimed += 1
+                if task.attempts >= self.policy.max_retries + 1:
+                    self._quarantine(task, reason)
+                else:
+                    self.stats.retries += 1
+                    sleep = self._schedule.next_sleep()
+                    self.stats.backoff_seconds += sleep
+                    task.not_before = time.monotonic() + sleep
+                    self._queue.insert(0, task)
+            if not self._live_workers():
+                # The whole cluster is gone: resolve everything queued
+                # so callers fall back to serial instead of hanging.
+                drained, self._queue = self._queue, []
+                for queued in drained:
+                    self._quarantine(queued, reason)
+            else:
+                self._pump()
+        with contextlib.suppress(OSError):
+            worker.sock.close()
+
+    def _quarantine(self, task: _ClusterTask, reason: str) -> None:
+        self.stats.quarantined += 1
+        task.outcome = Quarantined(task.attempts, reason)
+        task.done.set()
+
+    # -- background threads --------------------------------------------
+    def _receive_loop(self, worker: _ClusterWorker) -> None:
+        while worker.alive:
+            try:
+                message = recv_frame(worker.sock)
+            except (ConnectionError, OSError, ValueError):
+                self._worker_down(worker, "crash")
+                return
+            worker.last_seen = time.monotonic()
+            kind = message.get("type")
+            if kind == "configured":
+                with self._lock:
+                    worker.configured = True
+                    self._pump()
+            elif kind == "result":
+                self._on_result(worker, message)
+            # pongs (and anything unknown) only refresh last_seen
+
+    def _on_result(self, worker: _ClusterWorker, message: dict) -> None:
+        try:
+            payload = _load(message["payload"])
+        except Exception:
+            self._worker_down(worker, "crash")
+            return
+        with self._lock:
+            task = self._tasks.get(message.get("task_id"))
+            if worker.lease is task:
+                worker.lease = None
+            if task is None or task.done.is_set():
+                # A reclaimed lease's late result: the task was already
+                # re-dispatched or quarantined.  Tasks are pure, so the
+                # other copy of the answer is identical — drop this one.
+                self._pump()
+                return
+            task.outcome = payload
+            task.done.set()
+            self._pump()
+
+    def _monitor_loop(self) -> None:
+        seq = 0
+        while True:
+            time.sleep(self.heartbeat_interval)
+            with self._lock:
+                if self._closed:
+                    return
+                workers = self._live_workers()
+                if not workers:
+                    return
+                self._pump()  # backoff delays may have elapsed
+            now = time.monotonic()
+            task_timeout = self.policy.task_timeout
+            for worker in workers:
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._worker_down(worker, "heartbeat")
+                    continue
+                if (
+                    task_timeout is not None
+                    and worker.lease is not None
+                    and now - worker.lease_since > task_timeout
+                ):
+                    self._worker_down(worker, "timeout")
+                    continue
+                seq += 1
+                try:
+                    worker.send({"type": "ping", "seq": seq})
+                except (ConnectionError, OSError):
+                    self._worker_down(worker, "crash")
+
+
+class SocketTransport(Transport):
+    """Window decisions (and suite rows) on remote socket workers.
+
+    Configuration only: addresses are parsed eagerly (so a typo fails
+    at option-parsing time), but nothing connects until a sweep opens a
+    session.  Heartbeat cadence and the retry ladder come from the
+    analysis options at open time, keeping one validation point
+    (:class:`~repro.mct.MctOptions`).
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers,
+        *,
+        connect_timeout: float = 10.0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.5,
+    ):
+        addresses = [parse_worker_address(w) for w in workers]
+        if not addresses:
+            raise OptionsError("SocketTransport needs at least one worker")
+        self.addresses = addresses
+        self.connect_timeout = float(connect_timeout)
+        # Suite sessions have no MctOptions to carry the cadence, so
+        # the transport holds a default; window sessions always use the
+        # analysis options' knobs instead.
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+
+    def open_windows(
+        self,
+        circuit,
+        delays,
+        options,
+        *,
+        budget: Budget | None = None,
+        deadline=None,
+    ) -> ClusterSession:
+        config = {
+            "circuit": circuit,
+            "delays": delays,
+            "options": options,
+            "budget_limit": worker_budget_limit(budget, len(self.addresses)),
+            "deadline_remaining": (
+                None if deadline is None else max(0.0, deadline.remaining())
+            ),
+        }
+        return ClusterSession(
+            self.addresses,
+            "windows",
+            config,
+            policy=options.retry_policy,
+            heartbeat_interval=options.heartbeat_interval,
+            heartbeat_timeout=options.heartbeat_timeout,
+            deadline=deadline,
+            connect_timeout=self.connect_timeout,
+        )
+
+    def open_suite(
+        self,
+        *,
+        widen=None,
+        degrade: bool = False,
+        retry: RetryPolicy | None = None,
+    ) -> ClusterSession:
+        return ClusterSession(
+            self.addresses,
+            "suite",
+            {"widen": widen, "degrade": degrade},
+            policy=retry,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            connect_timeout=self.connect_timeout,
+        )

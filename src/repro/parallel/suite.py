@@ -36,9 +36,13 @@ from repro.resilience.faults import maybe_kill_worker, worker_kill_limit
 
 @dataclasses.dataclass
 class WorkerStats:
-    """What one pool process contributed to a sharded suite run."""
+    """What one pool process contributed to a sharded suite run.
 
-    pid: int
+    ``pid`` is the worker identity: the OS pid for local pool
+    processes, a ``host:pid`` string label for cluster workers.
+    """
+
+    pid: int | str
     tasks: int = 0
     #: Summed in-task wall seconds (not the worker's lifetime).
     wall_seconds: float = 0.0
@@ -111,6 +115,7 @@ def run_suite_sharded(
     degrade: bool = False,
     jobs: int = 2,
     retry: RetryPolicy | None = None,
+    transport=None,
 ) -> tuple[list, list[WorkerStats]]:
     """The suite table, measured on ``jobs`` supervised worker processes.
 
@@ -120,12 +125,18 @@ def run_suite_sharded(
     tunes the supervisor (crash recovery / quarantine); rows the pool
     cannot deliver are measured serially in the parent, so the table is
     always complete and identical to the serial harness's.
+
+    ``transport`` (a :class:`~repro.parallel.cluster.SocketTransport`)
+    measures the rows on remote cluster workers instead of a local
+    pool, with the same recovery ladder: a dead host's leased rows are
+    re-dispatched to the survivors, and rows out of attempts are
+    measured serially in the parent.
     """
     from repro.benchgen.suite import suite_cases
     from repro.report.harness import run_suite
 
     jobs = resolve_jobs(jobs)
-    if jobs <= 1:
+    if transport is None and jobs <= 1:
         rows = run_suite(
             cases=cases, include_s27=include_s27, widen=widen, degrade=degrade
         )
@@ -136,6 +147,8 @@ def run_suite_sharded(
     if include_s27:
         tasks.append(None)
     tasks.extend(cases)
+    if transport is not None:
+        return _run_suite_cluster(tasks, widen, degrade, retry, transport)
     supervisor = Supervisor(
         lambda: ProcessPoolExecutor(
             max_workers=jobs,
@@ -167,4 +180,51 @@ def run_suite_sharded(
                 worker.bdd.merge(BddStats.from_dict(row.bdd_stats))
     finally:
         supervisor.shutdown()
-    return rows, sorted(stats.values(), key=lambda w: w.pid)
+    return rows, sorted(stats.values(), key=lambda w: str(w.pid))
+
+
+def _run_suite_cluster(
+    tasks, widen, degrade, retry, transport
+) -> tuple[list, list[WorkerStats]]:
+    """The suite table measured on remote cluster workers.
+
+    Rows come back as ``{"row", "pid", "wall"}`` payload dicts (the
+    worker label is a ``host:pid`` string); submission/collection
+    order preserves the serial row order exactly as the pool path
+    does.
+    """
+    from repro.errors import AnalysisError
+
+    session = transport.open_suite(widen=widen, degrade=degrade, retry=retry)
+    rows: list = []
+    stats: dict = {}
+    try:
+        handles = [session.submit(task) for task in tasks]
+        for task, handle in zip(tasks, handles):
+            outcome = session.result(handle)
+            if isinstance(outcome, Quarantined):
+                # Every host that held this row died (or it ran out of
+                # attempts): measure it here, in the coordinator.
+                row, pid, wall = _measure_case(task, widen, degrade)
+                worker = stats.setdefault(pid, WorkerStats(pid=pid))
+                worker.quarantined += 1
+            else:
+                error = outcome.get("error")
+                if error is not None:
+                    raise AnalysisError(
+                        "cluster suite worker failed: "
+                        f"{outcome.get('detail', error)}"
+                    )
+                row, pid, wall = (
+                    outcome["row"], outcome["pid"], outcome["wall"]
+                )
+                worker = stats.setdefault(pid, WorkerStats(pid=pid))
+                worker.retries += handle.attempts - 1
+            rows.append(row)
+            worker.tasks += 1
+            worker.wall_seconds += wall
+            if row.bdd_stats is not None:
+                worker.bdd.merge(BddStats.from_dict(row.bdd_stats))
+    finally:
+        session.shutdown()
+    return rows, sorted(stats.values(), key=lambda w: str(w.pid))

@@ -38,7 +38,7 @@ import random
 import time
 from concurrent.futures import BrokenExecutor
 
-from repro.errors import DeadlineExceeded
+from repro.errors import DeadlineExceeded, OptionsError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,10 +60,16 @@ class RetryPolicy:
     jitter_seed: int = 0
 
     def __post_init__(self):
+        # OptionsError is both an AnalysisError (clean CLI exit 1) and
+        # a ValueError (pythonic for a bad dataclass field).
         if self.max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
+            raise OptionsError("max_retries must be non-negative")
         if self.task_timeout is not None and self.task_timeout <= 0:
-            raise ValueError("task_timeout must be positive or None")
+            raise OptionsError("task_timeout must be positive or None")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise OptionsError(
+                "backoff_base must be positive and backoff_cap >= backoff_base"
+            )
 
 
 @dataclasses.dataclass
@@ -80,12 +86,28 @@ class SupervisionStats:
     quarantined: int = 0
     #: Total backoff sleep, in seconds.
     backoff_seconds: float = 0.0
+    #: Cluster only: remote workers declared dead because their
+    #: heartbeat went silent past the timeout.
+    heartbeat_failures: int = 0
+    #: Cluster only: leased tasks reclaimed from a dead or stuck worker
+    #: and re-dispatched (or quarantined when out of attempts).
+    leases_reclaimed: int = 0
+    #: Cluster only: remote worker connections lost for any reason
+    #: (crash, heartbeat silence, stuck-task timeout).
+    workers_lost: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"crashes={self.crashes} timeouts={self.timeouts} "
             f"retries={self.retries} quarantined={self.quarantined}"
         )
+        if self.workers_lost or self.leases_reclaimed or self.heartbeat_failures:
+            text += (
+                f" workers_lost={self.workers_lost}"
+                f" heartbeat_failures={self.heartbeat_failures}"
+                f" leases_reclaimed={self.leases_reclaimed}"
+            )
+        return text
 
     def as_dict(self) -> dict:
         return {
@@ -94,6 +116,9 @@ class SupervisionStats:
             "retries": self.retries,
             "quarantined": self.quarantined,
             "backoff_seconds": round(self.backoff_seconds, 6),
+            "heartbeat_failures": self.heartbeat_failures,
+            "leases_reclaimed": self.leases_reclaimed,
+            "workers_lost": self.workers_lost,
         }
 
 
@@ -105,6 +130,31 @@ class Quarantined:
     attempts: int
     #: "crash" or "timeout" — what kept happening.
     reason: str
+
+
+class BackoffSchedule:
+    """A :class:`RetryPolicy`'s decorrelated-jitter sleep sequence.
+
+    Seeded and self-contained so the same policy always produces the
+    same schedule — shared by the in-process :class:`Supervisor` and
+    the cluster coordinator (:mod:`repro.parallel.cluster`), whose
+    lease reclamations charge the very same ladder.
+    """
+
+    __slots__ = ("_policy", "_rng", "_sleep")
+
+    def __init__(self, policy: RetryPolicy):
+        self._policy = policy
+        self._rng = random.Random(policy.jitter_seed)
+        self._sleep = policy.backoff_base
+
+    def next_sleep(self) -> float:
+        """Advance the schedule and return the next sleep in seconds."""
+        self._sleep = min(
+            self._policy.backoff_cap,
+            self._rng.uniform(self._policy.backoff_base, self._sleep * 3),
+        )
+        return self._sleep
 
 
 class TaskHandle:
@@ -136,8 +186,7 @@ class Supervisor:
         self._executor = None
         #: Uncollected handles in submission order.
         self._tasks: list[TaskHandle] = []
-        self._rng = random.Random(self.policy.jitter_seed)
-        self._sleep = self.policy.backoff_base
+        self._schedule = BackoffSchedule(self.policy)
 
     # ------------------------------------------------------------------
     # Submission / collection
@@ -253,9 +302,6 @@ class Supervisor:
             task.future = fresh.submit(task.fn, *task.args)
 
     def _backoff(self) -> None:
-        self._sleep = min(
-            self.policy.backoff_cap,
-            self._rng.uniform(self.policy.backoff_base, self._sleep * 3),
-        )
-        self.stats.backoff_seconds += self._sleep
-        time.sleep(self._sleep)
+        sleep = self._schedule.next_sleep()
+        self.stats.backoff_seconds += sleep
+        time.sleep(sleep)

@@ -67,20 +67,19 @@ def _reset_sigterm() -> None:
 _UNBUILT = object()
 
 
-def _worker_init(circuit, delays, config) -> None:
-    """Build one worker's analysis state (once per pool process).
+def build_decider_state(circuit, delays, config) -> dict:
+    """Build one worker's analysis state as a plain dict.
 
-    Failures are recorded in ``_STATE`` instead of raised: an
-    initializer exception would break the whole pool, whereas a marker
-    lets every task report the error as an ordinary payload.
+    Shared by the pool initializer below and the socket worker
+    (:mod:`repro.parallel.cluster`).  Failures are recorded under
+    ``"init_error"`` instead of raised: an initializer exception would
+    break a whole pool (and tear down a remote session), whereas a
+    marker lets every task report the error as an ordinary payload.
     """
     from repro.mct.decision import DecisionContext
     from repro.mct.discretize import build_discretized_machine
 
-    _reset_sigterm()
-    _STATE.clear()
-    _STATE["seq"] = 0
-    _STATE["kill_at"] = config.get("kill_at")
+    state: dict = {"seq": 0}
     options = config["options"]
     try:
         deadline = restore_deadline(config["deadline"])
@@ -110,58 +109,72 @@ def _worker_init(circuit, delays, config) -> None:
             deadline=deadline,
         )
     except ResourceBudgetExceeded as exc:
-        _STATE["init_error"] = ("budget", str(exc))
-        return
+        state["init_error"] = ("budget", str(exc))
+        return state
     except DeadlineExceeded as exc:
-        _STATE["init_error"] = ("deadline", str(exc))
-        return
+        state["init_error"] = ("deadline", str(exc))
+        return state
     except Exception as exc:  # pragma: no cover - defensive
-        _STATE["init_error"] = ("init", f"{type(exc).__name__}: {exc}")
-        return
-    _STATE["options"] = options
-    _STATE["machine"] = machine
-    _STATE["context"] = context
-    _STATE["deadline"] = deadline
-    _STATE["oracle"] = _UNBUILT
+        state["init_error"] = ("init", f"{type(exc).__name__}: {exc}")
+        return state
+    state["options"] = options
+    state["machine"] = machine
+    state["context"] = context
+    state["deadline"] = deadline
+    state["oracle"] = _UNBUILT
+    return state
 
 
-def _oracle_factory():
-    """Worker-side lazy exact-feasibility oracle (built at most once)."""
+def _worker_init(circuit, delays, config) -> None:
+    """Pool-process initializer (once per process, into ``_STATE``)."""
+    _reset_sigterm()
+    _STATE.clear()
+    _STATE.update(build_decider_state(circuit, delays, config))
+    _STATE["kill_at"] = config.get("kill_at")
+
+
+def _oracle_factory_for(state: dict):
+    """Lazy exact-feasibility oracle bound to one worker state."""
     from repro.mct.engine import _exact_oracle
 
-    if _STATE["oracle"] is _UNBUILT:
-        _STATE["oracle"] = _exact_oracle(_STATE["machine"], _STATE["options"])
-    return _STATE["oracle"]
+    def factory():
+        if state["oracle"] is _UNBUILT:
+            state["oracle"] = _exact_oracle(state["machine"], state["options"])
+        return state["oracle"]
+
+    return factory
 
 
-def _snapshot() -> dict:
-    """Cumulative telemetry of this worker process."""
-    context = _STATE["context"]
+def _snapshot(state: dict) -> dict:
+    """Cumulative telemetry of this worker (process or remote host).
+
+    ``pid`` doubles as the snapshot identity; cluster workers override
+    it with a ``host:pid`` label so two hosts can never collide.
+    """
+    context = state["context"]
     return {
-        "pid": os.getpid(),
-        "seq": _STATE["seq"],
+        "pid": state.get("label", os.getpid()),
+        "seq": state["seq"],
         "stats": context.bdd_stats.as_dict(),
         "decisions_run": context.decisions_run,
     }
 
 
-def _decide_task(regime, window) -> dict:
+def decide_in_state(state: dict, regime, window) -> dict:
     """Decide one window; always returns a payload dict (never raises).
 
     The regime's :class:`~repro.mct.discretize.TimedLeaf` keys compare
     by value, so the parent's regime addresses this worker's own
-    machine correctly.
+    machine correctly — whether the regime arrived through pool pickles
+    or over a socket.
     """
-    error = _STATE.get("init_error")
+    error = state.get("init_error")
     if error is not None:
         kind, detail = error
         return {"error": kind, "detail": detail}
-    _STATE["seq"] += 1
-    # Deterministic crash injection: die on this process's Nth task,
-    # before any work happens, exactly like an OOM kill would.
-    maybe_kill_worker(_STATE["seq"], _STATE.get("kill_at"))
-    context = _STATE["context"]
-    options = _STATE["options"]
+    state["seq"] += 1
+    context = state["context"]
+    options = state["options"]
     ite_before = context.bdd_stats.ite_calls
     started = time.monotonic()
     try:
@@ -171,26 +184,37 @@ def _decide_task(regime, window) -> dict:
             window,
             options,
             oracle_factory=(
-                _oracle_factory if options.exact_feasibility else None
+                _oracle_factory_for(state)
+                if options.exact_feasibility
+                else None
             ),
-            deadline=_STATE["deadline"],
+            deadline=state["deadline"],
         )
     except ResourceBudgetExceeded as exc:
-        return {"error": "budget", "detail": str(exc), "worker": _snapshot()}
+        return {"error": "budget", "detail": str(exc), "worker": _snapshot(state)}
     except DeadlineExceeded as exc:
-        return {"error": "deadline", "detail": str(exc), "worker": _snapshot()}
+        return {"error": "deadline", "detail": str(exc), "worker": _snapshot(state)}
     except Exception as exc:
         return {
             "error": "error",
             "detail": f"{type(exc).__name__}: {exc}",
-            "worker": _snapshot(),
+            "worker": _snapshot(state),
         }
     return {
         "verdict": verdict,
         "elapsed": time.monotonic() - started,
         "ite_calls": context.bdd_stats.ite_calls - ite_before,
-        "worker": _snapshot(),
+        "worker": _snapshot(state),
     }
+
+
+def _decide_task(regime, window) -> dict:
+    """One pool task: crash injection plus the shared decide core."""
+    if "init_error" not in _STATE:
+        # Deterministic crash injection: die on this process's Nth
+        # task, before any work happens, exactly like an OOM kill.
+        maybe_kill_worker(_STATE["seq"] + 1, _STATE.get("kill_at"))
+    return decide_in_state(_STATE, regime, window)
 
 
 def decide_window(*args, **kwargs):

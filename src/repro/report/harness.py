@@ -199,6 +199,7 @@ def run_suite(
     degrade: bool = False,
     jobs: int = 1,
     retry=None,
+    transport=None,
 ) -> list[TableRow]:
     """Measure the whole table (the benchmark harness entry point).
 
@@ -206,9 +207,11 @@ def run_suite(
     (:func:`repro.parallel.run_suite_sharded`); the rows come back in
     this function's serial order either way.  ``retry`` is an optional
     :class:`~repro.parallel.RetryPolicy` tuning the pool's crash
-    recovery; ignored on the serial path.
+    recovery; ignored on the serial path.  ``transport`` (a
+    :class:`~repro.parallel.SocketTransport`) shards the rows across
+    remote cluster workers instead of a local pool.
     """
-    if jobs > 1:
+    if jobs > 1 or transport is not None:
         from repro.parallel.suite import run_suite_sharded
 
         rows, _ = run_suite_sharded(
@@ -218,6 +221,7 @@ def run_suite(
             degrade=degrade,
             jobs=jobs,
             retry=retry,
+            transport=transport,
         )
         return rows
     if cases is None:

@@ -22,17 +22,26 @@ sweep policy rather than a primitive.
 """
 
 from repro.errors import CheckpointError, DeadlineExceeded
-from repro.resilience.checkpoint import CHECKPOINT_VERSION, SweepCheckpoint
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_VERSION,
+    SUPPORTED_VERSIONS,
+    SweepCheckpoint,
+    merge_checkpoints,
+)
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import FaultPlan, inject_faults, observe_calls
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "Deadline",
     "DeadlineExceeded",
     "FaultPlan",
+    "SUPPORTED_VERSIONS",
     "SweepCheckpoint",
     "inject_faults",
+    "merge_checkpoints",
     "observe_calls",
 ]

@@ -13,7 +13,21 @@ The format is plain JSON: exact rationals are serialized as
 ``"numerator/denominator"`` strings, so checkpoints survive round trips
 without precision loss.  A fingerprint of the analysis options guards
 against resuming under a different configuration, which would silently
-change the meaning of the replayed records.
+change the meaning of the replayed records.  The fingerprint covers
+*analysis* options only: resource and execution knobs — work budget,
+time limit, ``jobs``, ``retry_policy``, heartbeat cadence, transport
+identity (local pool vs. socket cluster) — are deliberately excluded,
+so a checkpoint written under any execution configuration resumes
+under any other.
+
+Schema v2 (this build) adds optional ``bdd_stats``/``supervision``
+telemetry and the ``schema`` tag; v1 files from earlier builds load
+unchanged.  :meth:`SweepCheckpoint.merge` joins checkpoints of *the
+same sweep* written by different hosts — the exact recovery primitive
+of the distributed sweep (see docs/ROBUSTNESS.md): the coordinator
+merges every shard checkpoint it can still reach and resumes from the
+union, reproducing the serial answer no matter which subset of hosts
+died.
 """
 
 from __future__ import annotations
@@ -29,8 +43,15 @@ from pathlib import Path
 
 from repro.errors import CheckpointError
 
-#: Bump when the on-disk layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: Bump when the on-disk layout changes.  v2 added the ``schema`` tag
+#: and the optional ``bdd_stats``/``supervision`` telemetry blocks.
+CHECKPOINT_VERSION = 2
+
+#: Versions this build can load (v1: the PR 1–5 era layout).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Self-describing schema tag written from v2 on.
+CHECKPOINT_SCHEMA = f"repro-mct-checkpoint/{CHECKPOINT_VERSION}"
 
 
 def _frac_dump(value: Fraction | None) -> str | None:
@@ -69,13 +90,19 @@ class SweepCheckpoint:
     #: Options fingerprint checked on resume (see engine._fingerprint).
     fingerprint: Mapping[str, object] = dataclasses.field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
+    #: Optional telemetry (v2+): merged BDD counters / supervision
+    #: counters at interruption time.  Measurements, not state — resume
+    #: ignores them, and :meth:`canonical` strips them.
+    bdd_stats: Mapping[str, object] | None = None
+    supervision: Mapping[str, object] | None = None
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "version": self.version,
+            "schema": f"repro-mct-checkpoint/{self.version}",
             "circuit": self.circuit_name,
             "L": _frac_dump(self.L),
             "last_tau": _frac_dump(self.last_tau),
@@ -96,6 +123,11 @@ class SweepCheckpoint:
                 for r in self.records
             ],
         }
+        if self.bdd_stats is not None:
+            data["bdd_stats"] = dict(self.bdd_stats)
+        if self.supervision is not None:
+            data["supervision"] = dict(self.supervision)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepCheckpoint":
@@ -106,10 +138,16 @@ class SweepCheckpoint:
             version = int(data["version"])
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError("checkpoint is missing its version") from exc
-        if version != CHECKPOINT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise CheckpointError(
-                f"unsupported checkpoint version {version} "
-                f"(this build reads version {CHECKPOINT_VERSION})"
+                f"unsupported checkpoint version {version} (this build "
+                f"reads versions {', '.join(map(str, SUPPORTED_VERSIONS))})"
+            )
+        schema = data.get("schema")
+        if schema is not None and schema != f"repro-mct-checkpoint/{version}":
+            raise CheckpointError(
+                f"checkpoint schema tag {schema!r} does not match "
+                f"version {version}"
             )
         try:
             records = tuple(
@@ -134,6 +172,16 @@ class SweepCheckpoint:
                 reason=str(data.get("reason", "")),
                 fingerprint=dict(data.get("fingerprint", {})),
                 version=version,
+                bdd_stats=(
+                    dict(data["bdd_stats"])
+                    if data.get("bdd_stats") is not None
+                    else None
+                ),
+                supervision=(
+                    dict(data["supervision"])
+                    if data.get("supervision") is not None
+                    else None
+                ),
             )
         except CheckpointError:
             raise
@@ -233,3 +281,157 @@ class SweepCheckpoint:
                 f"checkpoint options differ on {', '.join(mismatched)}; "
                 "resume with the options the checkpoint was created with"
             )
+
+    # ------------------------------------------------------------------
+    # Distributed merge
+    # ------------------------------------------------------------------
+    def _progress_key(self):
+        """Total order on sweep progress (smaller = further along).
+
+        The sweep descends, so a smaller ``last_tau`` means more
+        breakpoints examined; ``None`` (no window examined yet) sorts
+        last.  Rung and reason break exact ties deterministically so
+        the merge stays order-independent.
+        """
+        head = (1,) if self.last_tau is None else (0, self.last_tau)
+        return (head, self.rung, self.reason)
+
+    def merge(self, other: "SweepCheckpoint") -> "SweepCheckpoint":
+        """Join two checkpoints of the *same* sweep into one.
+
+        This is the distributed sweep's recovery primitive: shards (or
+        a coordinator restart) each hold a checkpoint of the same
+        deterministic sweep interrupted at different points; merging
+        any subset and resuming reproduces exactly the serial answer.
+
+        The operation is a semilattice join — commutative, associative
+        and idempotent (property-tested in
+        ``tests/test_checkpoint_merge.py``):
+
+        * records are united keyed by τ; two records for the same τ
+          are verdict-identical by determinism, so the duplicate is
+          resolved by the smallest canonical tuple (measurement fields
+          included only to keep resolution deterministic);
+        * ``last_tau`` is the minimum — the furthest the sweep got on
+          any host — and rung/reason follow the checkpoint that got
+          there; resume restarts from the first breakpoint below it,
+          so a gap in one shard's records is always re-examined;
+        * telemetry dicts join key-wise by maximum (counters are
+          cumulative, so max is the idempotent union);
+        * circuit, L and fingerprint must match
+          (:class:`~repro.errors.CheckpointError` otherwise).
+        """
+        if self.circuit_name != other.circuit_name:
+            raise CheckpointError(
+                f"cannot merge checkpoints of circuits "
+                f"{self.circuit_name!r} and {other.circuit_name!r}"
+            )
+        if self.L != other.L:
+            raise CheckpointError(
+                f"cannot merge checkpoints with L={self.L} and L={other.L} "
+                "(different delays?)"
+            )
+        if dict(self.fingerprint) != dict(other.fingerprint):
+            mismatched = sorted(
+                k
+                for k in set(self.fingerprint) | set(other.fingerprint)
+                if dict(self.fingerprint).get(k)
+                != dict(other.fingerprint).get(k)
+            )
+            raise CheckpointError(
+                "cannot merge checkpoints with different analysis options "
+                f"(differ on {', '.join(mismatched)})"
+            )
+        by_tau: dict = {}
+        for record in (*self.records, *other.records):
+            have = by_tau.get(record.tau)
+            if have is None or _record_key(record) < _record_key(have):
+                by_tau[record.tau] = record
+        # Commit order is strictly descending τ, so sorting restores it.
+        records = tuple(
+            by_tau[tau] for tau in sorted(by_tau, reverse=True)
+        )
+        taus = [
+            c.last_tau for c in (self, other) if c.last_tau is not None
+        ]
+        winner = min(self, other, key=SweepCheckpoint._progress_key)
+        return SweepCheckpoint(
+            circuit_name=self.circuit_name,
+            L=self.L,
+            last_tau=min(taus) if taus else None,
+            records=records,
+            rung=winner.rung,
+            reason=winner.reason,
+            fingerprint=dict(self.fingerprint),
+            version=max(self.version, other.version),
+            bdd_stats=_join_counters(self.bdd_stats, other.bdd_stats),
+            supervision=_join_counters(self.supervision, other.supervision),
+        )
+
+    def canonical(self) -> dict:
+        """The checkpoint's *decision content*, measurement-free.
+
+        Two runs of the same sweep — serial, pooled, clustered, faulted
+        and recovered — agree on this dict exactly, while their raw
+        files differ in wall-clock fields (``elapsed_seconds``), cache
+        telemetry (``ite_calls``, ``bdd_stats``), and supervision
+        history (``attempts``, ``quarantined``, ``supervision``).  The
+        cluster-chaos CI job compares canonical forms byte-for-byte.
+        """
+        return {
+            "schema": f"repro-mct-checkpoint/{self.version}",
+            "circuit": self.circuit_name,
+            "L": _frac_dump(self.L),
+            "last_tau": _frac_dump(self.last_tau),
+            "rung": self.rung,
+            "reason": self.reason,
+            "fingerprint": dict(self.fingerprint),
+            "records": [
+                {
+                    "tau": _frac_dump(r.tau),
+                    "status": r.status,
+                    "m": r.m,
+                    "rung": r.rung,
+                }
+                for r in self.records
+            ],
+        }
+
+
+def _record_key(record) -> tuple:
+    """Deterministic total order used to resolve same-τ duplicates."""
+    return (
+        record.status,
+        record.m,
+        record.rung,
+        record.quarantined,
+        record.attempts,
+        record.ite_calls,
+        record.elapsed_seconds,
+    )
+
+
+def _join_counters(
+    ours: Mapping | None, theirs: Mapping | None
+) -> dict | None:
+    """Key-wise max of two counter dicts (idempotent union)."""
+    if ours is None and theirs is None:
+        return None
+    ours = dict(ours or {})
+    theirs = dict(theirs or {})
+    return {
+        key: max(ours.get(key, 0), theirs.get(key, 0))
+        for key in sorted(set(ours) | set(theirs))
+    }
+
+
+def merge_checkpoints(checkpoints) -> SweepCheckpoint:
+    """Fold :meth:`SweepCheckpoint.merge` over a nonempty iterable."""
+    iterator = iter(checkpoints)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise CheckpointError("nothing to merge: no checkpoints") from None
+    for checkpoint in iterator:
+        merged = merged.merge(checkpoint)
+    return merged

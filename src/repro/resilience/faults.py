@@ -57,6 +57,18 @@ class FaultPlan:
     budget_at: int | None = None
     deadline_at: int | None = None
     kill_worker_at: int | None = None
+    #: Cluster host-kill injection: every socket worker serving while
+    #: the plan is active dies on its Nth decide task (``os._exit`` for
+    #: a real worker process, abrupt full-server disconnect for an
+    #: in-process test server) — what a host loss looks like from the
+    #: coordinator's side.
+    kill_host_at: int | None = None
+    #: Cluster heartbeat-drop injection: after its Nth pong a socket
+    #: worker goes completely silent — no pongs, no results — while
+    #: still computing (0 = silent as soon as its session is
+    #: configured).  An asymmetric network partition: the socket stays
+    #: open, so only heartbeat liveness can detect the loss.
+    drop_heartbeats_after: int | None = None
     once: bool = True
     #: Total observed calls (also useful in pure counting mode).
     budget_calls: int = 0
@@ -100,6 +112,8 @@ def inject_faults(
     deadline_at: int | None = None,
     once: bool = True,
     kill_worker_at: int | None = None,
+    kill_host_at: int | None = None,
+    drop_heartbeats_after: int | None = None,
 ):
     """Fail the N-th budget charge and/or deadline check in the block.
 
@@ -109,12 +123,19 @@ def inject_faults(
     additionally arms worker-crash injection: pools started inside the
     block configure each worker process to die on its N-th task (see
     :func:`worker_kill_limit` / :func:`maybe_kill_worker`).
+    ``kill_host_at``/``drop_heartbeats_after`` arm the analogous
+    cluster faults for socket workers *started inside the block* (see
+    :func:`host_kill_limit` / :func:`heartbeat_drop_limit`); the
+    ``repro-mct worker`` CLI flags ``--kill-at`` and
+    ``--drop-heartbeats-after`` are the cross-process equivalents.
     """
     global _ACTIVE_PLAN
     plan = FaultPlan(
         budget_at=budget_at,
         deadline_at=deadline_at,
         kill_worker_at=kill_worker_at,
+        kill_host_at=kill_host_at,
+        drop_heartbeats_after=drop_heartbeats_after,
         once=once,
     )
     previous = (errors.budget_fault_hook, errors.deadline_fault_hook, _ACTIVE_PLAN)
@@ -154,6 +175,25 @@ def maybe_kill_worker(task_index: int, kill_at: int | None) -> None:
     """
     if kill_at is not None and kill_at > 0 and task_index == kill_at:
         os._exit(113)
+
+
+def host_kill_limit() -> int | None:
+    """The armed ``kill_host_at`` threshold, or ``None``.
+
+    Read by :class:`repro.parallel.cluster.WorkerServer` at start-up,
+    so a test's in-process loopback workers inherit the active plan's
+    host-kill injection without any explicit plumbing.
+    """
+    if _ACTIVE_PLAN is None:
+        return None
+    return _ACTIVE_PLAN.kill_host_at
+
+
+def heartbeat_drop_limit() -> int | None:
+    """The armed ``drop_heartbeats_after`` threshold, or ``None``."""
+    if _ACTIVE_PLAN is None:
+        return None
+    return _ACTIVE_PLAN.drop_heartbeats_after
 
 
 @contextlib.contextmanager

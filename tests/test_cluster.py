@@ -1,0 +1,396 @@
+"""The socket transport: cluster sweeps, heartbeats, lease recovery.
+
+The contract under test is the ISSUE's acceptance criterion: a
+three-worker loopback cluster in which one worker is killed mid-run
+and another silently drops its heartbeats must still produce a bound,
+candidate sequence, and checkpoint identical to the serial sweep, with
+``MctResult.supervision`` recording the reclaimed leases.  Worker
+death is a throughput event, never a correctness event — exactly the
+PR 5 supervision contract, lifted across a process/host boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+from fractions import Fraction
+
+import pytest
+
+from repro.benchgen import S27_BENCH, paper_example2
+from repro.benchgen.suite import suite_cases
+from repro.cli import main
+from repro.errors import AnalysisError, OptionsError
+from repro.mct import MctOptions, minimum_cycle_time
+from repro.parallel import (
+    RetryPolicy,
+    SocketTransport,
+    WorkerServer,
+    parse_worker_address,
+    run_suite_sharded,
+)
+from repro.resilience import inject_faults
+
+#: Fast-converging policy for tests: real backoff shape, tiny sleeps.
+FAST = RetryPolicy(max_retries=2, backoff_base=0.001, backoff_cap=0.005)
+
+#: Analysis options every cluster test uses: tight heartbeat cadence so
+#: partition detection happens in milliseconds, fast retry ladder.
+CLUSTER_OPTS = dict(
+    retry_policy=FAST, heartbeat_interval=0.05, heartbeat_timeout=0.2
+)
+
+
+def candidate_keys(result):
+    """The deterministic fields of the candidate sequence.
+
+    ``elapsed_seconds``/``ite_calls``/``attempts``/``quarantined`` are
+    measurements of one particular execution and legitimately differ
+    between a disturbed and an undisturbed run.
+    """
+    return [(r.tau, r.status, r.m, r.rung) for r in result.candidates]
+
+
+def assert_equivalent(serial, disturbed):
+    assert disturbed.mct_upper_bound == serial.mct_upper_bound
+    assert candidate_keys(disturbed) == candidate_keys(serial)
+    assert disturbed.failure_found == serial.failure_found
+    assert disturbed.failing_window == serial.failing_window
+    assert disturbed.failing_sigmas == serial.failing_sigmas
+    assert disturbed.failing_roots == serial.failing_roots
+    assert disturbed.exhausted == serial.exhausted
+    assert disturbed.notes == serial.notes
+
+
+@contextlib.contextmanager
+def fleet(*servers):
+    """Start in-process loopback workers, yield a transport over them."""
+    started = [server.start() for server in servers]
+    try:
+        yield SocketTransport(
+            ["%s:%d" % server.address for server in started],
+            connect_timeout=2.0,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.2,
+        )
+    finally:
+        for server in started:
+            server.stop()
+
+
+def free_port() -> int:
+    """A port that was just free (and is closed again)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# Address parsing and option validation (satellite: clean errors, not
+# deep tracebacks from inside a session)
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_parse_worker_address(self):
+        assert parse_worker_address("localhost:7761") == ("localhost", 7761)
+        assert parse_worker_address(" 10.0.0.1:80 ") == ("10.0.0.1", 80)
+
+    @pytest.mark.parametrize(
+        "text", ["nohost", "host:", "host:abc", "host:0", "host:70000", ":80"]
+    )
+    def test_parse_worker_address_rejects(self, text):
+        with pytest.raises(OptionsError):
+            parse_worker_address(text)
+
+    def test_parse_worker_address_port_zero_opt_in(self):
+        # The worker CLI binds port 0 (ephemeral); coordinators cannot
+        # dial it.
+        assert parse_worker_address("h:0", allow_port_zero=True) == ("h", 0)
+
+    def test_heartbeat_knobs_validated_at_construction(self):
+        with pytest.raises(OptionsError):
+            MctOptions(heartbeat_interval=0.0)
+        with pytest.raises(OptionsError):
+            MctOptions(heartbeat_interval=-1.0)
+        with pytest.raises(OptionsError):
+            MctOptions(heartbeat_interval=0.5, heartbeat_timeout=0.1)
+
+    def test_options_error_is_both_kinds(self):
+        # CLI handlers catch AnalysisError; legacy tests catch
+        # ValueError.  OptionsError must satisfy both.
+        assert issubclass(OptionsError, AnalysisError)
+        assert issubclass(OptionsError, ValueError)
+        with pytest.raises(ValueError):
+            MctOptions(heartbeat_interval=0.0)
+
+    def test_transport_rejects_bad_addresses_eagerly(self):
+        with pytest.raises(OptionsError):
+            SocketTransport(["good:1234", "bad"])
+        with pytest.raises(OptionsError):
+            SocketTransport([])
+
+    def test_session_requires_positive_cadence(self):
+        with pytest.raises(OptionsError):
+            SocketTransport(["h:1"], heartbeat_interval=0.0).open_suite()
+
+    def test_no_reachable_workers_is_analysis_error(self):
+        circuit, delays = paper_example2()
+        transport = SocketTransport(
+            ["127.0.0.1:%d" % free_port()], connect_timeout=0.5
+        )
+        with pytest.raises(AnalysisError, match="no cluster workers"):
+            minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS),
+                transport=transport,
+            )
+
+
+# ----------------------------------------------------------------------
+# Cluster sweeps (the tentpole's acceptance criterion)
+# ----------------------------------------------------------------------
+class TestClusterSweep:
+    @pytest.fixture(scope="class")
+    def widened(self):
+        circuit, delays = paper_example2()
+        return circuit, delays.widen(Fraction(9, 10))
+
+    @pytest.fixture(scope="class")
+    def serial(self, widened):
+        circuit, delays = widened
+        return minimum_cycle_time(circuit, delays)
+
+    def test_clean_cluster_matches_serial(self, widened, serial):
+        circuit, delays = widened
+        with fleet(WorkerServer(), WorkerServer(), WorkerServer()) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        assert result.supervision is not None
+        assert result.supervision.crashes == 0
+        assert result.supervision.workers_lost == 0
+        assert all(r.attempts == 1 for r in result.candidates)
+        assert not any(r.quarantined for r in result.candidates)
+
+    def test_host_kill_reclaims_leases(self, widened, serial):
+        # One worker dies after its first decide; its leased window is
+        # reclaimed and re-dispatched, and the answer never changes.
+        circuit, delays = widened
+        with fleet(WorkerServer(), WorkerServer(kill_at=1)) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.workers_lost >= 1
+        assert sup.crashes >= 1
+        assert sup.leases_reclaimed >= 1
+        assert sup.retries >= 1
+
+    def test_heartbeat_partition_detected(self, widened, serial):
+        # The partitioned worker still computes but sends nothing; only
+        # heartbeat liveness can notice (the socket never EOFs).
+        circuit, delays = widened
+        with fleet(WorkerServer(), WorkerServer(drop_heartbeats_after=0)) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.heartbeat_failures >= 1
+        assert sup.workers_lost >= 1
+        assert sup.leases_reclaimed >= 1
+
+    def test_mixed_faults_three_workers(self, widened, serial):
+        # The acceptance scenario: one healthy worker, one killed, one
+        # silently partitioned — answer identical to serial, leases
+        # reclaimed from both casualties.
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(),
+            WorkerServer(kill_at=1),
+            WorkerServer(drop_heartbeats_after=0),
+        ) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.workers_lost == 2
+        assert sup.crashes >= 1
+        assert sup.heartbeat_failures >= 1
+        assert sup.leases_reclaimed >= 2
+
+    def test_all_workers_partitioned_falls_back_serial(self, widened, serial):
+        # Every worker goes silent: retries cannot help, so the ladder
+        # escalates to quarantine and the parent decides every window
+        # in-process — the sweep still finishes with the serial answer.
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(drop_heartbeats_after=0),
+            WorkerServer(drop_heartbeats_after=0),
+        ) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.heartbeat_failures >= 2
+        assert sup.workers_lost == 2
+        assert sup.quarantined >= 1
+        assert any(r.quarantined for r in result.candidates)
+
+    def test_all_workers_dead_falls_back_serial(self, widened, serial):
+        circuit, delays = widened
+        with fleet(WorkerServer(kill_at=1), WorkerServer(kill_at=1)) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        assert result.supervision.workers_lost == 2
+        assert result.supervision.quarantined >= 1
+
+    def test_fault_plan_arms_worker_servers(self):
+        # In-process loopback workers inherit the active fault plan, so
+        # cluster chaos tests need no explicit plumbing.
+        with inject_faults(kill_host_at=1, drop_heartbeats_after=3):
+            server = WorkerServer()
+        assert server.kill_at == 1
+        assert server.drop_heartbeats_after == 3
+        server.stop()
+        clean = WorkerServer()
+        assert clean.kill_at is None
+        assert clean.drop_heartbeats_after is None
+        clean.stop()
+
+    def test_serial_checkpoint_resumes_on_cluster(self, widened, serial):
+        # Satellite: the fingerprint excludes execution knobs, so a
+        # checkpoint written by a serial run resumes over any transport.
+        circuit, delays = widened
+        partial = minimum_cycle_time(
+            circuit, delays, MctOptions(work_budget=120)
+        )
+        assert partial.checkpoint is not None
+        with fleet(WorkerServer(), WorkerServer()) as tp:
+            resumed = minimum_cycle_time(
+                circuit,
+                delays,
+                MctOptions(**CLUSTER_OPTS),
+                resume_from=partial.checkpoint,
+                transport=tp,
+            )
+        assert_equivalent(serial, resumed)
+
+
+# ----------------------------------------------------------------------
+# Suite rows over the cluster
+# ----------------------------------------------------------------------
+class TestClusterSuite:
+    @staticmethod
+    def row_key(row):
+        return (
+            row.name,
+            row.flags,
+            row.topological,
+            row.floating,
+            row.transition,
+            row.mct,
+            row.mct_partial,
+            row.mct_rung,
+        )
+
+    def test_rows_match_serial(self):
+        from repro.report.harness import run_suite
+
+        cases = [c for c in suite_cases() if c.name in ("g444", "g526")]
+        serial = run_suite(cases=cases, include_s27=False)
+        with fleet(WorkerServer(), WorkerServer()) as tp:
+            rows, workers = run_suite_sharded(
+                cases=cases, include_s27=False, retry=FAST, transport=tp
+            )
+        assert [self.row_key(r) for r in rows] == [
+            self.row_key(r) for r in serial
+        ]
+        # Cluster worker stats carry a host:pid label, not a local pid.
+        remote = [w for w in workers if isinstance(w.pid, str)]
+        assert remote and all(":" in w.pid for w in remote)
+        assert sum(w.tasks for w in workers) == len(rows)
+
+    def test_killed_suite_worker_recovers(self):
+        from repro.report.harness import run_suite
+
+        cases = [c for c in suite_cases() if c.name in ("g444", "g526")]
+        serial = run_suite(cases=cases, include_s27=False)
+        with fleet(WorkerServer(), WorkerServer(kill_at=1)) as tp:
+            rows, workers = run_suite_sharded(
+                cases=cases, include_s27=False, retry=FAST, transport=tp
+            )
+        assert [self.row_key(r) for r in rows] == [
+            self.row_key(r) for r in serial
+        ]
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestClusterCli:
+    @pytest.fixture()
+    def bench(self, tmp_path):
+        path = tmp_path / "s27.bench"
+        path.write_text(S27_BENCH)
+        return str(path)
+
+    def test_analyze_over_cluster(self, bench, capsys):
+        with fleet(WorkerServer(), WorkerServer()) as tp:
+            addresses = ",".join("%s:%d" % a for a in tp.addresses)
+            code = main([
+                "analyze", bench, "--widen", "0.9", "--stats",
+                "--workers", addresses,
+                "--heartbeat-interval", "0.05",
+                "--heartbeat-timeout", "0.2",
+            ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimum cycle time" in out
+
+    def test_analyze_rejects_zero_heartbeat_interval(self, bench, capsys):
+        code = main(["analyze", bench, "--heartbeat-interval", "0"])
+        assert code == 1
+        assert "--heartbeat-interval" in capsys.readouterr().err
+
+    def test_analyze_rejects_timeout_below_interval(self, bench, capsys):
+        code = main([
+            "analyze", bench,
+            "--heartbeat-interval", "0.5", "--heartbeat-timeout", "0.1",
+        ])
+        assert code == 1
+        assert "--heartbeat-timeout" in capsys.readouterr().err
+
+    def test_analyze_rejects_bad_worker_address(self, bench, capsys):
+        code = main(["analyze", bench, "--workers", "nonsense"])
+        assert code == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_analyze_unreachable_workers_clean_error(self, bench, capsys):
+        code = main([
+            "analyze", bench,
+            "--workers", "127.0.0.1:%d" % free_port(),
+        ])
+        assert code == 1
+        assert "no cluster workers" in capsys.readouterr().err
+
+    def test_table_rejects_zero_heartbeat_interval(self, capsys):
+        code = main([
+            "table", "--rows", "g444", "--no-s27",
+            "--heartbeat-interval", "0",
+        ])
+        assert code == 1
+        assert "--heartbeat-interval" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_listen_address(self, capsys):
+        assert main(["worker", "--listen", "nonsense"]) == 1
+        assert "listen" in capsys.readouterr().err
+
+    def test_worker_rejects_negative_fault_knobs(self, capsys):
+        assert main(["worker", "--kill-at", "-1"]) == 1
+        assert main(["worker", "--drop-heartbeats-after", "-2"]) == 1

@@ -193,7 +193,8 @@ class TestCheckpoint:
         ckpt = self.make()
         ckpt.save(path)
         data = json.loads(path.read_text())
-        assert data["version"] == 1
+        assert data["version"] == 2
+        assert data["schema"] == "repro-mct-checkpoint/2"
         assert data["L"] == "23/2"
         loaded = SweepCheckpoint.load(path)
         assert loaded.L == ckpt.L
