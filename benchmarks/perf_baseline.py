@@ -8,6 +8,9 @@ Measures, with wall-clock timing and full BDD-engine counters
 * a normalization ablation on Example 2 — the same sweep with ITE
   triple normalization off, establishing the pre-normalization cache
   hit rate the normalized run must beat;
+* a kernel comparison — every case above run under both BDD kernels
+  (the array/complement-edge default and the object oracle), with a
+  verdict-identity check and per-kernel work counters;
 * a serial-vs-sharded suite comparison — the report harness run
   in-process and on a 2-worker pool, with per-worker stats and a
   row-identity check.
@@ -16,14 +19,17 @@ Run from the repo root::
 
     PYTHONPATH=src python -m benchmarks.perf_baseline --output BENCH_mct.json
 
-The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/2``):
-a ``cases`` list with per-case ``wall_seconds``/``mct``/``bdd``
-objects, a ``normalization_ablation`` object comparing the two
-Example 2 runs, and a ``suite_parallel`` object with the
+The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/3``):
+a ``cases`` list with per-case ``kernel``/``wall_seconds``/``mct``/
+``bdd`` objects, a ``normalization_ablation`` object comparing the
+two Example 2 runs, a ``kernel_comparison`` object with per-case
+array-vs-object rows, and a ``suite_parallel`` object with the
 serial/parallel wall clocks.  ``benchmarks/test_perf_baseline.py``
 runs this module end-to-end and enforces the ablation win, the
-parallel row identity, and generous wall ceilings; the CI bench job
-uploads the JSON as an artifact.
+cross-kernel verdict identity, the array kernel's work advantage on
+every ITE-heavy case, no ``ite_calls``/wall regression against the
+committed ``BENCH_mct.json``, the parallel row identity, and generous
+wall ceilings; the CI bench job uploads the JSON as an artifact.
 """
 
 from __future__ import annotations
@@ -40,7 +46,13 @@ from repro.benchgen.suite import build_case, suite_cases
 from repro.bdd import set_default_ite_normalization
 from repro.mct import MctOptions, minimum_cycle_time
 
-SCHEMA = "repro-mct-bench/2"
+SCHEMA = "repro-mct-bench/3"
+
+#: A case is "ITE-heavy" when the object-kernel sweep examined at
+#: least this many ITE subproblems; the array kernel must win on
+#: every such case (fewer or equal ``ite_calls``, strictly fewer
+#: ``nodes_created`` thanks to complement-edge sharing).
+ITE_HEAVY_FLOOR = 300
 
 
 def _frac(value) -> str | None:
@@ -49,45 +61,93 @@ def _frac(value) -> str | None:
 
 def run_sweep(name: str, circuit, delays, options: MctOptions | None = None) -> dict:
     """One timed ``minimum_cycle_time`` run as a JSON-ready case row."""
+    options = options or MctOptions()
     t0 = time.monotonic()
     result = minimum_cycle_time(circuit, delays, options)
     wall = time.monotonic() - t0
     return {
         "name": name,
         "kind": "mct-sweep",
+        "kernel": options.bdd_kernel,
         "wall_seconds": round(wall, 6),
         "mct": _frac(result.mct_upper_bound),
         "failure_found": result.failure_found,
         "interrupted": result.interrupted,
         "candidates": len(result.candidates),
         "decisions": result.decisions_run,
+        "candidate_keys": [
+            [_frac(c.tau), c.status, c.m, c.rung] for c in result.candidates
+        ],
         "bdd": None if result.bdd_stats is None else result.bdd_stats.as_dict(),
     }
 
 
-def measure_example2() -> list[dict]:
+def _bench_cases():
+    """Every benchmark case as ``(name, circuit, delays, options_kwargs)``."""
     circuit, delays = paper_example2()
+    yield "example2", circuit, delays, {}
+    yield "example2-interval", circuit, delays.widen(Fraction(9, 10)), {}
+    for case in suite_cases():
+        circuit, delays = build_case(case)
+        yield (
+            f"benchgen/{case.name}",
+            circuit,
+            delays.widen(Fraction(9, 10)),
+            {"work_budget": case.mct_budget},
+        )
+
+
+def measure_cases() -> list[dict]:
     return [
-        run_sweep("example2", circuit, delays),
-        run_sweep(
-            "example2-interval", circuit, delays.widen(Fraction(9, 10))
-        ),
+        run_sweep(name, circuit, delays, MctOptions(**kwargs))
+        for name, circuit, delays, kwargs in _bench_cases()
     ]
 
 
-def measure_suite() -> list[dict]:
+def measure_kernel_comparison() -> dict:
+    """Every case under both kernels: identical verdicts, less work.
+
+    ``rows`` records, per case, the array and object runs plus the
+    comparison verdicts the bench test enforces: the bound and the
+    measurement-free candidate sequence must be identical, and on
+    every ITE-heavy case (object ``ite_calls`` at or above
+    ``ITE_HEAVY_FLOOR``) the array kernel must beat the object oracle
+    on work — no more ``ite_calls``, strictly fewer ``nodes_created``.
+    """
     rows = []
-    for case in suite_cases():
-        circuit, delays = build_case(case)
-        rows.append(
-            run_sweep(
-                f"benchgen/{case.name}",
-                circuit,
-                delays.widen(Fraction(9, 10)),
-                MctOptions(work_budget=case.mct_budget),
-            )
+    for name, circuit, delays, kwargs in _bench_cases():
+        array = run_sweep(
+            name, circuit, delays, MctOptions(bdd_kernel="array", **kwargs)
         )
-    return rows
+        obj = run_sweep(
+            name, circuit, delays, MctOptions(bdd_kernel="object", **kwargs)
+        )
+        comparable = array["bdd"] is not None and obj["bdd"] is not None
+        ite_heavy = (
+            comparable and obj["bdd"]["ite_calls"] >= ITE_HEAVY_FLOOR
+        )
+        rows.append(
+            {
+                "name": name,
+                "bounds_match": array["mct"] == obj["mct"],
+                "candidates_match": (
+                    array["candidate_keys"] == obj["candidate_keys"]
+                ),
+                "ite_heavy": ite_heavy,
+                "array_wins": (
+                    ite_heavy
+                    and array["bdd"]["ite_calls"] <= obj["bdd"]["ite_calls"]
+                    and array["bdd"]["nodes_created"]
+                    < obj["bdd"]["nodes_created"]
+                ),
+                "array": array,
+                "object": obj,
+            }
+        )
+    return {
+        "ite_heavy_floor": ITE_HEAVY_FLOOR,
+        "rows": rows,
+    }
 
 
 def measure_normalization_ablation() -> dict:
@@ -163,8 +223,9 @@ def measure_suite_parallel(jobs: int = 2) -> dict:
 
 def build_report() -> dict:
     t0 = time.monotonic()
-    cases = measure_example2() + measure_suite()
+    cases = measure_cases()
     ablation = measure_normalization_ablation()
+    kernels = measure_kernel_comparison()
     suite_parallel = measure_suite_parallel()
     return {
         "schema": SCHEMA,
@@ -173,6 +234,7 @@ def build_report() -> dict:
         "total_wall_seconds": round(time.monotonic() - t0, 6),
         "cases": cases,
         "normalization_ablation": ablation,
+        "kernel_comparison": kernels,
         "suite_parallel": suite_parallel,
     }
 
@@ -201,6 +263,17 @@ def main(argv=None) -> int:
         f"{ablation['unnormalized']['bdd']['cache_hit_rate']:.3f} -> "
         f"{ablation['normalized']['bdd']['cache_hit_rate']:.3f} "
         f"(gain {ablation['hit_rate_gain']:+.3f})"
+    )
+    rows = report["kernel_comparison"]["rows"]
+    heavy = [row for row in rows if row["ite_heavy"]]
+    wins = [row for row in heavy if row["array_wins"]]
+    agree = all(
+        row["bounds_match"] and row["candidates_match"] for row in rows
+    )
+    print(
+        f"kernel comparison: {len(rows)} cases, verdicts "
+        f"{'identical' if agree else 'DIFFER'}; array wins "
+        f"{len(wins)}/{len(heavy)} ITE-heavy cases"
     )
     par = report["suite_parallel"]
     print(

@@ -3,10 +3,17 @@
 Runs ``benchmarks.perf_baseline`` exactly as the CI bench job does,
 then enforces the report's contract:
 
-* the ``repro-mct-bench/2`` schema (cases for Example 2 and every
-  benchgen row, each with wall-clock and full ``BddStats``);
+* the ``repro-mct-bench/3`` schema (cases for Example 2 and every
+  benchgen row, each tagged with its BDD kernel and carrying
+  wall-clock and full ``BddStats``);
 * the normalized Example 2 sweep reports a cache hit rate *strictly
   higher* than the unnormalized baseline measured in the same run;
+* the kernel comparison shows byte-identical verdicts between the
+  array and object kernels on every case, with the array kernel
+  beating the object oracle on work for every ITE-heavy case;
+* the fresh array-kernel run does not regress ``ite_calls`` (exact)
+  or wall time (generous factor) against the committed
+  ``BENCH_mct.json`` baseline;
 * the sharded suite run produces row-for-row the same deterministic
   fields as the serial harness (``suite_parallel.rows_match``), with
   per-worker telemetry accounting for every task;
@@ -17,6 +24,7 @@ then enforces the report's contract:
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -28,6 +36,14 @@ from repro.benchgen.suite import suite_cases
 EXAMPLE2_CEILING = 30.0
 TOTAL_CEILING = 300.0
 
+#: Committed baseline the CI bench job guards against.
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_mct.json"
+
+#: A fresh case may take this many times the committed wall clock
+#: before we call it a regression (CI machines are noisy; ite_calls
+#: is the precise work metric, wall is the backstop).
+WALL_REGRESSION_FACTOR = 25.0
+
 BDD_KEYS = {
     "nodes_created",
     "peak_nodes",
@@ -36,8 +52,10 @@ BDD_KEYS = {
     "cache_hits",
     "cache_hit_rate",
     "cache_evictions",
+    "not_cache_evictions",
     "gc_runs",
     "nodes_reclaimed",
+    "sift_runs",
 }
 
 
@@ -49,7 +67,7 @@ def report(tmp_path_factory):
 
 
 def test_schema(report):
-    assert report["schema"] == perf_baseline.SCHEMA
+    assert report["schema"] == perf_baseline.SCHEMA == "repro-mct-bench/3"
     names = [case["name"] for case in report["cases"]]
     assert "example2" in names
     assert "example2-interval" in names
@@ -57,6 +75,7 @@ def test_schema(report):
         assert f"benchgen/{case.name}" in names
     for case in report["cases"]:
         assert case["kind"] == "mct-sweep"
+        assert case["kernel"] == "array"  # the default kernel
         assert case["wall_seconds"] >= 0
         # Sweeps that blow their budget during path collection never
         # build a decision context: their bdd block is null by design.
@@ -83,6 +102,61 @@ def test_normalization_strictly_improves_hit_rate(report):
     assert normalized["ite_calls"] <= baseline["ite_calls"]
     # Both runs agree on the published answer, of course.
     assert ablation["unnormalized"]["mct"] == ablation["normalized"]["mct"] == "5/2"
+
+
+def test_kernels_agree_everywhere(report):
+    rows = report["kernel_comparison"]["rows"]
+    assert {row["name"] for row in rows} == {
+        case["name"] for case in report["cases"]
+    }
+    for row in rows:
+        assert row["bounds_match"], row["name"]
+        assert row["candidates_match"], row["name"]
+        assert row["array"]["kernel"] == "array"
+        assert row["object"]["kernel"] == "object"
+
+
+def test_array_kernel_wins_every_ite_heavy_case(report):
+    rows = report["kernel_comparison"]["rows"]
+    heavy = [row for row in rows if row["ite_heavy"]]
+    # The suite must actually exercise the kernels: a floor change or
+    # benchgen shrinkage that leaves nothing ITE-heavy would silently
+    # disable this guard.
+    assert len(heavy) >= 5
+    for row in heavy:
+        assert row["array_wins"], row["name"]
+        assert (
+            row["array"]["bdd"]["ite_calls"]
+            <= row["object"]["bdd"]["ite_calls"]
+        )
+        assert (
+            row["array"]["bdd"]["nodes_created"]
+            < row["object"]["bdd"]["nodes_created"]
+        )
+
+
+def test_no_regression_against_committed_baseline(report):
+    """The fresh run may not do more BDD work than the committed one.
+
+    ``ite_calls`` is deterministic for a given sweep, so any increase
+    is a real algorithmic regression.  Wall clock only backstops at a
+    generous factor — machines differ, work counts do not.
+    """
+    committed = json.loads(BASELINE_PATH.read_text())
+    assert committed["schema"] == "repro-mct-bench/3"
+    committed_cases = {case["name"]: case for case in committed["cases"]}
+    for case in report["cases"]:
+        base = committed_cases.get(case["name"])
+        if base is None:
+            continue  # a new case has no baseline yet
+        assert case["mct"] == base["mct"], case["name"]
+        if case["bdd"] is None or base["bdd"] is None:
+            continue
+        assert case["bdd"]["ite_calls"] <= base["bdd"]["ite_calls"], case["name"]
+        ceiling = max(
+            base["wall_seconds"] * WALL_REGRESSION_FACTOR, EXAMPLE2_CEILING
+        )
+        assert case["wall_seconds"] <= ceiling, case["name"]
 
 
 def test_suite_parallel_matches_serial(report):

@@ -1,0 +1,360 @@
+"""Flat-array node store with complement edges (the default kernel).
+
+Representation
+--------------
+* The node table is three flat 64-bit integer columns
+  (``array('q')``): ``_var_col`` (variable level), ``_lo_col`` and
+  ``_hi_col`` (child *references*).  Index ``0`` is the single
+  terminal, the constant ONE.
+* A function is a **tagged reference** ``ref = (index << 1) | phase``:
+  the low bit says "complement this node's function".  The constants
+  are ``TRUE = 0`` (terminal, plain) and ``FALSE = 1`` (terminal,
+  complemented) — the same ``ref <= 1`` convention the object kernel's
+  two terminals happen to satisfy, which is what lets the shared base
+  class treat constants uniformly.
+* Canonical form is **high-edge-regular**: a stored node's high child
+  never carries the complement bit.  ``_mk_sem`` enforces this by
+  flipping both cofactors and complementing the returned reference, so
+  every Boolean function has exactly one representation and ``f == g``
+  is still integer equality on refs.
+* NOT is one XOR (``ref ^ 1``): no NOT cache, no DAG copy, and a
+  function shares every node with its complement — the store holds
+  roughly half the nodes of the two-terminal representation on
+  negation-heavy workloads (the MCT window decisions are exactly that:
+  mismatch BDDs are built from XOR/XNOR/NOT traffic).
+* The unique table and the ITE operation cache are keyed by **packed
+  integers** (shift-or of level/refs) instead of tuples: one dict probe
+  costs no tuple allocation and hashes a single int.  The cache is
+  bounded (``max_cache_size``) with recency-aware eviction, identical
+  to the object kernel's discipline.
+* Standard complement-edge ITE canonicalization (Brace–Rudell–Bryant):
+  terminal rules first, then — when normalization is enabled —
+  operand substitution, commutation to the lowest-index test, a
+  regular (uncomplemented) test, and a regular THEN operand, with the
+  output complement carried in a flip bit.  Equivalent and
+  complemented forms of one subproblem share a single cache entry.
+
+Everything above the primitive surface — restriction, composition,
+quantification, SAT queries, sizes, dynamic sifting — lives in the
+shared base class :class:`repro.bdd.manager.BddManager`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+
+from repro.bdd.function import Function
+from repro.bdd.manager import TERMINAL_LEVEL, BddManager
+
+#: Constant references: the terminal node (index 0) in both phases.
+ONE = 0
+ZERO = 1
+
+#: Field width for packed unique-table / op-cache keys.  References and
+#: levels are far below 2**43 for any table this process could hold, so
+#: packed keys are collision-free (Python ints are arbitrary precision;
+#: a triple key is ~129 bits).
+_SHIFT = 43
+
+
+class ArrayKernelManager(BddManager):
+    """BDD manager over flat integer columns with complement edges."""
+
+    kernel_name = "array"
+    _true_ref = ONE
+    _false_ref = ZERO
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def _init_store(self) -> None:
+        # Column 0 is the terminal ONE; its children are self-loops that
+        # keep GC/compaction free of terminal special cases.
+        self._var_col = array("q", [TERMINAL_LEVEL])
+        self._lo_col = array("q", [ONE])
+        self._hi_col = array("q", [ONE])
+        self._unique: dict[int, int] = {}
+        self._ite_cache: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Current node-table size (the single terminal included)."""
+        return len(self._var_col)
+
+    def _mk_raw(self, level: int, lo: int, hi: int) -> int:
+        """Find-or-create node ``(level, lo, hi)``; ``hi`` must be regular."""
+        key = ((level << _SHIFT) | lo) << _SHIFT | hi
+        idx = self._unique.get(key)
+        if idx is None:
+            if self._budget is not None:
+                self._budget.charge()
+            if self._deadline is not None:
+                self._deadline.check("bdd node creation")
+            idx = len(self._var_col)
+            self._var_col.append(level)
+            self._lo_col.append(lo)
+            self._hi_col.append(hi)
+            self._unique[key] = idx
+            self._stats.nodes_created += 1
+        return idx << 1
+
+    def _mk_sem(self, level: int, lo: int, hi: int) -> int:
+        """Canonical reference for semantic cofactors ``lo``/``hi``."""
+        if lo == hi:
+            return lo
+        if hi & 1:
+            # High-edge-regular form: store the complemented node and
+            # return its complement — same function, one representation.
+            return self._mk_raw(level, lo ^ 1, hi ^ 1) | 1
+        return self._mk_raw(level, lo, hi)
+
+    def _mk_var(self, level: int) -> int:
+        return self._mk_sem(level, ZERO, ONE)
+
+    # ------------------------------------------------------------------
+    # Kernel primitive surface
+    # ------------------------------------------------------------------
+    def _not(self, u: int) -> int:
+        return u ^ 1
+
+    def _ref_level(self, u: int) -> int:
+        return self._var_col[u >> 1]
+
+    def _ref_cofactors(self, u: int, level: int) -> tuple[int, int]:
+        """Semantic (low, high) cofactors of ``u`` w.r.t. ``level``.
+
+        The node's complement phase is pushed into the children, so
+        callers never see a tagged node — only tagged edges.
+        """
+        idx = u >> 1
+        if self._var_col[idx] == level:
+            phase = u & 1
+            return self._lo_col[idx] ^ phase, self._hi_col[idx] ^ phase
+        return u, u
+
+    def _ref_index(self, u: int) -> int:
+        return u >> 1
+
+    # ------------------------------------------------------------------
+    # ITE — the core memoized operation (explicit stack)
+    # ------------------------------------------------------------------
+    def _ite(self, f: int, g: int, h: int) -> int:
+        """Memoized if-then-else on tagged refs, explicit-stack form.
+
+        Frames are ``(False, f, g, h)`` — resolve a triple — or
+        ``(True, key, level, flip)`` — both cofactor results are on the
+        value stack; build the node, fill the cache with the canonical
+        result, and push it re-complemented by ``flip``.  LIFO ordering
+        means a subproblem's whole subtree completes before its sibling
+        starts, so the cache behaves exactly like the recursive form.
+        """
+        cache = self._ite_cache
+        stats = self._stats
+        var_col, lo_col, hi_col = self._var_col, self._lo_col, self._hi_col
+        normalize = self._normalize
+        max_cache = self._max_cache_size
+        tasks: list[tuple] = [(False, f, g, h)]
+        values: list[int] = []
+        while tasks:
+            frame = tasks.pop()
+            if frame[0]:
+                _, key, level, flip = frame
+                high = values.pop()
+                low = values.pop()
+                result = self._mk_sem(level, low, high)
+                if max_cache is not None and len(cache) >= max_cache:
+                    self._evict_ite_cache()
+                cache[key] = result
+                values.append(result ^ flip)
+                continue
+            _, f, g, h = frame
+            stats.ite_calls += 1
+            result = -1
+            probed = False
+            flip = 0
+            while True:
+                # Terminal shortcuts (always valid, never rewrites).
+                if f == ONE:
+                    result = g
+                elif f == ZERO:
+                    result = h
+                elif g == h:
+                    result = g
+                elif g == ONE and h == ZERO:
+                    result = f
+                elif g == ZERO and h == ONE:
+                    result = f ^ 1
+                else:
+                    # Non-terminal: this triple is one probe of the
+                    # cache layer (counted once, even if normalization
+                    # then rewrites it).
+                    if not probed:
+                        probed = True
+                        stats.cache_lookups += 1
+                    if normalize:
+                        # Operand substitution: a test shared with an
+                        # operand fixes that operand to a constant.
+                        changed = False
+                        if g == f:
+                            g = ONE
+                            changed = True
+                        elif g == f ^ 1:
+                            g = ZERO
+                            changed = True
+                        if h == f:
+                            h = ZERO
+                            changed = True
+                        elif h == f ^ 1:
+                            h = ONE
+                            changed = True
+                        if not changed:
+                            # Commute to the lowest-index test.  Each
+                            # accepted swap strictly decreases the test
+                            # index, so the loop terminates.
+                            fi = f >> 1
+                            if g == ONE and h > 1 and (h >> 1) < fi:
+                                f, h = h, f  # OR commutes
+                                changed = True
+                            elif h == ZERO and g > 1 and (g >> 1) < fi:
+                                f, g = g, f  # AND commutes
+                                changed = True
+                            elif h == ONE and g > 1 and (g >> 1) < fi:
+                                f, g = g ^ 1, f ^ 1  # implication flips
+                                changed = True
+                            elif g == ZERO and h > 1 and (h >> 1) < fi:
+                                f, h = h ^ 1, f ^ 1  # nor-style flip
+                                changed = True
+                            elif h == g ^ 1 and g > 1 and (g >> 1) < fi:
+                                f, g, h = g, f, f ^ 1  # XNOR commutes
+                                changed = True
+                        if not changed:
+                            # Phase canonicalization: regular test, then
+                            # regular THEN operand (complement carried
+                            # out through the flip bit).
+                            if f & 1:
+                                f, g, h = f ^ 1, h, g
+                                changed = True
+                            elif g & 1:
+                                g, h, flip = g ^ 1, h ^ 1, flip ^ 1
+                                changed = True
+                        if changed:
+                            continue  # a rewrite can expose a terminal
+                break
+            if result >= 0:
+                if probed:
+                    # Answered by a normalization rewrite: no expansion,
+                    # no recomputation — a hit of the cache layer.
+                    stats.cache_hits += 1
+                values.append(result ^ flip)
+                continue
+            key = ((f << _SHIFT) | g) << _SHIFT | h
+            cached = cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                # Move-to-end: a hit makes the entry young again, so
+                # bounded-cache eviction drops cold triples first.
+                del cache[key]
+                cache[key] = cached
+                values.append(cached ^ flip)
+                continue
+            fi, gi, hi = f >> 1, g >> 1, h >> 1
+            level = var_col[fi]
+            if var_col[gi] < level:
+                level = var_col[gi]
+            if var_col[hi] < level:
+                level = var_col[hi]
+            if var_col[fi] == level:
+                c = f & 1
+                f0, f1 = lo_col[fi] ^ c, hi_col[fi] ^ c
+            else:
+                f0 = f1 = f
+            if var_col[gi] == level:
+                c = g & 1
+                g0, g1 = lo_col[gi] ^ c, hi_col[gi] ^ c
+            else:
+                g0 = g1 = g
+            if var_col[hi] == level:
+                c = h & 1
+                h0, h1 = lo_col[hi] ^ c, hi_col[hi] ^ c
+            else:
+                h0 = h1 = h
+            tasks.append((True, key, level, flip))
+            tasks.append((False, f1, g1, h1))
+            tasks.append((False, f0, g0, h0))
+        return values[-1]
+
+    # ------------------------------------------------------------------
+    # Maintenance: cache hygiene and garbage collection
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop the operation cache (keeps the node table and variables)."""
+        self._ite_cache.clear()
+
+    def collect_garbage(self) -> int:
+        """Mark-and-sweep dead nodes; returns how many were reclaimed.
+
+        Marking works on structural *indices* (a node is live if either
+        phase of it is reachable).  Survivors are compacted to the front
+        of the columns — children always precede parents, so a single
+        ascending pass remaps consistently — live handles and variable
+        refs are re-tagged onto their new indices, and the operation
+        cache is flushed (its packed keys name old indices).
+        """
+        stats = self.stats  # property access refreshes peak_nodes
+        var_col, lo_col, hi_col = self._var_col, self._lo_col, self._hi_col
+        size = len(var_col)
+        marks = bytearray(size)
+        marks[0] = 1
+        live_handles: list[Function] = []
+        roots: list[int] = [node >> 1 for node in self._var_node.values()]
+        for ref in self._handles:
+            handle = ref()
+            if handle is not None:
+                live_handles.append(handle)
+                roots.append(handle.node >> 1)
+        stack = roots
+        while stack:
+            idx = stack.pop()
+            if marks[idx]:
+                continue
+            marks[idx] = 1
+            stack.append(lo_col[idx] >> 1)
+            stack.append(hi_col[idx] >> 1)
+        remap = [0] * size
+        new_var = array("q")
+        new_lo = array("q")
+        new_hi = array("q")
+        for old in range(size):
+            if not marks[old]:
+                continue
+            remap[old] = len(new_var)
+            new_var.append(var_col[old])
+            lo, hi = lo_col[old], hi_col[old]
+            new_lo.append((remap[lo >> 1] << 1) | (lo & 1))
+            new_hi.append((remap[hi >> 1] << 1) | (hi & 1))
+        reclaimed = size - len(new_var)
+        self._var_col, self._lo_col, self._hi_col = new_var, new_lo, new_hi
+        self._unique = {
+            ((new_var[n] << _SHIFT) | new_lo[n]) << _SHIFT | new_hi[n]: n
+            for n in range(1, len(new_var))
+        }
+        self._ite_cache.clear()
+        self._var_node = {
+            name: (remap[node >> 1] << 1) | (node & 1)
+            for name, node in self._var_node.items()
+        }
+        for handle in live_handles:
+            handle.node = (remap[handle.node >> 1] << 1) | (handle.node & 1)
+        self._handles = [weakref.ref(handle) for handle in live_handles]
+        self._handle_prune_at = max(1024, 2 * len(self._handles))
+        self._last_gc_size = len(new_var)
+        stats.gc_runs += 1
+        stats.nodes_reclaimed += reclaimed
+        return reclaimed
+
+    def _adopt_store(self, other: BddManager) -> None:
+        self._var_col = other._var_col
+        self._lo_col = other._lo_col
+        self._hi_col = other._hi_col
+        self._unique = other._unique
+        self._ite_cache.clear()

@@ -58,14 +58,14 @@ class Function:
     # -- constants -----------------------------------------------------
     def is_zero(self) -> bool:
         """True iff this is the constant-0 function."""
-        return self.node == 0
+        return self.node == self.manager._false_ref
 
     def is_one(self) -> bool:
         """True iff this is the constant-1 function."""
-        return self.node == 1
+        return self.node == self.manager._true_ref
 
     def is_constant(self) -> bool:
-        """True iff this is one of the two constants."""
+        """True iff this is a constant (both kernels use refs <= 1)."""
         return self.node <= 1
 
     # -- Boolean algebra (operator sugar) ------------------------------

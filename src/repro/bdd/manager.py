@@ -1,36 +1,59 @@
-"""The BDD manager: node storage, unique table, and core operations.
+"""The BDD manager facade: kernel selection and the shared algebra.
 
-Implementation notes
---------------------
-* Nodes are integers indexing parallel lists (``_level``, ``_low``,
-  ``_high``).  Node ``0`` is the constant FALSE, node ``1`` the constant
-  TRUE; both live at a sentinel level below every variable.
-* No complement edges: simpler invariants, and profiling on our
-  workloads showed the canonical-NOT cache recovers most of the win.
-* All Boolean operations are routed through a memoized Shannon-style
-  ``ite`` (if-then-else) with standard triple normalisation (see
-  :meth:`BddManager._normalize_triple`): commuted and complemented
-  forms of the same subproblem share one operation-cache entry.
-* Every traversal runs on an **explicit stack** — no Python recursion,
-  no ``sys.setrecursionlimit`` mutation.  A chain BDD tens of
-  thousands of levels deep builds and negates without blowing the
-  interpreter stack.
-* The ITE operation cache is **bounded** (``max_cache_size``): on
-  overflow the oldest half is evicted, so a long sweep cannot grow the
-  cache without limit.
-* Dead nodes are reclaimed by mark-and-sweep
-  (:meth:`BddManager.collect_garbage`): live roots are the still-alive
-  :class:`~repro.bdd.function.Function` handles (tracked by weakref)
-  plus every declared variable.  The node table is compacted in place,
-  handles are re-pointed, and operation caches are flushed.  Pass
-  ``gc_threshold`` to trigger collection automatically once the table
-  grows by that many nodes.
-* The manager charges an optional :class:`repro.errors.Budget` one unit
-  per *created* node, so runaway analyses fail deterministically with
-  :class:`repro.errors.ResourceBudgetExceeded` (the paper's "memory
-  out") instead of thrashing the host.  Nodes recreated after a GC
-  pass charge again: the budget meters allocation work, not the live
-  set.
+Architecture
+------------
+:class:`BddManager` is now a *facade over two interchangeable kernels*:
+
+* ``kernel="array"`` (the default) — :mod:`repro.bdd.array_kernel`:
+  flat integer columns (``array('q')``: var, lo, hi) with **complement
+  edges**.  A function is a *tagged* node reference ``(index << 1) |
+  phase``; negation is one XOR, a function and its complement share
+  every node, and the unique table and operation cache are keyed by
+  packed integers instead of tuples.
+* ``kernel="object"`` — :mod:`repro.bdd.object_kernel`: the historical
+  two-terminal store without complement edges, kept as a *cross-check
+  oracle*: differential tests run both kernels against each other, and
+  any analysis accepts ``kernel=`` to reproduce a result on the
+  alternate substrate.
+
+Both kernels expose the same small primitive surface (`_ref_level`,
+`_ref_cofactors`, `_mk_sem`, `_not`, `_ite`, ...) over *semantically
+canonical* node references, so every derived algorithm — restrict,
+compose, quantification, ``and_exists``, constrain, SAT queries,
+transfer, ordering search — is written once, here, in kernel-neutral
+form.  The invariants the base class relies on:
+
+* references are non-negative ints; the two constants are the refs
+  ``<= 1`` (the object kernel uses FALSE=0/TRUE=1, the array kernel
+  ONE=0 and its complement edge 1);
+* references are canonical: two refs are equal iff they denote the
+  same Boolean function;
+* ``_ref_cofactors(u, level)`` returns the *semantic* (low, high)
+  cofactors, with any complement phase already pushed down.
+
+Shared engineering (both kernels):
+
+* every traversal runs on an **explicit stack** — no Python recursion,
+  no ``sys.setrecursionlimit`` mutation;
+* the ITE operation cache is **bounded** (``max_cache_size``) with
+  *recency-aware* eviction: a cache hit moves the entry to the young
+  end, and overflow drops the least-recently-used half — long-lived
+  hot triples survive churn (the insertion-order eviction of earlier
+  revisions evicted exactly the hottest entries first);
+* the object kernel's NOT cache is bounded under the same knob (it
+  used to grow without limit between GCs);
+* dead nodes are reclaimed by mark-and-sweep
+  (:meth:`BddManager.collect_garbage`), with ``gc_threshold`` enabling
+  automatic collection at public-operation boundaries;
+* **dynamic sifting hooks**: :meth:`BddManager.sift_now` reorders the
+  live functions *in place* (handles are re-pointed, levels change,
+  semantics do not), and ``sift_threshold=N`` arms an automatic
+  mid-sweep trigger.  Sifting work is charged to the manager's
+  :class:`~repro.errors.Budget` and polls its deadline, so a sift
+  inside a time-limited sweep stops cooperatively;
+* the manager charges an optional :class:`repro.errors.Budget` one
+  unit per *created* node, so runaway analyses fail deterministically
+  with :class:`repro.errors.ResourceBudgetExceeded`.
 
 Performance counters (:class:`repro.bdd.stats.BddStats`) are always on
 and exposed as :attr:`BddManager.stats`.
@@ -45,10 +68,12 @@ from repro.errors import BddError, Budget
 from repro.bdd.function import Function
 from repro.bdd.stats import BddStats
 
-#: Sentinel level for the two terminal nodes; compares *greater* than any
+#: Sentinel level for terminal nodes; compares *greater* than any
 #: variable level so terminals sort below all variables in the order.
 TERMINAL_LEVEL = 1 << 60
 
+#: Object-kernel terminal refs (module-level for the object kernel and
+#: its tests; the array kernel's terminals are ONE=0 / ZERO=1).
 FALSE = 0
 TRUE = 1
 
@@ -56,6 +81,13 @@ TRUE = 1
 #: benchmark harness flips this to measure the pre-normalization
 #: baseline in the same process (see ``benchmarks/perf_baseline.py``).
 _DEFAULT_NORMALIZE = True
+
+#: Default node-store kernel for ``BddManager(kernel=None)``.
+_DEFAULT_KERNEL = "array"
+
+#: Valid ``kernel=`` names (the registry itself lives in ``_kernel_class``
+#: to keep imports lazy and cycle-free).
+KERNELS = ("array", "object")
 
 
 def set_default_ite_normalization(enabled: bool) -> bool:
@@ -72,6 +104,35 @@ def set_default_ite_normalization(enabled: bool) -> bool:
     return previous
 
 
+def set_default_kernel(name: str) -> str:
+    """Set the node-store kernel for *new* ``BddManager()`` calls.
+
+    Returns the previous default so callers can restore it.  Both
+    kernels implement the same canonical ROBDD semantics; switching
+    never changes any analysis answer, only the representation (and
+    therefore speed/memory).  Existing managers are unaffected.
+    """
+    global _DEFAULT_KERNEL
+    if name not in KERNELS:
+        raise BddError(f"unknown BDD kernel {name!r}; choose from {KERNELS}")
+    previous = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = name
+    return previous
+
+
+def _kernel_class(name: str):
+    """Resolve a kernel name to its manager subclass (lazy imports)."""
+    if name == "array":
+        from repro.bdd.array_kernel import ArrayKernelManager
+
+        return ArrayKernelManager
+    if name == "object":
+        from repro.bdd.object_kernel import ObjectKernelManager
+
+        return ObjectKernelManager
+    raise BddError(f"unknown BDD kernel {name!r}; choose from {KERNELS}")
+
+
 class BddManager:
     """Owns a shared node table and provides Boolean-function algebra.
 
@@ -85,27 +146,49 @@ class BddManager:
         on every node creation (the manager's hot loop), so a
         wall-clock limit interrupts even one giant ``ite`` instead of
         waiting for the caller's next coarse-grained check.
+    kernel:
+        Node-store implementation: ``"array"`` (flat integer columns
+        with complement edges, the default) or ``"object"`` (the
+        historical two-terminal store, kept as a cross-check oracle).
+        ``None`` uses the module default (:func:`set_default_kernel`).
     normalize_ite:
         Apply standard ITE triple normalization before the operation
         cache (default: the module default, normally on).
     max_cache_size:
-        Bound on the ITE operation cache; the oldest half is evicted on
-        overflow.  ``None`` disables the bound.
+        Bound on the operation caches; the least-recently-used half is
+        evicted on overflow.  ``None`` disables the bound.
     gc_threshold:
         Run :meth:`collect_garbage` automatically once the node table
         has grown by this many nodes since the last collection (checked
         at public-operation boundaries, never mid-traversal).  ``None``
         (the default) leaves collection fully manual.
+    sift_threshold:
+        Run :meth:`sift_now` automatically once the node table has
+        grown by this many nodes since the last sift (same boundaries
+        as ``gc_threshold``).  ``None`` (the default) disables dynamic
+        reordering.
     """
+
+    #: Overridden by each kernel subclass.
+    kernel_name = "abstract"
+    _false_ref = FALSE
+    _true_ref = TRUE
+
+    def __new__(cls, *args, kernel: str | None = None, **kwargs):
+        if cls is BddManager:
+            cls = _kernel_class(_DEFAULT_KERNEL if kernel is None else kernel)
+        return object.__new__(cls)
 
     def __init__(
         self,
         budget: Budget | None = None,
         deadline=None,
         *,
+        kernel: str | None = None,
         normalize_ite: bool | None = None,
         max_cache_size: int | None = 1_000_000,
         gc_threshold: int | None = None,
+        sift_threshold: int | None = None,
     ):
         self._budget = budget
         self._deadline = deadline
@@ -118,22 +201,67 @@ class BddManager:
         if gc_threshold is not None and gc_threshold < 1:
             raise BddError("gc_threshold must be positive or None")
         self._gc_threshold = gc_threshold
-        # Parallel node arrays; slots 0/1 are the terminals.
-        self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
-        self._low: list[int] = [FALSE, TRUE]
-        self._high: list[int] = [FALSE, TRUE]
-        self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._not_cache: dict[int, int] = {}
-        # Variable bookkeeping.
+        if sift_threshold is not None and sift_threshold < 1:
+            raise BddError("sift_threshold must be positive or None")
+        self._sift_threshold = sift_threshold
+        self._in_sift = False
+        # Variable bookkeeping (shared by both kernels).
         self._var_level: dict[str, int] = {}
         self._level_var: list[str] = []
         self._var_node: dict[str, int] = {}
         # Live-handle registry (GC roots) and counters.
         self._handles: list[weakref.ref] = []
         self._handle_prune_at = 1024
-        self._last_gc_size = 2
         self._stats = BddStats()
+        self._init_store()
+        self._last_gc_size = len(self)
+        self._last_sift_size = len(self)
+
+    # ------------------------------------------------------------------
+    # Kernel primitive surface (implemented by each kernel subclass)
+    # ------------------------------------------------------------------
+    def _init_store(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _mk_var(self, level: int) -> int:  # pragma: no cover - abstract
+        """Create (or find) the node of a fresh variable at ``level``."""
+        raise NotImplementedError
+
+    def _mk_sem(self, level: int, lo: int, hi: int) -> int:  # pragma: no cover
+        """Canonical node with *semantic* cofactors ``lo``/``hi``."""
+        raise NotImplementedError
+
+    def _not(self, u: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _ite(self, f: int, g: int, h: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def _ref_level(self, u: int) -> int:  # pragma: no cover - abstract
+        """The variable level ``u`` branches on (TERMINAL_LEVEL for consts)."""
+        raise NotImplementedError
+
+    def _ref_cofactors(self, u: int, level: int) -> tuple[int, int]:  # pragma: no cover
+        """Semantic (low, high) cofactors of ``u`` with respect to ``level``."""
+        raise NotImplementedError
+
+    def _ref_index(self, u: int) -> int:  # pragma: no cover - abstract
+        """The structural node index behind reference ``u``."""
+        raise NotImplementedError
+
+    def collect_garbage(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clear_caches(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        """Current node-table size (terminals included)."""
+        raise NotImplementedError
+
+    def _adopt_store(self, other: "BddManager") -> None:  # pragma: no cover
+        """Replace this manager's node store with ``other``'s (sifting)."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Counters and handle registry
@@ -142,8 +270,9 @@ class BddManager:
     def stats(self) -> BddStats:
         """Live performance counters (peak refreshed on read)."""
         stats = self._stats
-        if len(self._level) > stats.peak_nodes:
-            stats.peak_nodes = len(self._level)
+        size = len(self)
+        if size > stats.peak_nodes:
+            stats.peak_nodes = size
         return stats
 
     def _register(self, handle: Function) -> None:
@@ -153,6 +282,15 @@ class BddManager:
         if len(handles) > self._handle_prune_at:
             self._handles = [ref for ref in handles if ref() is not None]
             self._handle_prune_at = max(1024, 2 * len(self._handles))
+
+    def _live_handles(self) -> list[Function]:
+        """Every still-alive Function handle of this manager."""
+        live: list[Function] = []
+        for ref in self._handles:
+            handle = ref()
+            if handle is not None:
+                live.append(handle)
+        return live
 
     # ------------------------------------------------------------------
     # Variables
@@ -167,7 +305,7 @@ class BddManager:
             level = len(self._level_var)
             self._var_level[name] = level
             self._level_var.append(name)
-            self._var_node[name] = self._mk(level, FALSE, TRUE)
+            self._var_node[name] = self._mk_var(level)
         return Function(self, self._var_node[name])
 
     def add_vars(self, names: Iterable[str]) -> list[Function]:
@@ -198,51 +336,25 @@ class BddManager:
         return list(self._level_var)
 
     # ------------------------------------------------------------------
-    # Constants and sizes
+    # Constants
     # ------------------------------------------------------------------
     @property
     def false(self) -> Function:
         """The constant-0 function."""
-        return Function(self, FALSE)
+        return Function(self, self._false_ref)
 
     @property
     def true(self) -> Function:
         """The constant-1 function."""
-        return Function(self, TRUE)
+        return Function(self, self._true_ref)
 
     def constant(self, value: bool) -> Function:
         """The constant function for ``value``."""
         return self.true if value else self.false
 
-    def __len__(self) -> int:
-        """Current node-table size (terminals included).
-
-        Grows with every created node and shrinks when
-        :meth:`collect_garbage` compacts the table.
-        """
-        return len(self._level)
-
-    # ------------------------------------------------------------------
-    # Core node construction
-    # ------------------------------------------------------------------
-    def _mk(self, level: int, low: int, high: int) -> int:
-        """Find-or-create the canonical node ``(level, low, high)``."""
-        if low == high:
-            return low
-        key = (level, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            if self._budget is not None:
-                self._budget.charge()
-            if self._deadline is not None:
-                self._deadline.check("bdd node creation")
-            node = len(self._level)
-            self._level.append(level)
-            self._low.append(low)
-            self._high.append(high)
-            self._unique[key] = node
-            self._stats.nodes_created += 1
-        return node
+    def _is_const(self, u: int) -> bool:
+        """True for the two constant references (both kernels use <= 1)."""
+        return u <= 1
 
     def _check(self, f: Function) -> int:
         """Validate that ``f`` belongs to this manager; return its node."""
@@ -251,190 +363,88 @@ class BddManager:
         return f.node
 
     # ------------------------------------------------------------------
-    # NOT / ITE — the core memoized operations (explicit stacks)
+    # Shared cache discipline
     # ------------------------------------------------------------------
-    def _not(self, u: int) -> int:
-        if u <= TRUE:
-            return TRUE - u
-        cache = self._not_cache
-        cached = cache.get(u)
-        if cached is not None:
-            return cached
-        low_arr, high_arr = self._low, self._high
-        stack: list[tuple[int, bool]] = [(u, False)]
-        while stack:
-            node, ready = stack.pop()
-            if node in cache:
-                continue
-            low, high = low_arr[node], high_arr[node]
-            if not ready:
-                stack.append((node, True))
-                if low > TRUE and low not in cache:
-                    stack.append((low, False))
-                if high > TRUE and high not in cache:
-                    stack.append((high, False))
-                continue
-            n_low = TRUE - low if low <= TRUE else cache[low]
-            n_high = TRUE - high if high <= TRUE else cache[high]
-            result = self._mk(self._level[node], n_low, n_high)
-            cache[node] = result
-            cache[result] = node
-        return cache[u]
-
-    def _normalize_triple(self, f: int, g: int, h: int) -> tuple[int, int, int]:
-        """Canonicalize an ITE triple without changing its function.
-
-        Standard rules, adapted to a manager without complement edges
-        (complements are recognized opportunistically through the
-        bidirectional NOT cache):
-
-        * ``ite(f, f, h) → ite(f, 1, h)`` and ``ite(f, g, f) →
-          ite(f, g, 0)`` (and the complemented twins);
-        * ``ite(f, g, h) → ite(¬f, h, g)`` when ``¬f`` is a smaller
-          node — complemented tests share one entry;
-        * AND commutes: ``ite(f, g, 0) → ite(g, f, 0)`` with the
-          smaller node as the test;
-        * OR commutes: ``ite(f, 1, h) → ite(h, 1, f)`` likewise;
-        * XNOR commutes: ``ite(f, g, ¬g) → ite(g, f, ¬f)`` when that
-          lowers the test node.
-
-        Every accepted rewrite strictly decreases the test node, so the
-        loop terminates.  The caller re-runs the terminal shortcuts
-        afterwards (a substitution can expose one).
-        """
-        not_cache = self._not_cache
-        while True:
-            if g == f:
-                g = TRUE
-            elif h == f:
-                h = FALSE
-            nf = not_cache.get(f)
-            if nf is not None:
-                if g == nf:
-                    g = FALSE
-                elif h == nf:
-                    h = TRUE
-                if nf < f:
-                    f, g, h = nf, h, g
-                    continue
-            if h == FALSE:
-                if TRUE < g < f:
-                    f, g = g, f
-                    continue
-            elif g == TRUE:
-                if TRUE < h < f:
-                    f, h = h, f
-                    continue
-            elif (
-                nf is not None
-                and TRUE < g < f
-                and not_cache.get(g) == h
-            ):
-                f, g, h = g, f, nf
-                continue
-            return f, g, h
-
     def _evict_ite_cache(self) -> None:
-        """Drop the oldest half of the ITE cache (insertion order)."""
+        """Drop the least-recently-used half of the ITE cache.
+
+        Hits re-insert their entry at the young end (see the kernels'
+        ``_ite``), so plain insertion order *is* recency order and
+        dropping the oldest half evicts the coldest triples.
+        """
         cache = self._ite_cache
         drop = max(1, len(cache) // 2)
         for key in list(cache.keys())[:drop]:
             del cache[key]
         self._stats.cache_evictions += 1
 
-    def _ite(self, f: int, g: int, h: int) -> int:
-        """Memoized if-then-else on raw nodes, explicit-stack form.
+    # ------------------------------------------------------------------
+    # Public Boolean algebra (used by Function operators)
+    # ------------------------------------------------------------------
+    def ite(self, f: Function, g: Function, h: Function) -> Function:
+        """If-then-else: ``f & g | ~f & h``."""
+        self._maybe_gc()
+        return Function(self, self._ite(self._check(f), self._check(g), self._check(h)))
 
-        Frames are ``(False, f, g, h)`` — resolve a triple — or
-        ``(True, key, level)`` — both cofactor results are on the value
-        stack; build the node and fill the cache.  LIFO ordering means
-        a subproblem's whole subtree completes before its sibling
-        starts, so the cache behaves exactly like the recursive form.
-        """
-        cache = self._ite_cache
-        stats = self._stats
-        level_arr, low_arr, high_arr = self._level, self._low, self._high
-        normalize = self._normalize
-        max_cache = self._max_cache_size
-        tasks: list[tuple] = [(False, f, g, h)]
-        values: list[int] = []
-        while tasks:
-            frame = tasks.pop()
-            if frame[0]:
-                _, key, level = frame
-                high = values.pop()
-                low = values.pop()
-                result = self._mk(level, low, high)
-                if max_cache is not None and len(cache) >= max_cache:
-                    self._evict_ite_cache()
-                cache[key] = result
-                values.append(result)
-                continue
-            _, f, g, h = frame
-            stats.ite_calls += 1
-            result = -1
-            probed = False
-            while True:
-                # Terminal shortcuts.
-                if f == TRUE:
-                    result = g
-                elif f == FALSE:
-                    result = h
-                elif g == h:
-                    result = g
-                elif g == TRUE and h == FALSE:
-                    result = f
-                elif g == FALSE and h == TRUE:
-                    result = self._not(f)
-                else:
-                    # Non-terminal: this triple is one probe of the
-                    # cache layer (counted once, even if normalization
-                    # then rewrites it).
-                    if not probed:
-                        probed = True
-                        stats.cache_lookups += 1
-                    if normalize:
-                        nf, ng, nh = self._normalize_triple(f, g, h)
-                        if (nf, ng, nh) != (f, g, h):
-                            f, g, h = nf, ng, nh
-                            continue  # a rewrite can expose a terminal
+    def apply_not(self, f: Function) -> Function:
+        """Complement of ``f``."""
+        self._maybe_gc()
+        return Function(self, self._not(self._check(f)))
+
+    def apply_and(self, f: Function, g: Function) -> Function:
+        """Conjunction of ``f`` and ``g``."""
+        self._maybe_gc()
+        return Function(
+            self, self._ite(self._check(f), self._check(g), self._false_ref)
+        )
+
+    def apply_or(self, f: Function, g: Function) -> Function:
+        """Disjunction of ``f`` and ``g``."""
+        self._maybe_gc()
+        return Function(
+            self, self._ite(self._check(f), self._true_ref, self._check(g))
+        )
+
+    def apply_xor(self, f: Function, g: Function) -> Function:
+        """Exclusive-or of ``f`` and ``g``."""
+        self._maybe_gc()
+        gn = self._check(g)
+        return Function(self, self._ite(self._check(f), self._not(gn), gn))
+
+    def apply_xnor(self, f: Function, g: Function) -> Function:
+        """Equivalence (complement of xor)."""
+        self._maybe_gc()
+        gn = self._check(g)
+        return Function(self, self._ite(self._check(f), gn, self._not(gn)))
+
+    def apply_implies(self, f: Function, g: Function) -> Function:
+        """Implication ``f -> g``."""
+        self._maybe_gc()
+        return Function(
+            self, self._ite(self._check(f), self._check(g), self._true_ref)
+        )
+
+    def conjoin(self, functions: Iterable[Function]) -> Function:
+        """AND of an iterable of functions (TRUE for empty input)."""
+        self._maybe_gc()
+        false_ref = self._false_ref
+        acc = self._true_ref
+        for f in functions:
+            acc = self._ite(self._check(f), acc, false_ref)
+            if acc == false_ref:
                 break
-            if result >= 0:
-                if probed:
-                    # Answered by a normalization rewrite: no expansion,
-                    # no recomputation — a hit of the cache layer.
-                    stats.cache_hits += 1
-                values.append(result)
-                continue
-            key = (f, g, h)
-            cached = cache.get(key)
-            if cached is not None:
-                stats.cache_hits += 1
-                values.append(cached)
-                continue
-            level = min(level_arr[f], level_arr[g], level_arr[h])
-            if level_arr[f] == level:
-                f0, f1 = low_arr[f], high_arr[f]
-            else:
-                f0 = f1 = f
-            if level_arr[g] == level:
-                g0, g1 = low_arr[g], high_arr[g]
-            else:
-                g0 = g1 = g
-            if level_arr[h] == level:
-                h0, h1 = low_arr[h], high_arr[h]
-            else:
-                h0 = h1 = h
-            tasks.append((True, key, level))
-            tasks.append((False, f1, g1, h1))
-            tasks.append((False, f0, g0, h0))
-        return values[-1]
+        return Function(self, acc)
 
-    def _cofactors(self, u: int, level: int) -> tuple[int, int]:
-        """(low, high) cofactors of ``u`` with respect to ``level``."""
-        if self._level[u] == level:
-            return self._low[u], self._high[u]
-        return u, u
+    def disjoin(self, functions: Iterable[Function]) -> Function:
+        """OR of an iterable of functions (FALSE for empty input)."""
+        self._maybe_gc()
+        true_ref = self._true_ref
+        acc = self._false_ref
+        for f in functions:
+            acc = self._ite(self._check(f), true_ref, acc)
+            if acc == true_ref:
+                break
+        return Function(self, acc)
 
     # ------------------------------------------------------------------
     # Generic memoized postorder (the iterative-recursion workhorse)
@@ -444,7 +454,7 @@ class BddManager:
 
         ``children(key)`` lists the sub-keys a key depends on;
         ``combine(key, values)`` computes its result once every child's
-        value is in ``cache``.  Keys may be nodes or tuples of nodes.
+        value is in ``cache``.  Keys may be refs or tuples of refs.
         LIFO scheduling gives the exact evaluation order (and therefore
         the exact cache behaviour) of the recursive original.
         """
@@ -467,84 +477,27 @@ class BddManager:
         return cache[root]
 
     # ------------------------------------------------------------------
-    # Public Boolean algebra (used by Function operators)
-    # ------------------------------------------------------------------
-    def ite(self, f: Function, g: Function, h: Function) -> Function:
-        """If-then-else: ``f & g | ~f & h``."""
-        self._maybe_gc()
-        return Function(self, self._ite(self._check(f), self._check(g), self._check(h)))
-
-    def apply_not(self, f: Function) -> Function:
-        """Complement of ``f``."""
-        self._maybe_gc()
-        return Function(self, self._not(self._check(f)))
-
-    def apply_and(self, f: Function, g: Function) -> Function:
-        """Conjunction of ``f`` and ``g``."""
-        self._maybe_gc()
-        return Function(self, self._ite(self._check(f), self._check(g), FALSE))
-
-    def apply_or(self, f: Function, g: Function) -> Function:
-        """Disjunction of ``f`` and ``g``."""
-        self._maybe_gc()
-        return Function(self, self._ite(self._check(f), TRUE, self._check(g)))
-
-    def apply_xor(self, f: Function, g: Function) -> Function:
-        """Exclusive-or of ``f`` and ``g``."""
-        self._maybe_gc()
-        gn = self._check(g)
-        return Function(self, self._ite(self._check(f), self._not(gn), gn))
-
-    def apply_xnor(self, f: Function, g: Function) -> Function:
-        """Equivalence (complement of xor)."""
-        self._maybe_gc()
-        gn = self._check(g)
-        return Function(self, self._ite(self._check(f), gn, self._not(gn)))
-
-    def apply_implies(self, f: Function, g: Function) -> Function:
-        """Implication ``f -> g``."""
-        self._maybe_gc()
-        return Function(self, self._ite(self._check(f), self._check(g), TRUE))
-
-    def conjoin(self, functions: Iterable[Function]) -> Function:
-        """AND of an iterable of functions (TRUE for empty input)."""
-        self._maybe_gc()
-        acc = TRUE
-        for f in functions:
-            acc = self._ite(self._check(f), acc, FALSE)
-            if acc == FALSE:
-                break
-        return Function(self, acc)
-
-    def disjoin(self, functions: Iterable[Function]) -> Function:
-        """OR of an iterable of functions (FALSE for empty input)."""
-        self._maybe_gc()
-        acc = FALSE
-        for f in functions:
-            acc = self._ite(self._check(f), TRUE, acc)
-            if acc == TRUE:
-                break
-        return Function(self, acc)
-
-    # ------------------------------------------------------------------
     # Restriction, composition, quantification
     # ------------------------------------------------------------------
     def restrict(self, f: Function, assignment: Mapping[str, bool]) -> Function:
         """Cofactor ``f`` by fixing the variables in ``assignment``."""
         self._maybe_gc()
         by_level = {self.level_of(name): bool(val) for name, val in assignment.items()}
-        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        false_ref, true_ref = self._false_ref, self._true_ref
+        cache: dict[int, int] = {false_ref: false_ref, true_ref: true_ref}
 
         def children(u: int) -> tuple:
-            if self._level[u] in by_level:
-                return (self._high[u] if by_level[self._level[u]] else self._low[u],)
-            return (self._low[u], self._high[u])
+            level = self._ref_level(u)
+            lo, hi = self._ref_cofactors(u, level)
+            if level in by_level:
+                return (hi if by_level[level] else lo,)
+            return (lo, hi)
 
         def combine(u: int, values: list[int]) -> int:
-            level = self._level[u]
+            level = self._ref_level(u)
             if level in by_level:
                 return values[0]
-            return self._mk(level, values[0], values[1])
+            return self._mk_sem(level, values[0], values[1])
 
         return Function(
             self, self._run_postorder(self._check(f), children, combine, cache)
@@ -566,13 +519,14 @@ class BddManager:
         }
         if not subs_by_level:
             return f
-        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        false_ref, true_ref = self._false_ref, self._true_ref
+        cache: dict[int, int] = {false_ref: false_ref, true_ref: true_ref}
 
         def children(u: int) -> tuple:
-            return (self._low[u], self._high[u])
+            return self._ref_cofactors(u, self._ref_level(u))
 
         def combine(u: int, values: list[int]) -> int:
-            level = self._level[u]
+            level = self._ref_level(u)
             branch = subs_by_level.get(level)
             if branch is None:
                 branch = self._var_node[self._level_var[level]]
@@ -598,23 +552,24 @@ class BddManager:
 
     def _quantify(self, f: Function, names: Iterable[str], conj: bool) -> Function:
         # No _maybe_gc here: and_exists calls this mid-traversal with raw
-        # node indices live on its stack — a remap would corrupt them.
+        # node refs live on its stack — a remap would corrupt them.
         levels = frozenset(self.level_of(name) for name in names)
         if not levels:
             return f
-        cache: dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        false_ref, true_ref = self._false_ref, self._true_ref
+        cache: dict[int, int] = {false_ref: false_ref, true_ref: true_ref}
 
         def children(u: int) -> tuple:
-            return (self._low[u], self._high[u])
+            return self._ref_cofactors(u, self._ref_level(u))
 
         def combine(u: int, values: list[int]) -> int:
             low, high = values
-            level = self._level[u]
+            level = self._ref_level(u)
             if level in levels:
                 if conj:
-                    return self._ite(low, high, FALSE)
-                return self._ite(low, TRUE, high)
-            return self._mk(level, low, high)
+                    return self._ite(low, high, false_ref)
+                return self._ite(low, true_ref, high)
+            return self._mk_sem(level, low, high)
 
         return Function(
             self, self._run_postorder(self._check(f), children, combine, cache)
@@ -630,6 +585,7 @@ class BddManager:
         self._maybe_gc()
         names = [str(name) for name in names]
         levels = frozenset(self.level_of(name) for name in names)
+        false_ref, true_ref = self._false_ref, self._true_ref
         cache: dict[tuple[int, int], int] = {}
 
         def key_of(u: int, v: int) -> tuple[int, int]:
@@ -637,30 +593,30 @@ class BddManager:
 
         def children(key: tuple[int, int]) -> tuple:
             u, v = key
-            if u <= TRUE or v <= TRUE:
+            if self._is_const(u) or self._is_const(v):
                 return ()
-            level = min(self._level[u], self._level[v])
-            u0, u1 = self._cofactors(u, level)
-            v0, v1 = self._cofactors(v, level)
+            level = min(self._ref_level(u), self._ref_level(v))
+            u0, u1 = self._ref_cofactors(u, level)
+            v0, v1 = self._ref_cofactors(v, level)
             return (key_of(u0, v0), key_of(u1, v1))
 
         def combine(key: tuple[int, int], values: list[int]) -> int:
             u, v = key
-            if u == FALSE or v == FALSE:
-                return FALSE
-            if u == TRUE and v == TRUE:
-                return TRUE
-            if u == TRUE or v == TRUE:
+            if u == false_ref or v == false_ref:
+                return false_ref
+            if u == true_ref and v == true_ref:
+                return true_ref
+            if u == true_ref or v == true_ref:
                 # Reduce to single-operand quantification.
-                w = v if u == TRUE else u
+                w = v if u == true_ref else u
                 return self._check(
                     self._quantify(Function(self, w), names, conj=False)
                 )
-            level = min(self._level[u], self._level[v])
+            level = min(self._ref_level(u), self._ref_level(v))
             low, high = values
             if level in levels:
-                return self._ite(low, TRUE, high)
-            return self._mk(level, low, high)
+                return self._ite(low, true_ref, high)
+            return self._mk_sem(level, low, high)
 
         return Function(
             self,
@@ -678,33 +634,34 @@ class BddManager:
         """
         self._maybe_gc()
         fn, cn = self._check(f), self._check(c)
-        if cn == FALSE:
+        false_ref, true_ref = self._false_ref, self._true_ref
+        if cn == false_ref:
             raise BddError("constrain by the empty care set")
         cache: dict[tuple[int, int], int] = {}
 
         def children(key: tuple[int, int]) -> tuple:
             u, k = key
-            if k == TRUE or u <= TRUE or u == k:
+            if k == true_ref or self._is_const(u) or u == k:
                 return ()
-            level = min(self._level[u], self._level[k])
-            k0, k1 = self._cofactors(k, level)
-            u0, u1 = self._cofactors(u, level)
-            if k0 == FALSE:
+            level = min(self._ref_level(u), self._ref_level(k))
+            k0, k1 = self._ref_cofactors(k, level)
+            u0, u1 = self._ref_cofactors(u, level)
+            if k0 == false_ref:
                 return ((u1, k1),)
-            if k1 == FALSE:
+            if k1 == false_ref:
                 return ((u0, k0),)
             return ((u0, k0), (u1, k1))
 
         def combine(key: tuple[int, int], values: list[int]) -> int:
             u, k = key
-            if k == TRUE or u <= TRUE:
+            if k == true_ref or self._is_const(u):
                 return u
             if u == k:
-                return TRUE
+                return true_ref
             if len(values) == 1:
                 return values[0]
-            level = min(self._level[u], self._level[k])
-            return self._mk(level, values[0], values[1])
+            level = min(self._ref_level(u), self._ref_level(k))
+            return self._mk_sem(level, values[0], values[1])
 
         return Function(self, self._run_postorder((fn, cn), children, combine, cache))
 
@@ -714,32 +671,35 @@ class BddManager:
         (restrict quantifies it out of the care set instead)."""
         self._maybe_gc()
         fn, cn = self._check(f), self._check(c)
-        if cn == FALSE:
+        false_ref, true_ref = self._false_ref, self._true_ref
+        if cn == false_ref:
             raise BddError("restrict by the empty care set")
         cache: dict[tuple[int, int], int] = {}
 
         def children(key: tuple[int, int]) -> tuple:
             u, k = key
-            if k == TRUE or u <= TRUE:
+            if k == true_ref or self._is_const(u):
                 return ()
-            u_level, k_level = self._level[u], self._level[k]
+            u_level, k_level = self._ref_level(u), self._ref_level(k)
             if k_level < u_level:
                 # Care splits on a variable f ignores: drop it.
-                return ((u, self._ite(self._low[k], TRUE, self._high[k])),)
-            k0, k1 = self._cofactors(k, u_level)
-            if k0 == FALSE:
-                return ((self._high[u], k1),)
-            if k1 == FALSE:
-                return ((self._low[u], k0),)
-            return ((self._low[u], k0), (self._high[u], k1))
+                k0, k1 = self._ref_cofactors(k, k_level)
+                return ((u, self._ite(k0, true_ref, k1)),)
+            u0, u1 = self._ref_cofactors(u, u_level)
+            k0, k1 = self._ref_cofactors(k, u_level)
+            if k0 == false_ref:
+                return ((u1, k1),)
+            if k1 == false_ref:
+                return ((u0, k0),)
+            return ((u0, k0), (u1, k1))
 
         def combine(key: tuple[int, int], values: list[int]) -> int:
             u, k = key
-            if k == TRUE or u <= TRUE:
+            if k == true_ref or self._is_const(u):
                 return u
             if len(values) == 1:
                 return values[0]
-            return self._mk(self._level[u], values[0], values[1])
+            return self._mk_sem(self._ref_level(u), values[0], values[1])
 
         return Function(self, self._run_postorder((fn, cn), children, combine, cache))
 
@@ -753,40 +713,50 @@ class BddManager:
         stack = [self._check(f)]
         while stack:
             u = stack.pop()
-            if u <= TRUE or u in seen:
+            if self._is_const(u):
                 continue
-            seen.add(u)
-            levels.add(self._level[u])
-            stack.append(self._low[u])
-            stack.append(self._high[u])
+            idx = self._ref_index(u)
+            if idx in seen:
+                continue
+            seen.add(idx)
+            level = self._ref_level(u)
+            levels.add(level)
+            lo, hi = self._ref_cofactors(u, level)
+            stack.append(lo)
+            stack.append(hi)
         return {self._level_var[level] for level in levels}
 
     def evaluate(self, f: Function, assignment: Mapping[str, bool]) -> bool:
         """Evaluate ``f`` under a (complete-on-support) assignment."""
         u = self._check(f)
-        while u > TRUE:
-            name = self._level_var[self._level[u]]
+        while not self._is_const(u):
+            level = self._ref_level(u)
+            name = self._level_var[level]
             try:
                 branch = assignment[name]
             except KeyError:
                 raise BddError(f"assignment missing variable {name!r}") from None
-            u = self._high[u] if branch else self._low[u]
-        return u == TRUE
+            lo, hi = self._ref_cofactors(u, level)
+            u = hi if branch else lo
+        return u == self._true_ref
 
     def pick_one(self, f: Function) -> dict[str, bool] | None:
         """One satisfying assignment over ``f``'s support, or ``None``."""
         u = self._check(f)
-        if u == FALSE:
+        false_ref = self._false_ref
+        if u == false_ref:
             return None
         result: dict[str, bool] = {}
-        while u > TRUE:
-            name = self._level_var[self._level[u]]
-            if self._low[u] != FALSE:
+        while not self._is_const(u):
+            level = self._ref_level(u)
+            name = self._level_var[level]
+            lo, hi = self._ref_cofactors(u, level)
+            if lo != false_ref:
                 result[name] = False
-                u = self._low[u]
+                u = lo
             else:
                 result[name] = True
-                u = self._high[u]
+                u = hi
         return result
 
     def sat_iter(self, f: Function, care_vars: Iterable[str] | None = None) -> Iterator[dict[str, bool]]:
@@ -802,22 +772,24 @@ class BddManager:
         )
         order = {name: i for i, name in enumerate(names)}
         node = self._check(f)
+        false_ref, true_ref = self._false_ref, self._true_ref
 
         def walk(u: int, idx: int) -> Iterator[dict[str, bool]]:
-            if u == FALSE:
+            if u == false_ref:
                 return
             if idx == len(names):
-                if u == TRUE:
+                if u == true_ref:
                     yield {}
                 return
             name = names[idx]
             level = self._var_level[name]
-            if u > TRUE and self._level[u] == level:
-                low, high = self._low[u], self._high[u]
-            elif u > TRUE and self._level[u] < level:
+            u_level = TERMINAL_LEVEL if self._is_const(u) else self._ref_level(u)
+            if u_level == level:
+                low, high = self._ref_cofactors(u, level)
+            elif u_level < level:
                 # f depends on a variable outside care_vars: refuse.
                 raise BddError(
-                    f"function depends on {self._level_var[self._level[u]]!r}, "
+                    f"function depends on {self._level_var[u_level]!r}, "
                     "which is not in care_vars"
                 )
             else:
@@ -840,6 +812,7 @@ class BddManager:
         ``nvars`` defaults to the size of ``f``'s support.
         """
         u = self._check(f)
+        false_ref, true_ref = self._false_ref, self._true_ref
         support_levels = sorted(
             self._var_level[name] for name in self.support(Function(self, u))
         )
@@ -847,8 +820,8 @@ class BddManager:
             nvars = len(support_levels)
         if nvars < len(support_levels):
             raise BddError("nvars smaller than the function's support")
-        if u <= TRUE:
-            return u << nvars
+        if self._is_const(u):
+            return (1 if u == true_ref else 0) << nvars
         # Count over the support only, then scale by free variables.
         index_of = {level: i for i, level in enumerate(support_levels)}
         total = len(support_levels)
@@ -856,144 +829,188 @@ class BddManager:
 
         def count_child(child: int, position: int) -> int:
             """Assignments of support vars strictly below ``position``."""
-            if child == FALSE:
+            if child == false_ref:
                 return 0
-            if child == TRUE:
+            if child == true_ref:
                 return 1 << (total - position - 1)
-            return cache[child] << (index_of[self._level[child]] - position - 1)
+            return cache[child] << (
+                index_of[self._ref_level(child)] - position - 1
+            )
 
         def children(node: int) -> tuple:
             return tuple(
                 child
-                for child in (self._low[node], self._high[node])
-                if child > TRUE
+                for child in self._ref_cofactors(node, self._ref_level(node))
+                if not self._is_const(child)
             )
 
         def combine(node: int, _values: list[int]) -> int:
-            position = index_of[self._level[node]]
-            return count_child(self._low[node], position) + count_child(
-                self._high[node], position
-            )
+            level = self._ref_level(node)
+            position = index_of[level]
+            lo, hi = self._ref_cofactors(node, level)
+            return count_child(lo, position) + count_child(hi, position)
 
         self._run_postorder(u, children, combine, cache)
-        root_count = cache[u] << index_of[self._level[u]]
+        root_count = cache[u] << index_of[self._ref_level(u)]
         return root_count << (nvars - total)
 
     def node_count(self, f: Function) -> int:
-        """Number of nodes in ``f``'s DAG (terminals included)."""
+        """Number of structural nodes in ``f``'s DAG (terminals included).
+
+        With complement edges (the array kernel) a function and its
+        complement share every node and there is a single terminal, so
+        counts are smaller than the object kernel's for the same
+        function; within one kernel the count is the usual BDD size.
+        """
+        return self.dag_size([Function(self, self._check(f))])
+
+    def dag_size(self, functions: Iterable[Function]) -> int:
+        """Distinct structural nodes over a *set* of functions.
+
+        Shared subgraphs are counted once; terminals are included.
+        This is the combined-size objective the ordering search
+        (:mod:`repro.bdd.reorder`) minimizes.
+        """
         seen: set[int] = set()
-        stack = [self._check(f)]
+        stack = [self._check(f) for f in functions]
         while stack:
             u = stack.pop()
-            if u in seen:
+            idx = self._ref_index(u)
+            if idx in seen:
                 continue
-            seen.add(u)
-            if u > TRUE:
-                stack.append(self._low[u])
-                stack.append(self._high[u])
+            seen.add(idx)
+            if not self._is_const(u):
+                level = self._ref_level(u)
+                lo, hi = self._ref_cofactors(u, level)
+                stack.append(lo)
+                stack.append(hi)
         return len(seen)
 
     # ------------------------------------------------------------------
-    # Maintenance: cache hygiene and garbage collection
+    # Maintenance: GC trigger and dynamic sifting hooks
     # ------------------------------------------------------------------
-    def clear_caches(self) -> None:
-        """Drop operation caches (keeps the node table and variables)."""
-        self._ite_cache.clear()
-        self._not_cache.clear()
-
     def _maybe_gc(self) -> None:
-        """Collect if the table grew past the threshold.
+        """Run automatic maintenance if the table grew past a threshold.
 
         Called only at public-operation boundaries: mid-traversal state
-        (raw node indices on explicit stacks) must never see a remap.
+        (raw node refs on explicit stacks) must never see a remap.
+        Checks the GC threshold first (collection is cheaper), then the
+        dynamic-sifting threshold.
         """
+        size = len(self)
         if (
             self._gc_threshold is not None
-            and len(self._level) - self._last_gc_size >= self._gc_threshold
+            and size - self._last_gc_size >= self._gc_threshold
         ):
             self.collect_garbage()
+            size = len(self)
+        if (
+            self._sift_threshold is not None
+            and not self._in_sift
+            and size - self._last_sift_size >= self._sift_threshold
+        ):
+            self.sift_now(max_passes=1)
 
-    def collect_garbage(self) -> int:
-        """Mark-and-sweep dead nodes; returns how many were reclaimed.
+    def sift_now(self, max_passes: int = 1) -> bool:
+        """Dynamically reorder this manager's variables *in place*.
 
-        Roots are every live :class:`Function` handle plus every
-        declared variable.  Surviving nodes are compacted to the front
-        of the table (children always precede parents, so a single
-        ascending pass remaps consistently), live handles are
-        re-pointed at their new indices, and both operation caches are
-        flushed (their keys name old indices).  Reclaimed nodes that a
-        later operation needs again are simply recreated — and charged
-        to the budget again, since the budget meters allocation work.
+        Sifts the live functions (every still-alive handle) to a
+        smaller combined order, rebuilds the node store under the new
+        order, and re-points every live handle — callers keep their
+        ``Function`` objects and semantics, only levels (and sizes)
+        change.  Trial rebuilds are charged to the manager's budget and
+        poll its deadline, so a sift inside a resource-limited sweep is
+        interruptible; arm ``sift_threshold=N`` at construction to
+        trigger this automatically mid-sweep.
+
+        Returns ``True`` when a reorder was applied, ``False`` when
+        there was nothing to sift (or no improvement was found).
         """
-        stats = self.stats  # property access refreshes peak_nodes
-        size = len(self._level)
-        marks = bytearray(size)
-        marks[FALSE] = marks[TRUE] = 1
-        live_handles: list[Function] = []
-        roots: list[int] = list(self._var_node.values())
-        for ref in self._handles:
-            handle = ref()
-            if handle is not None:
-                live_handles.append(handle)
-                roots.append(handle.node)
-        stack = roots
-        while stack:
-            u = stack.pop()
-            if marks[u]:
-                continue
-            marks[u] = 1
-            stack.append(self._low[u])
-            stack.append(self._high[u])
-        # Compact: children have smaller indices than their parents, so
-        # remap entries are always ready when a survivor needs them.
-        remap = [0] * size
-        new_level: list[int] = []
-        new_low: list[int] = []
-        new_high: list[int] = []
-        for old in range(size):
-            if not marks[old]:
-                continue
-            remap[old] = len(new_level)
-            new_level.append(self._level[old])
-            new_low.append(remap[self._low[old]])
-            new_high.append(remap[self._high[old]])
-        reclaimed = size - len(new_level)
-        self._level, self._low, self._high = new_level, new_low, new_high
-        self._unique = {
-            (new_level[n], new_low[n], new_high[n]): n
-            for n in range(2, len(new_level))
-        }
-        self._ite_cache.clear()
-        self._not_cache.clear()
-        self._var_node = {
-            name: remap[node] for name, node in self._var_node.items()
-        }
-        for handle in live_handles:
-            handle.node = remap[handle.node]
-        self._handles = [weakref.ref(handle) for handle in live_handles]
-        self._handle_prune_at = max(1024, 2 * len(self._handles))
-        self._last_gc_size = len(new_level)
-        stats.gc_runs += 1
-        stats.nodes_reclaimed += reclaimed
-        return reclaimed
+        if self._in_sift:
+            return False
+        from repro.bdd.reorder import sift_order
+        from repro.bdd.transfer import transfer
+
+        self._in_sift = True
+        try:
+            handles = self._live_handles()
+            funcs = [h for h in handles if not self._is_const(h.node)]
+            # Dedupe by ref: sifting cost scales with the function set.
+            by_ref: dict[int, Function] = {}
+            for fn in funcs:
+                by_ref.setdefault(fn.node, fn)
+            roots = list(by_ref.values())
+            self._last_sift_size = len(self)
+            if not roots:
+                return False
+            before = self.dag_size(roots)
+            order, after = sift_order(
+                roots,
+                max_passes=max_passes,
+                budget=self._budget,
+                deadline=self._deadline,
+            )
+            self._stats.sift_runs += 1
+            if after >= before:
+                return False
+            # Preserve every declared variable: sifted support first,
+            # then the untouched remainder in its old relative order.
+            placed = set(order)
+            full_order = list(order) + [
+                name for name in self._level_var if name not in placed
+            ]
+            scratch = type(self)(
+                budget=self._budget,
+                deadline=self._deadline,
+                normalize_ite=self._normalize,
+                max_cache_size=self._max_cache_size,
+            )
+            scratch.add_vars(full_order)
+            moved = [transfer(h, scratch) for h in handles]
+            # Adopt the scratch store and re-point the live handles.
+            self._adopt_store(scratch)
+            self._var_level = dict(scratch._var_level)
+            self._level_var = list(scratch._level_var)
+            self._var_node = dict(scratch._var_node)
+            for handle, twin in zip(handles, moved):
+                handle.node = twin.node
+            self._handles = [weakref.ref(h) for h in handles]
+            self._handle_prune_at = max(1024, 2 * len(self._handles))
+            self._last_gc_size = len(self)
+            self._last_sift_size = len(self)
+            # The rebuild's allocation work is real work of this manager.
+            rebuilt = scratch._stats
+            self._stats.nodes_created += rebuilt.nodes_created
+            self._stats.ite_calls += rebuilt.ite_calls
+            self._stats.cache_lookups += rebuilt.cache_lookups
+            self._stats.cache_hits += rebuilt.cache_hits
+            return True
+        finally:
+            self._in_sift = False
 
     def to_dot(self, f: Function, name: str = "bdd") -> str:
-        """Graphviz dot text for ``f`` (debugging / documentation aid)."""
+        """Graphviz dot text for ``f`` (debugging / documentation aid).
+
+        Rendered in *semantic* form: complement edges are expanded, so
+        a node whose both phases are referenced appears once per phase.
+        """
         lines = [f"digraph {name} {{", '  node [shape=circle];']
-        lines.append('  n0 [shape=box, label="0"];')
-        lines.append('  n1 [shape=box, label="1"];')
+        lines.append(f'  n{self._false_ref} [shape=box, label="0"];')
+        lines.append(f'  n{self._true_ref} [shape=box, label="1"];')
         seen: set[int] = set()
         stack = [self._check(f)]
         while stack:
             u = stack.pop()
-            if u <= TRUE or u in seen:
+            if self._is_const(u) or u in seen:
                 continue
             seen.add(u)
-            label = self._level_var[self._level[u]]
+            level = self._ref_level(u)
+            label = self._level_var[level]
+            lo, hi = self._ref_cofactors(u, level)
             lines.append(f'  n{u} [label="{label}"];')
-            lines.append(f"  n{u} -> n{self._low[u]} [style=dashed];")
-            lines.append(f"  n{u} -> n{self._high[u]};")
-            stack.append(self._low[u])
-            stack.append(self._high[u])
+            lines.append(f"  n{u} -> n{lo} [style=dashed];")
+            lines.append(f"  n{u} -> n{hi};")
+            stack.append(lo)
+            stack.append(hi)
         lines.append("}")
         return "\n".join(lines)

@@ -1,0 +1,382 @@
+"""The historical two-terminal node store, kept as a cross-check oracle.
+
+Implementation notes
+--------------------
+* Nodes are integers indexing parallel lists (``_level``, ``_low``,
+  ``_high``).  Node ``0`` is the constant FALSE, node ``1`` the constant
+  TRUE; both live at a sentinel level below every variable.
+* No complement edges: simpler invariants.  NOT is a memoized DAG copy
+  through a *bidirectional* NOT cache, which the triple normalization
+  also consults to recognize complemented operands opportunistically.
+  The cache is bounded under ``max_cache_size`` (it used to grow
+  without limit between GCs); evictions are counted in
+  :attr:`BddStats.not_cache_evictions` and happen only at ``_not``
+  entry — never mid-traversal, where the copy loop still needs its
+  children's fresh entries.
+* All Boolean operations are routed through a memoized Shannon-style
+  ``ite`` (if-then-else) with standard triple normalization (see
+  :meth:`ObjectKernelManager._normalize_triple`): commuted and
+  complemented forms of the same subproblem share one operation-cache
+  entry.  Cache hits move their entry to the young end, so the bounded
+  cache evicts by recency, not insertion age.
+
+Everything above the primitive surface — restriction, composition,
+quantification, SAT queries, sizes, dynamic sifting — lives in the
+shared base class :class:`repro.bdd.manager.BddManager`.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.bdd.function import Function
+from repro.bdd.manager import FALSE, TRUE, TERMINAL_LEVEL, BddManager
+
+
+class ObjectKernelManager(BddManager):
+    """BDD manager over the two-terminal list store (no complement edges)."""
+
+    kernel_name = "object"
+    _false_ref = FALSE
+    _true_ref = TRUE
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def _init_store(self) -> None:
+        # Parallel node arrays; slots 0/1 are the terminals.
+        self._level: list[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: list[int] = [FALSE, TRUE]
+        self._high: list[int] = [FALSE, TRUE]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        """Current node-table size (terminals included).
+
+        Grows with every created node and shrinks when
+        :meth:`collect_garbage` compacts the table.
+        """
+        return len(self._level)
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the canonical node ``(level, low, high)``."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            if self._budget is not None:
+                self._budget.charge()
+            if self._deadline is not None:
+                self._deadline.check("bdd node creation")
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+            self._stats.nodes_created += 1
+        return node
+
+    # Without complement edges the stored cofactors *are* the semantic
+    # cofactors, so the canonical constructor is ``_mk`` itself.
+    _mk_sem = _mk
+
+    def _mk_var(self, level: int) -> int:
+        return self._mk(level, FALSE, TRUE)
+
+    # ------------------------------------------------------------------
+    # Kernel primitive surface
+    # ------------------------------------------------------------------
+    def _ref_level(self, u: int) -> int:
+        return self._level[u]
+
+    def _ref_cofactors(self, u: int, level: int) -> tuple[int, int]:
+        """(low, high) cofactors of ``u`` with respect to ``level``."""
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    def _ref_index(self, u: int) -> int:
+        return u
+
+    # Kept under its historical name for the in-package callers.
+    _cofactors = _ref_cofactors
+
+    # ------------------------------------------------------------------
+    # NOT / ITE — the core memoized operations (explicit stacks)
+    # ------------------------------------------------------------------
+    def _evict_not_cache(self) -> None:
+        """Drop the oldest half of the NOT cache.
+
+        Only ever called at ``_not`` entry: the traversal loop reads
+        just-computed children out of the cache, so shrinking it
+        mid-copy would corrupt the walk.  The cache is bidirectional;
+        halves of a pair may part ways under eviction, which costs a
+        recomputation later but never an incorrect answer.
+        """
+        cache = self._not_cache
+        drop = max(1, len(cache) // 2)
+        for key in list(cache.keys())[:drop]:
+            del cache[key]
+        self._stats.not_cache_evictions += 1
+
+    def _not(self, u: int) -> int:
+        if u <= TRUE:
+            return TRUE - u
+        cache = self._not_cache
+        cached = cache.get(u)
+        if cached is not None:
+            # Refresh recency so the bounded cache keeps hot entries.
+            del cache[u]
+            cache[u] = cached
+            return cached
+        max_cache = self._max_cache_size
+        if max_cache is not None and len(cache) >= max_cache:
+            self._evict_not_cache()
+        low_arr, high_arr = self._low, self._high
+        stack: list[tuple[int, bool]] = [(u, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node in cache:
+                continue
+            low, high = low_arr[node], high_arr[node]
+            if not ready:
+                stack.append((node, True))
+                if low > TRUE and low not in cache:
+                    stack.append((low, False))
+                if high > TRUE and high not in cache:
+                    stack.append((high, False))
+                continue
+            n_low = TRUE - low if low <= TRUE else cache[low]
+            n_high = TRUE - high if high <= TRUE else cache[high]
+            result = self._mk(self._level[node], n_low, n_high)
+            cache[node] = result
+            cache[result] = node
+        return cache[u]
+
+    def _normalize_triple(self, f: int, g: int, h: int) -> tuple[int, int, int]:
+        """Canonicalize an ITE triple without changing its function.
+
+        Standard rules, adapted to a manager without complement edges
+        (complements are recognized opportunistically through the
+        bidirectional NOT cache):
+
+        * ``ite(f, f, h) → ite(f, 1, h)`` and ``ite(f, g, f) →
+          ite(f, g, 0)`` (and the complemented twins);
+        * ``ite(f, g, h) → ite(¬f, h, g)`` when ``¬f`` is a smaller
+          node — complemented tests share one entry;
+        * AND commutes: ``ite(f, g, 0) → ite(g, f, 0)`` with the
+          smaller node as the test;
+        * OR commutes: ``ite(f, 1, h) → ite(h, 1, f)`` likewise;
+        * XNOR commutes: ``ite(f, g, ¬g) → ite(g, f, ¬f)`` when that
+          lowers the test node.
+
+        Every accepted rewrite strictly decreases the test node, so the
+        loop terminates.  The caller re-runs the terminal shortcuts
+        afterwards (a substitution can expose one).
+        """
+        not_cache = self._not_cache
+        while True:
+            if g == f:
+                g = TRUE
+            elif h == f:
+                h = FALSE
+            nf = not_cache.get(f)
+            if nf is not None:
+                if g == nf:
+                    g = FALSE
+                elif h == nf:
+                    h = TRUE
+                if nf < f:
+                    f, g, h = nf, h, g
+                    continue
+            if h == FALSE:
+                if TRUE < g < f:
+                    f, g = g, f
+                    continue
+            elif g == TRUE:
+                if TRUE < h < f:
+                    f, h = h, f
+                    continue
+            elif (
+                nf is not None
+                and TRUE < g < f
+                and not_cache.get(g) == h
+            ):
+                f, g, h = g, f, nf
+                continue
+            return f, g, h
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        """Memoized if-then-else on raw nodes, explicit-stack form.
+
+        Frames are ``(False, f, g, h)`` — resolve a triple — or
+        ``(True, key, level)`` — both cofactor results are on the value
+        stack; build the node and fill the cache.  LIFO ordering means
+        a subproblem's whole subtree completes before its sibling
+        starts, so the cache behaves exactly like the recursive form.
+        """
+        cache = self._ite_cache
+        stats = self._stats
+        level_arr, low_arr, high_arr = self._level, self._low, self._high
+        normalize = self._normalize
+        max_cache = self._max_cache_size
+        tasks: list[tuple] = [(False, f, g, h)]
+        values: list[int] = []
+        while tasks:
+            frame = tasks.pop()
+            if frame[0]:
+                _, key, level = frame
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(level, low, high)
+                if max_cache is not None and len(cache) >= max_cache:
+                    self._evict_ite_cache()
+                cache[key] = result
+                values.append(result)
+                continue
+            _, f, g, h = frame
+            stats.ite_calls += 1
+            result = -1
+            probed = False
+            while True:
+                # Terminal shortcuts.
+                if f == TRUE:
+                    result = g
+                elif f == FALSE:
+                    result = h
+                elif g == h:
+                    result = g
+                elif g == TRUE and h == FALSE:
+                    result = f
+                elif g == FALSE and h == TRUE:
+                    result = self._not(f)
+                else:
+                    # Non-terminal: this triple is one probe of the
+                    # cache layer (counted once, even if normalization
+                    # then rewrites it).
+                    if not probed:
+                        probed = True
+                        stats.cache_lookups += 1
+                    if normalize:
+                        nf, ng, nh = self._normalize_triple(f, g, h)
+                        if (nf, ng, nh) != (f, g, h):
+                            f, g, h = nf, ng, nh
+                            continue  # a rewrite can expose a terminal
+                break
+            if result >= 0:
+                if probed:
+                    # Answered by a normalization rewrite: no expansion,
+                    # no recomputation — a hit of the cache layer.
+                    stats.cache_hits += 1
+                values.append(result)
+                continue
+            key = (f, g, h)
+            cached = cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                # Move-to-end: a hit makes the entry young again, so
+                # bounded-cache eviction drops cold triples first.
+                del cache[key]
+                cache[key] = cached
+                values.append(cached)
+                continue
+            level = min(level_arr[f], level_arr[g], level_arr[h])
+            if level_arr[f] == level:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if level_arr[g] == level:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            if level_arr[h] == level:
+                h0, h1 = low_arr[h], high_arr[h]
+            else:
+                h0 = h1 = h
+            tasks.append((True, key, level))
+            tasks.append((False, f1, g1, h1))
+            tasks.append((False, f0, g0, h0))
+        return values[-1]
+
+    # ------------------------------------------------------------------
+    # Maintenance: cache hygiene and garbage collection
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (keeps the node table and variables)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+
+    def collect_garbage(self) -> int:
+        """Mark-and-sweep dead nodes; returns how many were reclaimed.
+
+        Roots are every live :class:`Function` handle plus every
+        declared variable.  Surviving nodes are compacted to the front
+        of the table (children always precede parents, so a single
+        ascending pass remaps consistently), live handles are
+        re-pointed at their new indices, and both operation caches are
+        flushed (their keys name old indices).  Reclaimed nodes that a
+        later operation needs again are simply recreated — and charged
+        to the budget again, since the budget meters allocation work.
+        """
+        stats = self.stats  # property access refreshes peak_nodes
+        size = len(self._level)
+        marks = bytearray(size)
+        marks[FALSE] = marks[TRUE] = 1
+        live_handles: list[Function] = []
+        roots: list[int] = list(self._var_node.values())
+        for ref in self._handles:
+            handle = ref()
+            if handle is not None:
+                live_handles.append(handle)
+                roots.append(handle.node)
+        stack = roots
+        while stack:
+            u = stack.pop()
+            if marks[u]:
+                continue
+            marks[u] = 1
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        # Compact: children have smaller indices than their parents, so
+        # remap entries are always ready when a survivor needs them.
+        remap = [0] * size
+        new_level: list[int] = []
+        new_low: list[int] = []
+        new_high: list[int] = []
+        for old in range(size):
+            if not marks[old]:
+                continue
+            remap[old] = len(new_level)
+            new_level.append(self._level[old])
+            new_low.append(remap[self._low[old]])
+            new_high.append(remap[self._high[old]])
+        reclaimed = size - len(new_level)
+        self._level, self._low, self._high = new_level, new_low, new_high
+        self._unique = {
+            (new_level[n], new_low[n], new_high[n]): n
+            for n in range(2, len(new_level))
+        }
+        self._ite_cache.clear()
+        self._not_cache.clear()
+        self._var_node = {
+            name: remap[node] for name, node in self._var_node.items()
+        }
+        for handle in live_handles:
+            handle.node = remap[handle.node]
+        self._handles = [weakref.ref(handle) for handle in live_handles]
+        self._handle_prune_at = max(1024, 2 * len(self._handles))
+        self._last_gc_size = len(new_level)
+        stats.gc_runs += 1
+        stats.nodes_reclaimed += reclaimed
+        return reclaimed
+
+    def _adopt_store(self, other: BddManager) -> None:
+        self._level = other._level
+        self._low = other._low
+        self._high = other._high
+        self._unique = other._unique
+        self._ite_cache.clear()
+        self._not_cache.clear()

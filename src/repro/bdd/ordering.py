@@ -1,10 +1,12 @@
 """Static variable-ordering heuristics.
 
-BDD sizes are exquisitely order-sensitive.  We do not implement dynamic
-reordering (sifting); instead the analyses choose a good *static* order
-before declaring variables, using the classic depth-first fanin
-traversal heuristic: variables that interact in the circuit end up close
-together in the order.
+BDD sizes are exquisitely order-sensitive.  The analyses choose a good
+*static* order before declaring variables, using the classic
+depth-first fanin traversal heuristic: variables that interact in the
+circuit end up close together in the order.  (Dynamic reordering lives
+elsewhere: :meth:`repro.bdd.manager.BddManager.sift_now` re-sifts a
+live manager mid-sweep, and :mod:`repro.bdd.reorder` searches orders by
+rebuild.)
 """
 
 from __future__ import annotations
@@ -34,22 +36,41 @@ def dfs_variable_order(
         Leaves in first-visit order.  This is the textbook netlist
         ordering heuristic: a depth-first walk places topologically
         related inputs adjacently.
+
+    The walk keeps its own stack of fanin iterators — no Python
+    recursion — so a chain netlist tens of thousands of gates deep
+    orders fine (the recursive form died with ``RecursionError`` at
+    the interpreter's limit, ~1000 levels).
     """
     order: list[Hashable] = []
     seen: set[Hashable] = set()
 
-    def visit(node: Hashable) -> None:
-        if node in seen:
-            return
+    def enter(node: Hashable):
+        """Mark a first visit; return the fanin iterator to descend."""
         seen.add(node)
         if is_leaf(node):
             order.append(node)
-            return
-        for child in fanins(node):
-            visit(child)
+            return None
+        return iter(fanins(node))
 
     for root in roots:
-        visit(root)
+        if root in seen:
+            continue
+        stack = []
+        frame = enter(root)
+        if frame is not None:
+            stack.append(frame)
+        while stack:
+            try:
+                node = next(stack[-1])
+            except StopIteration:
+                stack.pop()
+                continue
+            if node in seen:
+                continue
+            frame = enter(node)
+            if frame is not None:
+                stack.append(frame)
     return order
 
 

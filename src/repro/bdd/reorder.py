@@ -38,13 +38,16 @@ def reorder(
     order: Sequence[str],
     budget: Budget | None = None,
     deadline=None,
+    kernel: str | None = None,
 ) -> tuple[BddManager, list[Function]]:
     """Rebuild ``functions`` in a fresh manager using ``order``.
 
     Every support variable must appear in ``order``; extra names are
     declared but harmless.  ``budget``/``deadline`` are installed on
     the new manager, so the rebuild itself is charged and
-    interruptible.
+    interruptible.  The new manager uses the *source* manager's kernel
+    unless ``kernel`` overrides it — a reorder never silently switches
+    representations.
     """
     if not functions:
         raise BddError("nothing to reorder")
@@ -54,7 +57,9 @@ def reorder(
     missing = support - set(order)
     if missing:
         raise BddError(f"order misses variables {sorted(missing)}")
-    manager = BddManager(budget=budget, deadline=deadline)
+    if kernel is None:
+        kernel = functions[0].manager.kernel_name
+    manager = BddManager(budget=budget, deadline=deadline, kernel=kernel)
     manager.add_vars(order)
     return manager, [transfer(f, manager) for f in functions]
 
@@ -64,20 +69,18 @@ def order_size(
     order: Sequence[str],
     budget: Budget | None = None,
     deadline=None,
+    kernel: str | None = None,
 ) -> int:
-    """Combined distinct-node count of the set under ``order``."""
-    manager, rebuilt = reorder(functions, order, budget=budget, deadline=deadline)
-    seen: set[int] = set()
-    stack = [f.node for f in rebuilt]
-    while stack:
-        node = stack.pop()
-        if node in seen:
-            continue
-        seen.add(node)
-        if node > 1:
-            stack.append(manager._low[node])
-            stack.append(manager._high[node])
-    return len(seen)
+    """Combined distinct-node count of the set under ``order``.
+
+    Counted with :meth:`BddManager.dag_size` in the rebuilt manager, so
+    the number is representation-honest: under the array kernel shared
+    complement nodes count once and there is a single terminal.
+    """
+    manager, rebuilt = reorder(
+        functions, order, budget=budget, deadline=deadline, kernel=kernel
+    )
+    return manager.dag_size(rebuilt)
 
 
 def sift_order(

@@ -42,12 +42,19 @@ class BddStats:
     #: operation cache under the canonical key, or reduced to a known
     #: node by the normalization front-end.
     cache_hits: int = 0
-    #: Times the bounded ITE cache dropped its oldest half.
+    #: Times the bounded ITE cache dropped its least-recently-used half.
     cache_evictions: int = 0
+    #: Times the bounded NOT cache (object kernel only; the array
+    #: kernel's complement edges need no NOT cache) dropped its oldest
+    #: half.
+    not_cache_evictions: int = 0
     #: Completed mark-and-sweep passes.
     gc_runs: int = 0
     #: Dead nodes reclaimed across all GC passes.
     nodes_reclaimed: int = 0
+    #: Completed dynamic-sifting passes (``BddManager.sift_now``),
+    #: whether or not the trial order improved on the current one.
+    sift_runs: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -64,8 +71,10 @@ class BddStats:
         self.cache_lookups += other.cache_lookups
         self.cache_hits += other.cache_hits
         self.cache_evictions += other.cache_evictions
+        self.not_cache_evictions += other.not_cache_evictions
         self.gc_runs += other.gc_runs
         self.nodes_reclaimed += other.nodes_reclaimed
+        self.sift_runs += other.sift_runs
         return self
 
     @classmethod
@@ -90,8 +99,10 @@ class BddStats:
             "cache_hits": self.cache_hits,
             "cache_hit_rate": round(self.cache_hit_rate, 6),
             "cache_evictions": self.cache_evictions,
+            "not_cache_evictions": self.not_cache_evictions,
             "gc_runs": self.gc_runs,
             "nodes_reclaimed": self.nodes_reclaimed,
+            "sift_runs": self.sift_runs,
         }
 
     def summary(self) -> str:

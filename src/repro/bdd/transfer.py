@@ -25,20 +25,24 @@ def transfer(
     structured BDDs do not hit the recursion limit.  Note that the
     *order* of variables in ``target`` may differ from the source
     manager; the rebuild goes through ``ite`` and stays canonical.
+    Source and target may use different kernels — the walk reads
+    semantic cofactors, so it is also the array/object bridge.
     """
     source = f.manager
     rename = dict(rename or {})
+    # Keys are source *references*: under a complement-edge kernel a
+    # node's two phases are distinct functions and memoize separately.
     cache: dict[int, Function] = {
-        0: target.false,
-        1: target.true,
+        source._false_ref: target.false,
+        source._true_ref: target.true,
     }
     stack: list[tuple[int, bool]] = [(f.node, False)]
     while stack:
         node, ready = stack.pop()
         if node in cache:
             continue
-        low = source._low[node]
-        high = source._high[node]
+        level = source._ref_level(node)
+        low, high = source._ref_cofactors(node, level)
         if not ready:
             stack.append((node, True))
             if low not in cache:
@@ -46,7 +50,7 @@ def transfer(
             if high not in cache:
                 stack.append((high, False))
             continue
-        name = source.var_at_level(source._level[node])
+        name = source.var_at_level(level)
         var = target.var(rename.get(name, name))
         cache[node] = var.ite(cache[high], cache[low])
     return cache[f.node]

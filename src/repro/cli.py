@@ -183,6 +183,8 @@ def cmd_analyze(args) -> int:
             ),
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
+            bdd_kernel=args.bdd_kernel,
+            bdd_sift_threshold=args.bdd_sift_threshold,
         )
     except OptionsError as exc:
         # Safety net behind the flag-named checks above: every knob is
@@ -555,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reachability", action="store_true",
                    help="use reachable-state don't cares in the decision")
     p.add_argument("--budget", type=int, default=None, help="work budget")
+    p.add_argument("--bdd-kernel", choices=("array", "object"), default="array",
+                   help="BDD node-store kernel: 'array' (flat columns + "
+                        "complement edges, default) or 'object' (the "
+                        "historical store, kept as a cross-check oracle); "
+                        "both produce identical results")
+    p.add_argument("--bdd-sift-threshold", type=int, default=None, metavar="N",
+                   help="re-sift BDD variable orders dynamically once a "
+                        "manager grows by N nodes (default: off)")
     p.add_argument("--stats", action="store_true",
                    help="print BDD-engine counters (ite calls, cache hit "
                         "rate, GC runs) after the sweep")

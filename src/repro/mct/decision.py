@@ -87,11 +87,18 @@ class DecisionContext:
         budget: Budget | None = None,
         max_failing_options: int = 256,
         deadline=None,
+        kernel: str | None = None,
+        sift_threshold: int | None = None,
     ):
         self.machine = machine
         circuit = machine.circuit
         self.deadline = deadline
-        self.manager = BddManager(budget=budget, deadline=deadline)
+        self.manager = BddManager(
+            budget=budget,
+            deadline=deadline,
+            kernel=kernel,
+            sift_threshold=sift_threshold,
+        )
         self.expander = TimedExpander(
             circuit, machine.delays, self.manager, budget=budget,
             deadline=deadline,

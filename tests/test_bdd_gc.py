@@ -121,8 +121,9 @@ class TestDeepChains:
         # effect; importing the package must not touch it anymore.
         assert sys.getrecursionlimit() < 20_000
 
-    def test_deep_chain_conjunction_builds(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel,terminals", [("array", 1), ("object", 2)])
+    def test_deep_chain_conjunction_builds(self, kernel, terminals):
+        mgr = BddManager(kernel=kernel)
         names = [f"v{i}" for i in range(self.DEPTH)]
         mgr.add_vars(names)
         # Build bottom-up: each step ANDs a variable *above* the
@@ -130,11 +131,11 @@ class TestDeepChains:
         f = mgr.true
         for name in reversed(names):
             f = mgr.var(name) & f
-        assert f.node_count() == self.DEPTH + 2
+        assert f.node_count() == self.DEPTH + terminals
 
         # Full-depth traversals over the 25k-level chain.
-        g = ~f  # _not walks every level
-        assert g.node_count() == self.DEPTH + 2
+        g = ~f  # a DAG copy on the object kernel, one XOR on array
+        assert g.node_count() == self.DEPTH + terminals
         assert (~g) == f
 
         assert f.evaluate({name: True for name in names})
@@ -148,11 +149,12 @@ class TestDeepChains:
 
         # Quantify out the deepest variable: still a 20k+ chain.
         ex = f.exists([names[-1]])
-        assert ex.node_count() == self.DEPTH + 1
+        assert ex.node_count() == self.DEPTH - 1 + terminals
         assert f.sat_count(nvars=self.DEPTH) == 1
 
-    def test_deep_chain_survives_gc(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel,terminals", [("array", 1), ("object", 2)])
+    def test_deep_chain_survives_gc(self, kernel, terminals):
+        mgr = BddManager(kernel=kernel)
         names = [f"v{i}" for i in range(self.DEPTH)]
         mgr.add_vars(names)
         f = mgr.true
@@ -164,7 +166,7 @@ class TestDeepChains:
         del dead
         reclaimed = mgr.collect_garbage()
         assert reclaimed > 0
-        assert f.node_count() == self.DEPTH + 2
+        assert f.node_count() == self.DEPTH + terminals
         assert f.evaluate({name: True for name in names})
 
 
@@ -265,12 +267,13 @@ class TestGarbageCollection:
         assert stats.gc_runs == 1
         assert stats.nodes_reclaimed == reclaimed
 
-    def test_variables_survive_without_handles(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel,terminals", [("array", 1), ("object", 2)])
+    def test_variables_survive_without_handles(self, kernel, terminals):
+        mgr = BddManager(kernel=kernel)
         mgr.add_vars(["a", "b"])
         mgr.collect_garbage()
         # Variable nodes are roots even with no live Function handles.
-        assert mgr.var("a").node_count() == 3
+        assert mgr.var("a").node_count() == 1 + terminals
         assert (mgr.var("a") & mgr.var("b")).sat_count(nvars=2) == 1
 
     def test_auto_gc_triggers_at_threshold(self):

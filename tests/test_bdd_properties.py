@@ -203,6 +203,64 @@ def test_dfs_variable_order_simple_dag():
     assert order == ["a", "b", "c"]
 
 
+def test_dfs_variable_order_deep_chain():
+    """A linear netlist deeper than CPython's recursion limit.
+
+    The traversal is an explicit-stack DFS precisely so a pathological
+    chain (deep carry/scan logic) cannot blow the interpreter stack;
+    this chain is ~50x the default recursion limit.
+    """
+    depth = 50_000
+    fanins = {f"n{i}": [f"n{i + 1}"] for i in range(depth)}
+    fanins[f"n{depth}"] = ["x"]
+    order = dfs_variable_order(
+        ["n0"],
+        fanins=lambda n: fanins.get(n, []),
+        is_leaf=lambda n: n == "x",
+    )
+    assert order == ["x"]
+
+
+def test_dfs_variable_order_matches_recursive_reference():
+    """The iterative DFS visits leaves in recursive first-visit order."""
+    import random
+
+    rng = random.Random(7)
+    nodes = [f"g{i}" for i in range(60)]
+    leaves = {f"v{i}" for i in range(12)}
+    pool = list(leaves)
+    fanins = {}
+    for i, node in enumerate(nodes):
+        kids = rng.sample(pool, k=rng.randint(1, 3))
+        fanins[node] = kids
+        pool.append(node)
+
+    def recursive(roots):
+        seen, order = set(), []
+
+        def walk(n):
+            if n in seen:
+                return
+            seen.add(n)
+            if n in leaves:
+                order.append(n)
+                return
+            for kid in fanins.get(n, []):
+                walk(kid)
+
+        for root in roots:
+            walk(root)
+        return order
+
+    roots = nodes[-5:]
+    got = dfs_variable_order(
+        roots,
+        fanins=lambda n: fanins.get(n, []),
+        is_leaf=lambda n: n in leaves,
+    )
+    assert got == recursive(roots)
+
+
 def test_interleave_orders():
     assert interleave_orders(["a", "b"], ["x", "y", "z"]) == ["a", "x", "b", "y", "z"]
     assert interleave_orders(["a", "b"], ["a", "c"]) == ["a", "b", "c"]

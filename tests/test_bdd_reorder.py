@@ -34,15 +34,21 @@ def comb_function(mgr: BddManager, n: int, interleaved: bool):
     return f
 
 
+def terminals(mgr: BddManager) -> int:
+    """Terminal-node count of the kernel: complement edges share one."""
+    return 1 if mgr.kernel_name == "array" else 2
+
+
 class TestOrderSize:
-    def test_known_gap(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel", ["array", "object"])
+    def test_known_gap(self, kernel):
+        mgr = BddManager(kernel=kernel)
         f = comb_function(mgr, 5, interleaved=False)
         bad = [f"x{i}" for i in range(5)] + [f"y{i}" for i in range(5)]
         good = [v for i in range(5) for v in (f"x{i}", f"y{i}")]
         assert order_size([f], good) < order_size([f], bad)
-        # The interleaved order is linear: 2n + 2 nodes.
-        assert order_size([f], good) == 2 * 5 + 2
+        # The interleaved order is linear: 2n nodes + terminal(s).
+        assert order_size([f], good) == 2 * 5 + terminals(mgr)
 
     def test_missing_variable_rejected(self):
         mgr = BddManager()
@@ -75,21 +81,23 @@ class TestReorder:
 
 
 class TestSifting:
-    def test_recovers_interleaved_order(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel", ["array", "object"])
+    def test_recovers_interleaved_order(self, kernel):
+        mgr = BddManager(kernel=kernel)
         f = comb_function(mgr, 4, interleaved=False)
         bad = [f"x{i}" for i in range(4)] + [f"y{i}" for i in range(4)]
         start = order_size([f], bad)
         order, size = sift_order([f], max_passes=3, initial_order=bad)
         assert size < start
-        assert size == 2 * 4 + 2  # the optimal linear size
+        assert size == 2 * 4 + terminals(mgr)  # the optimal linear size
 
-    def test_already_optimal_stays(self):
-        mgr = BddManager()
+    @pytest.mark.parametrize("kernel", ["array", "object"])
+    def test_already_optimal_stays(self, kernel):
+        mgr = BddManager(kernel=kernel)
         f = comb_function(mgr, 3, interleaved=True)
         good = [v for i in range(3) for v in (f"x{i}", f"y{i}")]
         order, size = sift_order([f], initial_order=good)
-        assert size == 2 * 3 + 2
+        assert size == 2 * 3 + terminals(mgr)
 
     def test_sift_multiple_functions(self):
         mgr = BddManager()
