@@ -5,6 +5,10 @@ Measures, with wall-clock timing and full BDD-engine counters
 
 * the paper's Example 2 sweep, fixed and interval (90%–100%) delays;
 * every benchgen suite row (the Table 1 stand-ins), MCT sweep only;
+* two exact-LP stress cases (``interval_bank`` banks whose single
+  failing option set has 512 and 1024 age combinations — past the old
+  256-combination cap) run with ``exact_feasibility=True``, recording
+  the branch-and-bound LP counters;
 * a normalization ablation on Example 2 — the same sweep with ITE
   triple normalization off, establishing the pre-normalization cache
   hit rate the normalized run must beat;
@@ -19,17 +23,21 @@ Run from the repo root::
 
     PYTHONPATH=src python -m benchmarks.perf_baseline --output BENCH_mct.json
 
-The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/3``):
+The JSON schema is documented in docs/USAGE.md (``repro-mct-bench/4``):
 a ``cases`` list with per-case ``kernel``/``wall_seconds``/``mct``/
-``bdd`` objects, a ``normalization_ablation`` object comparing the
-two Example 2 runs, a ``kernel_comparison`` object with per-case
-array-vs-object rows, and a ``suite_parallel`` object with the
-serial/parallel wall clocks.  ``benchmarks/test_perf_baseline.py``
-runs this module end-to-end and enforces the ablation win, the
-cross-kernel verdict identity, the array kernel's work advantage on
-every ITE-heavy case, no ``ite_calls``/wall regression against the
-committed ``BENCH_mct.json``, the parallel row identity, and generous
-wall ceilings; the CI bench job uploads the JSON as an artifact.
+``bdd``/``lp`` objects (``lp`` is the ``LpStats`` counter dict, or
+``null`` when the sweep never built an exact oracle), a
+``normalization_ablation`` object comparing the two Example 2 runs, a
+``kernel_comparison`` object with per-case array-vs-object rows, and
+a ``suite_parallel`` object with the serial/parallel wall clocks.
+``benchmarks/test_perf_baseline.py`` runs this module end-to-end and
+enforces the ablation win, the cross-kernel verdict identity, the
+array kernel's work advantage on every ITE-heavy case, the
+branch-and-bound win on the exact-LP cases (``prescreen_skips +
+bound_prunes > solves``), no ``ite_calls``/wall regression against
+the committed ``BENCH_mct.json``, the parallel row identity, and
+generous wall ceilings; the CI bench job uploads the JSON as an
+artifact.
 """
 
 from __future__ import annotations
@@ -41,12 +49,12 @@ import sys
 import time
 from fractions import Fraction
 
-from repro.benchgen import paper_example2
+from repro.benchgen import interval_bank, paper_example2
 from repro.benchgen.suite import build_case, suite_cases
 from repro.bdd import set_default_ite_normalization
 from repro.mct import MctOptions, minimum_cycle_time
 
-SCHEMA = "repro-mct-bench/3"
+SCHEMA = "repro-mct-bench/4"
 
 #: A case is "ITE-heavy" when the object-kernel sweep examined at
 #: least this many ITE subproblems; the array kernel must win on
@@ -79,6 +87,7 @@ def run_sweep(name: str, circuit, delays, options: MctOptions | None = None) -> 
             [_frac(c.tau), c.status, c.m, c.rung] for c in result.candidates
         ],
         "bdd": None if result.bdd_stats is None else result.bdd_stats.as_dict(),
+        "lp": None if result.lp_stats is None else result.lp_stats.as_dict(),
     }
 
 
@@ -87,6 +96,11 @@ def _bench_cases():
     circuit, delays = paper_example2()
     yield "example2", circuit, delays, {}
     yield "example2-interval", circuit, delays.widen(Fraction(9, 10)), {}
+    exact = {"exact_feasibility": True, "max_exact_combinations": 1024}
+    circuit, delays = interval_bank(9, mix=("xor", "and", "or"), name="ivbank9")
+    yield "ivbank9-exact", circuit, delays, dict(exact)
+    circuit, delays = interval_bank(10, mix=("or", "xor", "and"), name="ivbank10")
+    yield "ivbank10-exact", circuit, delays, dict(exact)
     for case in suite_cases():
         circuit, delays = build_case(case)
         yield (

@@ -3,14 +3,18 @@
 Runs ``benchmarks.perf_baseline`` exactly as the CI bench job does,
 then enforces the report's contract:
 
-* the ``repro-mct-bench/3`` schema (cases for Example 2 and every
-  benchgen row, each tagged with its BDD kernel and carrying
-  wall-clock and full ``BddStats``);
+* the ``repro-mct-bench/4`` schema (cases for Example 2, the exact-LP
+  ``interval_bank`` stress rows, and every benchgen row, each tagged
+  with its BDD kernel and carrying wall-clock, full ``BddStats``, and
+  — on exact runs — the ``LpStats`` counter dict);
 * the normalized Example 2 sweep reports a cache hit rate *strictly
   higher* than the unnormalized baseline measured in the same run;
 * the kernel comparison shows byte-identical verdicts between the
   array and object kernels on every case, with the array kernel
   beating the object oracle on work for every ITE-heavy case;
+* the exact-LP stress cases prove the branch-and-bound fast path did
+  its job: work avoided (``prescreen_skips + bound_prunes``) strictly
+  exceeds work done (``solves``), with the accounting identity intact;
 * the fresh array-kernel run does not regress ``ite_calls`` (exact)
   or wall time (generous factor) against the committed
   ``BENCH_mct.json`` baseline;
@@ -67,10 +71,12 @@ def report(tmp_path_factory):
 
 
 def test_schema(report):
-    assert report["schema"] == perf_baseline.SCHEMA == "repro-mct-bench/3"
+    assert report["schema"] == perf_baseline.SCHEMA == "repro-mct-bench/4"
     names = [case["name"] for case in report["cases"]]
     assert "example2" in names
     assert "example2-interval" in names
+    assert "ivbank9-exact" in names
+    assert "ivbank10-exact" in names
     for case in suite_cases():
         assert f"benchgen/{case.name}" in names
     for case in report["cases"]:
@@ -81,6 +87,33 @@ def test_schema(report):
         # build a decision context: their bdd block is null by design.
         if case["bdd"] is not None:
             assert set(case["bdd"]) == BDD_KEYS
+
+
+def test_exact_lp_branch_and_bound_wins(report):
+    """The B&B oracle must avoid more LPs than it solves on the banks.
+
+    Each ``interval_bank`` case funnels one failing option set with
+    ``2**n_holds`` age combinations (512 and 1024 — both past the old
+    256-combination cap) into the exact oracle; a blind loop would
+    solve them all.  The gate requires the avoided work (prescreen
+    skips plus bound prunes) to strictly exceed the LPs solved, and
+    cross-checks the per-call accounting identity.
+    """
+    by_name = {case["name"]: case for case in report["cases"]}
+    for name, combos in (("ivbank9-exact", 512), ("ivbank10-exact", 1024)):
+        case = by_name[name]
+        lp = case["lp"]
+        assert lp is not None, name
+        assert case["failure_found"] is True, name
+        assert lp["solves"] >= 1, name
+        assert lp["prescreen_skips"] + lp["bound_prunes"] > lp["solves"], name
+        # solves + skips + prunes == enumerated combinations: nothing
+        # was silently dropped, and the fast path solved <= 50% of the
+        # LPs the blind loop would have.
+        assert (
+            lp["solves"] + lp["prescreen_skips"] + lp["bound_prunes"] == combos
+        ), name
+        assert lp["solves"] * 2 <= combos, name
 
 
 def test_example2_case_values(report):
@@ -143,7 +176,7 @@ def test_no_regression_against_committed_baseline(report):
     generous factor — machines differ, work counts do not.
     """
     committed = json.loads(BASELINE_PATH.read_text())
-    assert committed["schema"] == "repro-mct-bench/3"
+    assert committed["schema"] == "repro-mct-bench/4"
     committed_cases = {case["name"]: case for case in committed["cases"]}
     for case in report["cases"]:
         base = committed_cases.get(case["name"])

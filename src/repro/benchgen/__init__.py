@@ -24,6 +24,7 @@ from repro.benchgen.compose import merge, prefix_circuit
 from repro.benchgen.generators import (
     counter,
     fig2_rung,
+    interval_bank,
     lfsr,
     random_fsm,
     shift_register,
@@ -38,6 +39,7 @@ __all__ = [
     "merge",
     "prefix_circuit",
     "toggle_loop",
+    "interval_bank",
     "fig2_rung",
     "counter",
     "shift_register",

@@ -30,7 +30,7 @@ from fractions import Fraction
 
 from repro.errors import AnalysisError
 from repro.logic import Circuit, DelayMap, Gate, GateType, Latch, PinTiming
-from repro.logic.delays import DelayLike, as_fraction
+from repro.logic.delays import DelayLike, Interval, as_fraction
 
 
 def _chain(
@@ -96,6 +96,75 @@ def hold_loop(
     pins: dict = {}
     last = _chain(gates, pins, "q", "h", chain_len, delay, invert=False)
     circuit = Circuit(name, [], ["q"], gates, [Latch("q", last)])
+    return circuit, DelayMap(circuit, pins)
+
+
+def interval_bank(
+    n_holds: int = 9,
+    driver_delay: DelayLike | float = Fraction(21, 5),
+    hold_lo: DelayLike | float = Fraction(29, 10),
+    hold_hi: DelayLike | float = Fraction(87, 20),
+    mix: tuple[str, ...] = ("xor", "and", "or"),
+    name: str = "ivbank",
+) -> tuple[Circuit, DelayMap]:
+    """A point-delay toggle driving a bank of interval-delay holds.
+
+    The exact-LP stress case: one toggle register ``q <- NOT(q)`` with
+    a *point* delay fails every window below ``driver_delay``, while
+    ``n_holds`` hold registers carry *interval* delays straddling that
+    window, so each contributes a free two-age choice the failure does
+    not depend on.  The decision procedure therefore reports a single
+    failing option set whose cartesian product has ``2**n_holds``
+    combinations — far beyond the default exact-LP cap of 256.  Every
+    combination shares the driver's binding constraint, so a
+    branch-and-bound oracle solves one LP (whose supremum meets the
+    window top exactly) and bound-prunes the rest; a blind loop solves
+    all ``2**n_holds``.  A mixing tree over the registers (gate types
+    cycle through ``mix`` level by level) keeps the decision BDDs
+    ITE-heavy without adding breakpoints inside the failing window.
+    """
+    if n_holds < 1:
+        raise AnalysisError("interval_bank needs at least one hold register")
+    driver = as_fraction(driver_delay)
+    lo = as_fraction(hold_lo)
+    hi = as_fraction(hold_hi)
+    if not lo < driver < hi:
+        raise AnalysisError(
+            "need hold_lo < driver_delay < hold_hi so the hold ages "
+            "straddle the driver's failing window"
+        )
+    gate_types = {"xor": GateType.XOR, "and": GateType.AND, "or": GateType.OR}
+    gates: list[Gate] = []
+    pins: dict = {}
+    gates.append(Gate("d0", GateType.NOT, ("q",)))
+    pins[("d0", 0)] = PinTiming.symmetric(driver)
+    latches = [Latch("q", "d0")]
+    level = ["q"]
+    for i in range(n_holds):
+        h = f"h{i}"
+        net = f"hb{i}"
+        gates.append(Gate(net, GateType.BUF, (h,)))
+        pins[(net, 0)] = PinTiming.symmetric(Interval.of(lo, hi))
+        latches.append(Latch(h, net))
+        level.append(h)
+    tree_delay = Fraction(1, 20)
+    depth = 0
+    next_id = 0
+    while len(level) > 1:
+        reduced = []
+        for j in range(0, len(level) - 1, 2):
+            net = f"t{next_id}"
+            next_id += 1
+            gtype = gate_types[mix[depth % len(mix)]]
+            gates.append(Gate(net, gtype, (level[j], level[j + 1])))
+            pins[(net, 0)] = PinTiming.symmetric(tree_delay)
+            pins[(net, 1)] = PinTiming.symmetric(tree_delay)
+            reduced.append(net)
+        if len(level) % 2:
+            reduced.append(level[-1])
+        level = reduced
+        depth += 1
+    circuit = Circuit(name, [], [level[0]], gates, latches)
     return circuit, DelayMap(circuit, pins)
 
 

@@ -131,6 +131,14 @@ def cmd_analyze(args) -> int:
     if args.task_timeout is not None and args.task_timeout <= 0:
         print("error: --task-timeout must be positive", file=sys.stderr)
         return 1
+    for flag, value in (
+        ("--max-exact-paths", args.max_exact_paths),
+        ("--max-exact-combos", args.max_exact_combos),
+        ("--lp-shards", args.lp_shards),
+    ):
+        if value < 1:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 1
     if args.heartbeat_interval <= 0:
         print("error: --heartbeat-interval must be positive", file=sys.stderr)
         return 1
@@ -185,6 +193,10 @@ def cmd_analyze(args) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             bdd_kernel=args.bdd_kernel,
             bdd_sift_threshold=args.bdd_sift_threshold,
+            exact_feasibility=args.exact,
+            max_exact_paths=args.max_exact_paths,
+            max_exact_combinations=args.max_exact_combos,
+            lp_shards=args.lp_shards,
         )
     except OptionsError as exc:
         # Safety net behind the flag-named checks above: every knob is
@@ -254,6 +266,8 @@ def cmd_analyze(args) -> int:
             print(f"    BDD stats       : {result.bdd_stats.summary()}")
         else:
             print("    BDD stats       : none (no decision context was built)")
+        if result.lp_stats is not None:
+            print(f"    LP stats        : {result.lp_stats.summary()}")
         if result.supervision is not None:
             print(f"    supervision     : {result.supervision.summary()}")
         quarantined = sum(1 for r in result.candidates if r.quarantined)
@@ -565,9 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bdd-sift-threshold", type=int, default=None, metavar="N",
                    help="re-sift BDD variable orders dynamically once a "
                         "manager grows by N nodes (default: off)")
+    p.add_argument("--exact", action="store_true",
+                   help="tighten failing windows with the exact "
+                        "gate-coupled LP bound (Sec. 7) instead of the "
+                        "relaxed interval algebra alone")
+    p.add_argument("--max-exact-paths", type=int, default=10_000, metavar="N",
+                   help="path-enumeration cap for the exact LP; above it "
+                        "the sweep falls back to the relaxed bound "
+                        "(resource knob, excluded from the checkpoint "
+                        "fingerprint)")
+    p.add_argument("--max-exact-combos", type=int, default=256, metavar="N",
+                   help="age-combination cap per failing window for the "
+                        "exact LP; above it the sweep falls back to the "
+                        "relaxed bound (resource knob, excluded from the "
+                        "checkpoint fingerprint)")
+    p.add_argument("--lp-shards", type=int, default=1, metavar="N",
+                   help="solve surviving exact-LP programs on N worker "
+                        "processes per window (same bound as serial; "
+                        "execution knob, excluded from the checkpoint "
+                        "fingerprint)")
     p.add_argument("--stats", action="store_true",
                    help="print BDD-engine counters (ite calls, cache hit "
-                        "rate, GC runs) after the sweep")
+                        "rate, GC runs) and, under --exact, the exact-LP "
+                        "solver counters after the sweep")
     p.add_argument("--witness", action="store_true",
                    help="search for a simulated divergence below the bound")
     p.add_argument("--time-limit", type=float, default=None,

@@ -32,6 +32,7 @@ from repro.bdd.transfer import transfer
 from repro.errors import AnalysisError, Budget
 from repro.logic.delays import Interval
 from repro.mct.discretize import DiscretizedMachine, TimedLeaf
+from repro.mct.lp_stats import LpStats
 from repro.timed.expansion import (
     LeafInstance,
     TimedExpander,
@@ -120,6 +121,12 @@ class DecisionContext:
         self._care_cache: dict[int, Function] = {}
         self._outcomes: dict[frozenset, DecisionOutcome] = {}
         self.decisions_run = 0
+        #: Exact-LP work counters.  The context does not solve LPs
+        #: itself — the engine's lazily built
+        #: :class:`~repro.mct.lp_exact.ExactFeasibility` oracle charges
+        #: this object — but owning it here lets LP telemetry ride the
+        #: exact same merge/snapshot paths as :attr:`bdd_stats`.
+        self.lp_stats = LpStats()
 
     @property
     def bdd_stats(self):

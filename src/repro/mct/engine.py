@@ -52,6 +52,7 @@ from repro.mct.breakpoints import tau_breakpoints
 from repro.mct.decision import DecisionContext
 from repro.mct.discretize import DiscretizedMachine, build_discretized_machine
 from repro.mct.feasibility import sigma_sup_tau
+from repro.mct.lp_stats import LpStats
 from repro.parallel.supervise import Quarantined, RetryPolicy, SupervisionStats
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.deadline import Deadline
@@ -100,6 +101,14 @@ class MctOptions:
     exact_feasibility: bool = False
     max_exact_paths: int = 10_000
     max_exact_combinations: int = 256
+    #: Shard a large exact-LP survivor set across this many supervised
+    #: worker processes (1 = solve in-process).  A pure execution knob
+    #: like ``jobs``: the branch-and-bound max-merge is deterministic,
+    #: so the bound and candidates are identical at any shard count,
+    #: and the knob is not part of the checkpoint fingerprint.  Pool
+    #: and cluster workers clamp it to 1 — their LP work is already
+    #: distributed at window granularity.
+    lp_shards: int = 1
     #: Graceful-degradation rungs tried (in order) when a window
     #: exhausts its budget/deadline; a subset of :data:`DEFAULT_LADDER`.
     #: Empty (the default) fails fast exactly like the seed behaviour.
@@ -147,6 +156,12 @@ class MctOptions:
             )
         if self.bdd_sift_threshold is not None and self.bdd_sift_threshold < 1:
             raise OptionsError("bdd_sift_threshold must be positive or None")
+        if self.max_exact_paths < 1:
+            raise OptionsError("max_exact_paths must be positive")
+        if self.max_exact_combinations < 1:
+            raise OptionsError("max_exact_combinations must be positive")
+        if self.lp_shards < 1:
+            raise OptionsError("lp_shards must be positive")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,6 +190,10 @@ class CandidateRecord:
     #: it was decided serially in-process (the verdict is identical
     #: either way; this records *how* it was obtained).
     quarantined: bool = False
+    #: Exact-LP programs solved while deciding this window (0 unless
+    #: ``exact_feasibility`` filtered failing combinations here).  A
+    #: work measurement like ``ite_calls`` — not part of the verdict.
+    lp_solves: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -231,6 +250,10 @@ class MctResult:
     #: used (``None`` when the sweep never built one — e.g. the budget
     #: blew during path collection).
     bdd_stats: BddStats | None = None
+    #: Merged exact-LP branch-and-bound counters of every oracle the
+    #: sweep used (``None`` when ``exact_feasibility`` was off or no
+    #: decision context was ever built).
+    lp_stats: LpStats | None = None
     #: What the parallel supervisor had to do (crashes survived,
     #: retries, quarantines); ``None`` on the serial path.
     supervision: SupervisionStats | None = None
@@ -343,9 +366,12 @@ def _fingerprint(options: MctOptions) -> dict:
     describe *resources*, not the analysis, and resuming with more of
     either is the normal use.  Execution-side options are excluded for
     the same reason — ``retry_policy``, the heartbeat knobs, ``jobs``,
-    and the transport identity (local pool vs. socket cluster) never
-    enter the fingerprint, so a checkpoint written by any execution
-    configuration resumes under any other.
+    ``lp_shards``, and the transport identity (local pool vs. socket
+    cluster) never enter the fingerprint, so a checkpoint written by
+    any execution configuration resumes under any other.  The exact-LP
+    caps (``max_exact_paths`` / ``max_exact_combinations``) are also
+    resource ceilings, not analysis choices, and stay out for the same
+    reason the work budget does.
     """
     return {
         "check_outputs": bool(options.check_outputs),
@@ -452,7 +478,10 @@ def decide_window(
     (:meth:`_Sweep._examine_at`) and the parallel window workers
     (:mod:`repro.parallel.windows`).  ``oracle_factory`` lazily builds
     the exact gate-coupled LP oracle; it is only invoked when failing
-    combinations actually need filtering.
+    combinations actually need filtering.  With ``options.lp_shards >
+    1`` a supervised shard pool (built lazily, torn down before
+    returning) solves large survivor sets in parallel — the verdict is
+    identical, only the wall clock changes.
     """
     outcome = context.decide(regime)
     if outcome.passed_structurally:
@@ -469,20 +498,43 @@ def decide_window(
             roots=outcome.failing_roots,
         )
     oracle = oracle_factory() if oracle_factory is not None else None
+    shard_runner = None
     feasible = []
-    for sigma in outcome.failing_options:
-        sup = sigma_sup_tau(sigma, window, deadline=deadline)
-        if sup is None:
-            continue
-        if oracle is not None:
-            exact_sup = _exact_sup(oracle, sigma, window, options, deadline)
-            if exact_sup is _RELAXED:
-                pass  # fell back: keep the relaxed sup
-            elif exact_sup is None:
-                continue  # coupled LP proves σ unrealizable
-            else:
-                sup = exact_sup
-        feasible.append((sigma, sup))
+    try:
+        for sigma in outcome.failing_options:
+            sup = sigma_sup_tau(sigma, window, deadline=deadline)
+            if sup is None:
+                continue
+            if oracle is not None:
+                if shard_runner is None and options.lp_shards > 1:
+                    from repro.parallel.windows import LpShardRunner
+
+                    shard_runner = LpShardRunner(
+                        oracle,
+                        shards=options.lp_shards,
+                        policy=options.retry_policy,
+                        deadline=deadline,
+                    )
+                exact_sup = _exact_sup(
+                    oracle,
+                    sigma,
+                    window,
+                    options,
+                    deadline,
+                    shard_dispatch=(
+                        shard_runner.dispatch if shard_runner else None
+                    ),
+                )
+                if exact_sup is _RELAXED:
+                    pass  # fell back: keep the relaxed sup
+                elif exact_sup is None:
+                    continue  # coupled LP proves σ unrealizable
+                else:
+                    sup = exact_sup
+            feasible.append((sigma, sup))
+    finally:
+        if shard_runner is not None:
+            shard_runner.shutdown()
     if not feasible:
         return _Verdict("pass-infeasible", outcome.m)
     return _Verdict(
@@ -551,6 +603,7 @@ class _Sweep:
         reason: str,
         bdd_stats: BddStats | None = None,
         supervision: SupervisionStats | None = None,
+        lp_stats: LpStats | None = None,
     ) -> SweepCheckpoint:
         return SweepCheckpoint(
             circuit_name=self.circuit.name,
@@ -564,6 +617,7 @@ class _Sweep:
             supervision=(
                 None if supervision is None else supervision.as_dict()
             ),
+            lp_stats=None if lp_stats is None else lp_stats.as_dict(),
         )
 
     # ------------------------------------------------------------------
@@ -576,7 +630,14 @@ class _Sweep:
 
     def _oracle(self):
         if self._oracle_cache is _UNSET:
-            self._oracle_cache = _exact_oracle(self.machine, self.options)
+            # Charge the active rung's context so LP counters ride the
+            # same per-context merge paths as the BDD counters (the
+            # context exists by the time decide_window invokes us).
+            self._oracle_cache = _exact_oracle(
+                self.machine,
+                self.options,
+                stats=self._context(self.rung_idx).lp_stats,
+            )
         return self._oracle_cache
 
     def _bdd_stats(self) -> BddStats | None:
@@ -588,10 +649,25 @@ class _Sweep:
             merged.merge(context.bdd_stats)
         return merged
 
+    def _lp_stats(self) -> LpStats | None:
+        """Merged exact-LP counters, or None when exact mode is off."""
+        if not self.options.exact_feasibility or not self.contexts:
+            return None
+        merged = LpStats()
+        for context in self.contexts.values():
+            merged.merge(context.lp_stats)
+        return merged
+
     def _ite_calls(self) -> int:
         """Total ITE calls across every context built so far."""
         return sum(
             context.bdd_stats.ite_calls for context in self.contexts.values()
+        )
+
+    def _lp_solves(self) -> int:
+        """Total LP solves across every context built so far."""
+        return sum(
+            context.lp_stats.solves for context in self.contexts.values()
         )
 
     def _context(self, idx: int) -> DecisionContext:
@@ -778,12 +854,14 @@ class _Sweep:
                 ctx.decisions_run for ctx in self.contexts.values()
             ),
             bdd_stats=self._bdd_stats(),
+            lp_stats=self._lp_stats(),
         )
 
     def _decide_serial(self, regime, m: int, tau: Fraction, window) -> _Verdict:
         """Examine one window via the ladder and append its record."""
         window_start = time.monotonic()
         ite_before = self._ite_calls()
+        lp_before = self._lp_solves()
         verdict = self._examine(regime, m, tau, window)
         self.records.append(
             CandidateRecord(
@@ -793,6 +871,7 @@ class _Sweep:
                 time.monotonic() - window_start,
                 self.rungs[self.rung_idx].name,
                 self._ite_calls() - ite_before,
+                lp_solves=self._lp_solves() - lp_before,
             )
         )
         return verdict
@@ -812,6 +891,7 @@ class _Sweep:
         interrupted: bool,
         decisions_run: int,
         bdd_stats: BddStats | None,
+        lp_stats: LpStats | None = None,
         supervision: SupervisionStats | None = None,
         cancelled: bool = False,
     ) -> MctResult:
@@ -847,11 +927,12 @@ class _Sweep:
             rung=self.rungs[self.rung_idx].name,
             degradations=tuple(self.degradations),
             checkpoint=(
-                self._checkpoint(notes, bdd_stats, supervision)
+                self._checkpoint(notes, bdd_stats, supervision, lp_stats)
                 if interrupted
                 else None
             ),
             bdd_stats=bdd_stats,
+            lp_stats=lp_stats,
             supervision=supervision,
             cancelled=cancelled,
         )
@@ -977,9 +1058,10 @@ class _Sweep:
         interrupted = False
         cancelled = False
         rung_name = self.rungs[self.rung_idx].name
-        #: pid -> (seq, BddStats dict, decisions_run): latest cumulative
-        #: snapshot each worker attached to a task result.
-        snapshots: dict[int, tuple[int, dict, int]] = {}
+        #: pid -> (seq, BddStats dict, LpStats dict | None,
+        #: decisions_run): latest cumulative snapshot each worker
+        #: attached to a task result.
+        snapshots: dict[int, tuple[int, dict, dict | None, int]] = {}
 
         def absorb(payload: dict) -> None:
             snap = payload.get("worker")
@@ -988,7 +1070,10 @@ class _Sweep:
             have = snapshots.get(snap["pid"])
             if have is None or have[0] < snap["seq"]:
                 snapshots[snap["pid"]] = (
-                    snap["seq"], snap["stats"], snap["decisions_run"]
+                    snap["seq"],
+                    snap["stats"],
+                    snap.get("lp"),
+                    snap["decisions_run"],
                 )
 
         transport = self.transport or LocalTransport(self.jobs)
@@ -1058,6 +1143,7 @@ class _Sweep:
                     # degraded throughput, identical verdict.
                     window_start = time.monotonic()
                     ite_before = self._ite_calls()
+                    lp_before = self._lp_solves()
                     try:
                         verdict = self._examine_at(
                             self.rungs[self.rung_idx], regime, window
@@ -1086,6 +1172,7 @@ class _Sweep:
                             self._ite_calls() - ite_before,
                             attempts=outcome.attempts,
                             quarantined=True,
+                            lp_solves=self._lp_solves() - lp_before,
                         )
                     )
                 else:
@@ -1121,6 +1208,7 @@ class _Sweep:
                             rung_name,
                             payload["ite_calls"],
                             attempts=handle.attempts,
+                            lp_solves=payload.get("lp_solves", 0),
                         )
                     )
                 if verdict.status != "fail":
@@ -1150,13 +1238,18 @@ class _Sweep:
         # Parent-side contexts exist only for quarantined windows; merge
         # them with the workers' cumulative snapshots.
         merged = self._bdd_stats()
+        merged_lp = self._lp_stats()
         decisions = sum(ctx.decisions_run for ctx in self.contexts.values())
         if snapshots:
             if merged is None:
                 merged = BddStats()
-            for _, stats_dict, decided in snapshots.values():
+            for _, stats_dict, lp_dict, decided in snapshots.values():
                 merged.merge(BddStats.from_dict(stats_dict))
                 decisions += decided
+                if lp_dict is not None and self.options.exact_feasibility:
+                    if merged_lp is None:
+                        merged_lp = LpStats()
+                    merged_lp.merge(LpStats.from_dict(lp_dict))
         return self._finalize(
             mct_ub=mct_ub,
             failure_found=failure_found,
@@ -1171,6 +1264,7 @@ class _Sweep:
             cancelled=cancelled,
             decisions_run=decisions,
             bdd_stats=merged,
+            lp_stats=merged_lp,
             supervision=session.stats,
         )
 
@@ -1250,18 +1344,34 @@ def _reachable_care(circuit: Circuit, options: MctOptions) -> Function:
 _RELAXED = object()
 
 
-def _exact_oracle(machine: DiscretizedMachine, options: MctOptions):
+def _exact_oracle(
+    machine: DiscretizedMachine, options: MctOptions, stats: LpStats | None = None
+):
     """Build the gate-coupled LP oracle, or None when enumeration
-    blows the path cap (the relaxed model then stays in force)."""
+    blows the path cap (the relaxed model then stays in force).
+
+    ``stats`` is the :class:`LpStats` the oracle should charge —
+    normally the owning decision context's, so LP telemetry merges and
+    snapshots exactly like the BDD counters.
+    """
     from repro.mct.lp_exact import ExactFeasibility
 
     try:
-        return ExactFeasibility(machine, max_paths=options.max_exact_paths)
+        return ExactFeasibility(
+            machine, max_paths=options.max_exact_paths, stats=stats
+        )
     except AnalysisError:
         return None
 
 
-def _exact_sup(oracle, sigma, window, options: MctOptions, deadline=None):
+def _exact_sup(
+    oracle,
+    sigma,
+    window,
+    options: MctOptions,
+    deadline=None,
+    shard_dispatch=None,
+):
     """Exact τ(σ) over an age-option set; ``_RELAXED`` on fallback."""
     try:
         return oracle.sup_tau_options(
@@ -1269,6 +1379,7 @@ def _exact_sup(oracle, sigma, window, options: MctOptions, deadline=None):
             window,
             max_combinations=options.max_exact_combinations,
             deadline=deadline,
+            shard_dispatch=shard_dispatch,
         )
     except AnalysisError:
         return _RELAXED

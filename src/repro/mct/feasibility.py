@@ -150,6 +150,28 @@ def sigma_is_feasible(
     return bool(feasible_tau_range(sigma, window, deadline=deadline))
 
 
+def point_sigma_sup_tau(
+    sigma: dict[TimedLeaf, int],
+    window: TauRange | None = None,
+    deadline=None,
+) -> tuple[bool, Fraction | None]:
+    """Relaxed feasibility and supremum of one fully specified σ.
+
+    The prescreen primitive of the exact-LP branch and bound
+    (:mod:`repro.mct.lp_exact`): ``sigma`` assigns a *single* age per
+    leaf, and the return value distinguishes "infeasible" from
+    "unbounded above" — ``(False, None)`` when no τ works,
+    ``(True, sup)`` otherwise with ``sup=None`` meaning the feasible
+    set has no finite top (only possible without a window cap).
+    """
+    tau_set = feasible_tau_range(
+        {tl: (age,) for tl, age in sigma.items()}, window, deadline=deadline
+    )
+    if not tau_set:
+        return (False, None)
+    return (True, tau_set[-1][1])
+
+
 def sigma_sup_tau(
     sigma: dict[TimedLeaf, tuple[int, ...]],
     window: TauRange | None = None,

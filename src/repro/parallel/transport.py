@@ -21,7 +21,10 @@ promises the engine relies on for byte-identical-to-serial results:
    never change the answer;
 2. ``result`` returns the payload dict of the *given* handle (or a
    :class:`~repro.parallel.supervise.Quarantined` marker — the caller
-   then decides serially in-process), never some other task's;
+   then decides serially in-process), never some other task's; the
+   payload carries the work telemetry of the decision (``ite_calls``,
+   ``lp_solves``, and the cumulative per-worker ``worker`` snapshot
+   with its ``stats``/``lp`` counter dicts);
 3. transport identity is an execution detail: it is excluded from the
    checkpoint fingerprint, so checkpoints move freely between serial,
    pooled, and clustered runs.

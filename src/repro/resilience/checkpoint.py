@@ -90,11 +90,13 @@ class SweepCheckpoint:
     #: Options fingerprint checked on resume (see engine._fingerprint).
     fingerprint: Mapping[str, object] = dataclasses.field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
-    #: Optional telemetry (v2+): merged BDD counters / supervision
+    #: Optional telemetry (v2+): merged BDD / exact-LP / supervision
     #: counters at interruption time.  Measurements, not state — resume
-    #: ignores them, and :meth:`canonical` strips them.
+    #: ignores them, and :meth:`canonical` strips them.  ``lp_stats``
+    #: is a late v2 addition; older v2 files simply lack the key.
     bdd_stats: Mapping[str, object] | None = None
     supervision: Mapping[str, object] | None = None
+    lp_stats: Mapping[str, object] | None = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -119,6 +121,7 @@ class SweepCheckpoint:
                     "ite_calls": r.ite_calls,
                     "attempts": r.attempts,
                     "quarantined": r.quarantined,
+                    "lp_solves": r.lp_solves,
                 }
                 for r in self.records
             ],
@@ -127,6 +130,8 @@ class SweepCheckpoint:
             data["bdd_stats"] = dict(self.bdd_stats)
         if self.supervision is not None:
             data["supervision"] = dict(self.supervision)
+        if self.lp_stats is not None:
+            data["lp_stats"] = dict(self.lp_stats)
         return data
 
     @classmethod
@@ -160,6 +165,7 @@ class SweepCheckpoint:
                     ite_calls=int(entry.get("ite_calls", 0)),
                     attempts=int(entry.get("attempts", 1)),
                     quarantined=bool(entry.get("quarantined", False)),
+                    lp_solves=int(entry.get("lp_solves", 0)),
                 )
                 for entry in data.get("records", ())
             )
@@ -180,6 +186,11 @@ class SweepCheckpoint:
                 supervision=(
                     dict(data["supervision"])
                     if data.get("supervision") is not None
+                    else None
+                ),
+                lp_stats=(
+                    dict(data["lp_stats"])
+                    if data.get("lp_stats") is not None
                     else None
                 ),
             )
@@ -366,6 +377,7 @@ class SweepCheckpoint:
             version=max(self.version, other.version),
             bdd_stats=_join_counters(self.bdd_stats, other.bdd_stats),
             supervision=_join_counters(self.supervision, other.supervision),
+            lp_stats=_join_counters(self.lp_stats, other.lp_stats),
         )
 
     def canonical(self) -> dict:
@@ -407,6 +419,7 @@ def _record_key(record) -> tuple:
         record.quarantined,
         record.attempts,
         record.ite_calls,
+        record.lp_solves,
         record.elapsed_seconds,
     )
 

@@ -69,6 +69,32 @@ class TestGenerators:
         # The hold loop never constrains tau: the sweep exhausts.
         assert not result.failure_found
 
+    def test_interval_bank_profile(self):
+        """The exact-LP stress block: one huge multi-age option set."""
+        from repro.benchgen.generators import interval_bank
+        from repro.mct.engine import MctOptions
+
+        circuit, delays = interval_bank(4)
+        options = MctOptions(exact_feasibility=True, max_exact_combinations=64)
+        result = minimum_cycle_time(circuit, delays, options)
+        # The point-delay driver pins the bound at its own breakpoint,
+        # and the exact supremum reaches it exactly.
+        assert result.failure_found
+        assert result.mct_upper_bound == Fraction(21, 5)
+        lp = result.lp_stats
+        # 4 two-age holds => 16 combinations; one solve prices the
+        # window top and prunes the other 15.
+        assert lp.solves + lp.prescreen_skips + lp.bound_prunes == 16
+        assert lp.bound_prunes > lp.solves
+
+    def test_interval_bank_validates_straddle(self):
+        from repro.benchgen.generators import interval_bank
+
+        with pytest.raises(AnalysisError):
+            interval_bank(2, driver_delay=5, hold_lo=1, hold_hi=2)
+        with pytest.raises(AnalysisError):
+            interval_bank(0)
+
     def test_false_path_block_profile(self):
         circuit, delays = false_path_block(Fraction(10), Fraction(8))
         assert longest_topological_delay(circuit, delays) == 10
