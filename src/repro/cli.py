@@ -551,6 +551,80 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the MCT analysis daemon until interrupted (clean exit 0)."""
+    import asyncio
+
+    from repro.service import JobManager, MctService, ResultCache
+
+    for flag, value in (
+        ("--max-inflight", args.max_inflight),
+        ("--heartbeat-interval", args.heartbeat_interval),
+    ):
+        if value <= 0:
+            print(f"error: {flag} must be positive", file=sys.stderr)
+            return 1
+    if args.heartbeat_timeout < args.heartbeat_interval:
+        print(
+            "error: --heartbeat-timeout must be at least "
+            "--heartbeat-interval",
+            file=sys.stderr,
+        )
+        return 1
+    if args.jobs < 0:
+        print("error: --jobs must be non-negative", file=sys.stderr)
+        return 1
+    if args.max_retries < 0:
+        print("error: --max-retries must be non-negative", file=sys.stderr)
+        return 1
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print("error: --task-timeout must be positive", file=sys.stderr)
+        return 1
+    if not 0 <= args.port <= 65535:
+        print("error: --port must be in [0, 65535]", file=sys.stderr)
+        return 1
+    worker_specs: list[str] = []
+    for entry in args.workers or ():
+        worker_specs.extend(p for p in entry.split(",") if p.strip())
+    try:
+        manager = JobManager(
+            cache=ResultCache(args.cache_dir),
+            max_inflight=args.max_inflight,
+            jobs=args.jobs,
+            worker_specs=tuple(worker_specs),
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+    except (OptionsError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    service = MctService(manager, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            assert service._server is not None
+            await service._server.serve_forever()
+        finally:
+            await service.close()
+
+    try:
+        with _sigterm_as_interrupt():
+            asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # Ctrl-C / SIGTERM: a clean shutdown, not an error
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.stats:
+        print(f"service stats: {service.stats.summary()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mct",
@@ -673,6 +747,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "pings after the Nth pong (0 never answers), "
                         "like a network partition")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser("serve", help="run the MCT analysis daemon "
+                       "(HTTP/JSON job API with a content-addressed "
+                       "result cache)")
+    p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                   help="address to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0, metavar="PORT",
+                   help="port to bind (0 picks a free port, printed on "
+                        "startup)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist completed results here so identical "
+                        "submissions replay byte-identically across "
+                        "daemon restarts (default: memory only)")
+    p.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                   help="sweeps allowed to execute concurrently; "
+                        "further submissions queue (default 2)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="decide each sweep's windows on N worker "
+                        "processes (same bound as serial)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="resubmissions per window after a worker crash "
+                        "before quarantining it; parallel sweeps only")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                   help="per-window wall timeout under --jobs; a stuck "
+                        "worker is treated like a crashed one")
+    p.add_argument("--stats", action="store_true",
+                   help="print the service counters (cache hits, "
+                        "coalesced submissions, sweep seconds) on "
+                        "shutdown")
+    _add_cluster_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("example2", help="walk through the paper's Example 2")
     p.set_defaults(func=cmd_example2)

@@ -44,6 +44,7 @@ from repro.mct.engine import (
     MctResult,
     RetryPolicy,
     minimum_cycle_time,
+    options_fingerprint,
 )
 from repro.mct.level_sensitive import LevelSensitiveResult, level_sensitive_mct
 from repro.mct.skew import SkewResult, optimize_skew
@@ -68,6 +69,7 @@ __all__ = [
     "MctResult",
     "RetryPolicy",
     "minimum_cycle_time",
+    "options_fingerprint",
     "SkewResult",
     "optimize_skew",
     "LevelSensitiveResult",

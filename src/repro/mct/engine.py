@@ -279,6 +279,8 @@ def minimum_cycle_time(
     resume_from: SweepCheckpoint | None = None,
     jobs: int = 1,
     transport=None,
+    progress=None,
+    cancel=None,
 ) -> MctResult:
     """Compute an upper bound on the machine's minimum cycle time.
 
@@ -314,6 +316,16 @@ def minimum_cycle_time(
     an execution detail like ``jobs``: excluded from the checkpoint
     fingerprint, so checkpoints move freely between serial, pooled,
     and clustered runs.
+
+    ``progress`` is an optional callable invoked with each
+    :class:`CandidateRecord` as it commits (serial or parallel; records
+    replayed from a checkpoint are not re-announced).  ``cancel`` is an
+    optional :class:`threading.Event`-like object polled between
+    breakpoint windows; once set, the sweep stops exactly like an
+    operator Ctrl-C — ``result.cancelled`` with a resume checkpoint
+    attached.  Both are execution hooks (the MCT service daemon streams
+    and cancels jobs through them) and, like ``jobs``, never enter the
+    checkpoint fingerprint.
     """
     options = options or MctOptions()
     start = time.monotonic()
@@ -352,7 +364,7 @@ def minimum_cycle_time(
         )
     sweep = _Sweep(
         circuit, machine, options, budget, deadline, start,
-        jobs=jobs, transport=transport,
+        jobs=jobs, transport=transport, progress=progress, cancel=cancel,
     )
     if resume_from is not None:
         sweep.restore(resume_from)
@@ -389,6 +401,20 @@ def _fingerprint(options: MctOptions) -> dict:
         "degradation_ladder": [str(name) for name in options.degradation_ladder],
         "degraded_max_age": int(options.degraded_max_age),
     }
+
+
+def options_fingerprint(options: MctOptions) -> dict:
+    """The analysis-option fingerprint, as a public content address.
+
+    Exactly the dict a :class:`~repro.resilience.SweepCheckpoint`
+    validates on resume (see :func:`_fingerprint`): the full set of
+    options that *change the analysis*, with every resource and
+    execution knob excluded.  Because the sweep is deterministic, this
+    fingerprint plus a hash of the circuit and delays content-addresses
+    the result — the MCT service daemon keys its result cache on it, so
+    identical submissions cost one sweep.
+    """
+    return _fingerprint(options)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -559,6 +585,8 @@ class _Sweep:
         start: float,
         jobs: int = 1,
         transport=None,
+        progress=None,
+        cancel=None,
     ):
         self.circuit = circuit
         self.machine = machine
@@ -568,6 +596,8 @@ class _Sweep:
         self.start = start
         self.jobs = max(1, int(jobs))
         self.transport = transport
+        self.progress = progress
+        self.cancel = cancel
         self.rungs = _ladder(options)
         self.rung_idx = 0
         self.contexts: dict[int, DecisionContext] = {}
@@ -597,6 +627,28 @@ class _Sweep:
             if rung.name == checkpoint.rung:
                 self.rung_idx = idx
                 break
+
+    def _commit(self, record: CandidateRecord) -> None:
+        """Append one record and announce it to the progress hook.
+
+        Every committed record flows through here (serial and parallel
+        paths alike); checkpoint replay bypasses it by design, so a
+        resumed sweep only announces windows it actually examined.
+        """
+        self.records.append(record)
+        if self.progress is not None:
+            self.progress(record)
+
+    def _check_cancelled(self) -> None:
+        """Honour an external cancel request between windows.
+
+        Raising :class:`KeyboardInterrupt` reuses the operator-interrupt
+        contract verbatim: the sweep keeps every committed record,
+        attaches a resume checkpoint, and reports ``cancelled`` (the
+        CLI's exit-3 partial-result shape).
+        """
+        if self.cancel is not None and self.cancel.is_set():
+            raise KeyboardInterrupt
 
     def _checkpoint(
         self,
@@ -744,6 +796,7 @@ class _Sweep:
                 if len(self.records) >= options.max_candidates:
                     exhausted, notes = True, "candidate cap reached"
                     break
+                self._check_cancelled()
                 if self.deadline is not None and self.deadline.expired():
                     exhausted, deadline_exceeded = True, True
                     notes = "time limit reached"
@@ -771,7 +824,7 @@ class _Sweep:
                     continue
                 self.prev_regime = regime
                 if regime == steady:
-                    self.records.append(
+                    self._commit(
                         CandidateRecord(tau, "steady", m, 0.0, rung.name)
                     )
                     self.prev_tau = tau
@@ -805,7 +858,7 @@ class _Sweep:
                 )
                 if event is not None and event[0] == "steady":
                     _, tau, m = event
-                    self.records.append(
+                    self._commit(
                         CandidateRecord(
                             tau, "steady", m, 0.0,
                             self.rungs[self.rung_idx].name,
@@ -863,7 +916,7 @@ class _Sweep:
         ite_before = self._ite_calls()
         lp_before = self._lp_solves()
         verdict = self._examine(regime, m, tau, window)
-        self.records.append(
+        self._commit(
             CandidateRecord(
                 tau,
                 verdict.status,
@@ -1114,6 +1167,7 @@ class _Sweep:
                 if kind == "stop":
                     exhausted, notes = True, event[1]
                     break
+                self._check_cancelled()
                 if self.deadline is not None and self.deadline.expired():
                     exhausted = deadline_exceeded = interrupted = True
                     notes = "time limit reached"
@@ -1123,7 +1177,7 @@ class _Sweep:
                     continue
                 if kind == "steady":
                     _, tau, m = event
-                    self.records.append(
+                    self._commit(
                         CandidateRecord(tau, "steady", m, 0.0, rung_name)
                     )
                     self.prev_tau = tau
@@ -1162,7 +1216,7 @@ class _Sweep:
                             "last passing bound reported"
                         )
                         break
-                    self.records.append(
+                    self._commit(
                         CandidateRecord(
                             tau,
                             verdict.status,
@@ -1199,7 +1253,7 @@ class _Sweep:
                             f"{payload.get('detail', error)}"
                         )
                     verdict = payload["verdict"]
-                    self.records.append(
+                    self._commit(
                         CandidateRecord(
                             tau,
                             verdict.status,

@@ -250,9 +250,18 @@ class WorkerServer:
         return self
 
     def serve_forever(self) -> None:
-        """Blocking serve (the CLI entry point); stop() unblocks it."""
+        """Blocking serve (the CLI entry point); stop() unblocks it.
+
+        Polls the stop event instead of parking on it indefinitely so
+        the main thread keeps taking signals: ``repro-mct worker``
+        maps SIGTERM to :class:`KeyboardInterrupt`, and that exception
+        can only interrupt a *bounded* wait promptly on every
+        platform.  The 100 ms granularity is shutdown latency, not
+        serving latency — connections run on their own threads.
+        """
         self.start()
-        self._stopping.wait()
+        while not self._stopping.wait(0.1):
+            pass
 
     def stop(self) -> None:
         """Close the listener and every live connection."""
@@ -500,10 +509,19 @@ class ClusterSession(TransportSession):
         self._next_id = 0
         self._closed = False
         self._workers: list[_ClusterWorker] = []
+        #: ``host:port`` → reason, for every configured address that
+        #: could not be connected when this session opened.
+        self.unreachable: dict[str, str] = {}
         config_blob = _dump(config)
         for address in addresses:
-            worker = self._connect(address, connect_timeout)
+            worker, error = self._connect(address, connect_timeout)
             if worker is None:
+                # A sweep degraded to fewer hosts than configured must
+                # never be silent: record the address (and why) so the
+                # stats ladder / --stats surfaces it to the operator.
+                name = f"{address[0]}:{address[1]}"
+                self.stats.unreachable_workers.append(name)
+                self.unreachable[name] = error
                 continue
             worker.send({"type": "configure", "kind": kind,
                          "config": config_blob})
@@ -527,7 +545,13 @@ class ClusterSession(TransportSession):
         self._monitor_thread.start()
 
     # -- connection management -----------------------------------------
-    def _connect(self, address, timeout) -> _ClusterWorker | None:
+    def _connect(self, address, timeout) -> tuple[_ClusterWorker | None, str]:
+        """Open one worker connection: ``(worker, "")`` or ``(None, why)``.
+
+        A per-address failure is *reported*, not swallowed: the caller
+        records the address and reason so a sweep running on fewer
+        hosts than configured is visible in the supervision stats.
+        """
         try:
             sock = socket.create_connection(address, timeout=timeout)
             sock.settimeout(timeout)
@@ -544,9 +568,9 @@ class ClusterSession(TransportSession):
             # Keep latency down for the small ping/result frames.
             with contextlib.suppress(OSError):
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            return _ClusterWorker(address=tuple(address), sock=sock)
-        except (ConnectionError, OSError):
-            return None
+            return _ClusterWorker(address=tuple(address), sock=sock), ""
+        except (ConnectionError, OSError) as exc:
+            return None, f"{type(exc).__name__}: {exc}"
 
     def _live_workers(self) -> list[_ClusterWorker]:
         return [w for w in self._workers if w.alive]

@@ -95,6 +95,13 @@ class SupervisionStats:
     #: Cluster only: remote worker connections lost for any reason
     #: (crash, heartbeat silence, stuck-task timeout).
     workers_lost: int = 0
+    #: Cluster only: configured worker addresses that could not be
+    #: connected when the session opened.  The sweep still runs on the
+    #: survivors (an :class:`~repro.errors.AnalysisError` fires only
+    #: when *zero* are reachable), but silently running on fewer hosts
+    #: than configured is an operational fact the operator must see —
+    #: it surfaces in ``--stats`` and the result telemetry.
+    unreachable_workers: list = dataclasses.field(default_factory=list)
 
     def summary(self) -> str:
         text = (
@@ -107,10 +114,15 @@ class SupervisionStats:
                 f" heartbeat_failures={self.heartbeat_failures}"
                 f" leases_reclaimed={self.leases_reclaimed}"
             )
+        if self.unreachable_workers:
+            text += (
+                f" unreachable={len(self.unreachable_workers)}"
+                f"({','.join(self.unreachable_workers)})"
+            )
         return text
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "crashes": self.crashes,
             "timeouts": self.timeouts,
             "retries": self.retries,
@@ -120,6 +132,9 @@ class SupervisionStats:
             "leases_reclaimed": self.leases_reclaimed,
             "workers_lost": self.workers_lost,
         }
+        if self.unreachable_workers:
+            data["unreachable_workers"] = sorted(self.unreachable_workers)
+        return data
 
 
 @dataclasses.dataclass(frozen=True)

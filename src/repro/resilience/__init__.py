@@ -27,6 +27,7 @@ from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     SUPPORTED_VERSIONS,
     SweepCheckpoint,
+    fsync_directory,
     merge_checkpoints,
 )
 from repro.resilience.deadline import Deadline
@@ -39,6 +40,7 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "FaultPlan",
+    "fsync_directory",
     "SUPPORTED_VERSIONS",
     "SweepCheckpoint",
     "inject_faults",

@@ -54,6 +54,26 @@ SUPPORTED_VERSIONS = (1, 2)
 CHECKPOINT_SCHEMA = f"repro-mct-checkpoint/{CHECKPOINT_VERSION}"
 
 
+def fsync_directory(path) -> None:
+    """Best-effort fsync of a directory entry.
+
+    ``os.replace`` makes a rename atomic, but the *directory entry*
+    pointing at the new file still lives in the page cache until the
+    directory itself is fsynced — a crash right after the rename can
+    roll the directory back to the old (or no) file.  Opening the
+    directory read-only and fsyncing the fd pins the rename.  Some
+    platforms/filesystems refuse O_RDONLY directory fds or directory
+    fsync outright (notably Windows); durability is best-effort there,
+    hence the blanket ``OSError`` suppression.
+    """
+    with contextlib.suppress(OSError):
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
 def _frac_dump(value: Fraction | None) -> str | None:
     return None if value is None else f"{Fraction(value)}"
 
@@ -219,7 +239,10 @@ class SweepCheckpoint:
         is renamed into place with :func:`os.replace`, so a crash
         mid-write can never leave a truncated checkpoint that would
         then fail ``--resume``; readers see either the old file or the
-        complete new one.
+        complete new one.  The parent directory is fsynced after the
+        rename (:func:`fsync_directory`): without it the new directory
+        entry only lives in the page cache, and a crash right after the
+        rename could lose the checkpoint entirely.
         """
         target = Path(path)
         fd, tmp = tempfile.mkstemp(
@@ -231,6 +254,7 @@ class SweepCheckpoint:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, target)
+            fsync_directory(target.parent)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
@@ -427,15 +451,25 @@ def _record_key(record) -> tuple:
 def _join_counters(
     ours: Mapping | None, theirs: Mapping | None
 ) -> dict | None:
-    """Key-wise max of two counter dicts (idempotent union)."""
+    """Key-wise join of two counter dicts (idempotent union).
+
+    Numeric counters are cumulative, so max is their idempotent join;
+    list-valued entries (e.g. ``unreachable_workers`` addresses in a
+    supervision block) join as the sorted set union, which is equally
+    commutative, associative and idempotent.
+    """
     if ours is None and theirs is None:
         return None
     ours = dict(ours or {})
     theirs = dict(theirs or {})
-    return {
-        key: max(ours.get(key, 0), theirs.get(key, 0))
-        for key in sorted(set(ours) | set(theirs))
-    }
+
+    def join(key):
+        a, b = ours.get(key), theirs.get(key)
+        if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+            return sorted({*list(a or ()), *list(b or ())})
+        return max(a or 0, b or 0)
+
+    return {key: join(key) for key in sorted(set(ours) | set(theirs))}
 
 
 def merge_checkpoints(checkpoints) -> SweepCheckpoint:

@@ -1,0 +1,116 @@
+"""Content-addressed result cache for the MCT daemon.
+
+The cache key is the sha256 of the *canonical job spec*: the circuit's
+content hash (or generator name), the delay-model transform chain, and
+the engine's analysis-option fingerprint
+(:func:`~repro.mct.options_fingerprint`).  Two submissions with the
+same key are the same analysis by construction — the fingerprint
+excludes resource/execution knobs (budget, jobs, workers, retries) for
+exactly the reason checkpoints do, so a bound computed on a cluster is
+served back to a laptop submitter and vice versa.
+
+Values are the **exact serialized result bytes**.  The daemon stores
+the JSON it sent the first client and replays those bytes verbatim on
+every hit, so identical submissions get byte-identical responses —
+including across a daemon restart, because a directory-backed cache
+writes each entry with the checkpoint module's atomic-rename +
+directory-fsync discipline (the result document embeds the sweep's
+checkpoint-v2 dict, which is what makes the entry self-describing).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.resilience.checkpoint import fsync_directory
+
+
+def job_key(spec: dict) -> str:
+    """Content address of one canonical job spec (sha256 hex).
+
+    ``spec`` must already be canonical: plain JSON types only, with
+    netlist text replaced by its own sha256 (see
+    :meth:`~repro.service.jobs.JobSpec.canonical`).  Serialization is
+    pinned (sorted keys, no whitespace) so the address never depends on
+    dict ordering or formatting.
+    """
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def content_hash(text: str) -> str:
+    """sha256 of a netlist's text — the circuit part of the job key."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Exact result bytes by job key; optionally persisted to disk.
+
+    With ``directory=None`` the cache is memory-only and dies with the
+    daemon.  With a directory, every entry is also written to
+    ``<directory>/<key>.json`` — atomically (temp file, fsync, rename,
+    directory fsync), so a crash mid-write can never leave a truncated
+    entry that a restarted daemon would then serve — and :meth:`get`
+    falls back to disk on a memory miss, which is what makes a restart
+    with the same ``--cache-dir`` skip recomputation.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self._memory: dict[str, bytes] = {}
+        self._directory = None if directory is None else Path(directory)
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        return self._directory / f"{key}.json"
+
+    def get(self, key: str) -> bytes | None:
+        """The stored bytes for ``key``, or None.
+
+        Disk entries are validated as JSON before being served: a
+        corrupt file (torn by an unclean shutdown on a filesystem
+        without rename atomicity) is treated as a miss and recomputed,
+        never replayed to a client.
+        """
+        value = self._memory.get(key)
+        if value is not None:
+            return value
+        if self._directory is None:
+            return None
+        try:
+            value = self._path(key).read_bytes()
+            json.loads(value)
+        except (OSError, ValueError):
+            return None
+        self._memory[key] = value
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key`` (last writer wins)."""
+        self._memory[key] = value
+        if self._directory is None:
+            return
+        target = self._path(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._directory), prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(value)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+            fsync_directory(self._directory)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise

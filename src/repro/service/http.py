@@ -1,0 +1,295 @@
+"""Hand-rolled HTTP/1.1 front end of the MCT daemon (stdlib asyncio).
+
+No web framework: the protocol surface is five JSON endpoints plus an
+NDJSON stream, so the server is ``asyncio.start_server`` with a small,
+strict request reader — bounded header and body sizes, Content-Length
+only (no chunked uploads), one request per connection
+(``Connection: close``).  Keeping the parser this small is a
+robustness feature, not a shortcut: every malformed input path is
+enumerable and tested, and a client error can only ever produce a JSON
+``400``/``404``/``405``, never a traceback on the wire.
+
+Endpoints
+---------
+
+========  =======================  ==========================================
+POST      ``/jobs``                submit a job spec; 200 with job id/state
+GET       ``/jobs``                all jobs, newest last
+GET       ``/jobs/<id>``           one job's status document
+GET       ``/jobs/<id>/result``    result bytes (verbatim from cache), or
+                                   409 while the sweep is still running
+POST      ``/jobs/<id>/cancel``    cooperative cancel (engine Ctrl-C path)
+GET       ``/jobs/<id>/stream``    NDJSON: one line per committed candidate,
+                                   then the terminal event
+GET       ``/stats``               :class:`~repro.service.ServiceStats`
+GET       ``/healthz``             liveness probe
+========  =======================  ==========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import OptionsError
+from repro.service.jobs import JobManager
+from repro.service.stats import ServiceStats
+
+SERVICE_SCHEMA = "repro-mct-service/1"
+
+#: Request-line + headers cap; a submission's netlist rides in the body.
+MAX_HEADER_BYTES = 16 * 1024
+#: Body cap — netlists this repo analyzes are kilobytes, not megabytes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """A protocol-level defect; becomes a JSON 400/405/413."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class MctService:
+    """The daemon: an HTTP front end over a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self.manager.stats
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and serve; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.close()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+                await self._dispatch(writer, method, path, body)
+            except _BadRequest as exc:
+                await _send_json(
+                    writer, exc.status, {"error": str(exc)}
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # defensive: never kill the server
+            with_suppressed = {"error": f"{type(exc).__name__}: {exc}"}
+            try:
+                await _send_json(writer, 500, with_suppressed)
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, writer, method: str, path: str, body: bytes):
+        if path == "/healthz" and method == "GET":
+            return await _send_json(
+                writer, 200, {"ok": True, "schema": SERVICE_SCHEMA}
+            )
+        if path == "/stats" and method == "GET":
+            return await _send_json(writer, 200, self.stats.as_dict())
+        if path == "/jobs":
+            if method != "POST" and method != "GET":
+                raise _BadRequest(405, "use GET or POST on /jobs")
+            if method == "GET":
+                return await _send_json(
+                    writer, 200, {"jobs": self.manager.jobs_status()}
+                )
+            return await self._submit(writer, body)
+        if path.startswith("/jobs/"):
+            return await self._job_route(writer, method, path)
+        return await _send_json(
+            writer, 404, {"error": f"no such endpoint: {path}"}
+        )
+
+    async def _submit(self, writer, body: bytes):
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return await _send_json(
+                writer, 400, {"error": f"body is not valid JSON: {exc}"}
+            )
+        try:
+            job = self.manager.submit(data)
+        except OptionsError as exc:
+            return await _send_json(writer, 400, {"error": str(exc)})
+        return await _send_json(writer, 200, job.status())
+
+    async def _job_route(self, writer, method: str, path: str):
+        parts = path.strip("/").split("/")
+        job = self.manager.get(parts[1])
+        if job is None:
+            return await _send_json(
+                writer, 404, {"error": f"no such job: {parts[1]}"}
+            )
+        action = parts[2] if len(parts) > 2 else None
+        if action is None:
+            if method != "GET":
+                raise _BadRequest(405, "use GET on /jobs/<id>")
+            return await _send_json(writer, 200, job.status())
+        if action == "result":
+            if method != "GET":
+                raise _BadRequest(405, "use GET on /jobs/<id>/result")
+            return await self._result(writer, job)
+        if action == "cancel":
+            if method != "POST":
+                raise _BadRequest(405, "use POST on /jobs/<id>/cancel")
+            applied = self.manager.cancel(job)
+            return await _send_json(
+                writer, 200, {"job": job.id, "cancelling": applied,
+                              "state": job.state}
+            )
+        if action == "stream":
+            if method != "GET":
+                raise _BadRequest(405, "use GET on /jobs/<id>/stream")
+            return await self._stream(writer, job)
+        return await _send_json(
+            writer, 404, {"error": f"no such job endpoint: {action}"}
+        )
+
+    async def _result(self, writer, job):
+        if not job.finished:
+            return await _send_json(
+                writer, 409,
+                {"error": "job is still running", "job": job.id,
+                 "state": job.state},
+            )
+        if job.result_bytes is None:  # failed before producing a result
+            return await _send_json(
+                writer, 500,
+                {"error": job.error or "job failed", "job": job.id,
+                 "state": job.state},
+            )
+        # Replay the stored bytes verbatim: identical submissions get
+        # byte-identical bodies (the cache-contract the CI job greps).
+        await _send_raw(writer, 200, job.result_bytes)
+
+    async def _stream(self, writer, job):
+        """NDJSON progress: replay history, then follow live commits."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        loop = asyncio.get_running_loop()
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                line = json.dumps(
+                    job.events[sent], sort_keys=True
+                ) + "\n"
+                writer.write(line.encode("utf-8"))
+                sent += 1
+            await writer.drain()
+            if job.finished and sent >= len(job.events):
+                if job.cached and not job.events:
+                    # A cache hit ran no sweep: emit a terminal line so
+                    # every stream ends with an event.
+                    writer.write(
+                        (json.dumps(
+                            {"event": "done", "job": job.id,
+                             "cached": True}, sort_keys=True
+                        ) + "\n").encode("utf-8")
+                    )
+                    await writer.drain()
+                return
+            await job.wait_change(loop)
+
+
+async def _read_request(reader) -> tuple[str, str, bytes]:
+    """Parse one request; raises :class:`_BadRequest` on any defect."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise _BadRequest(413, "request headers too large") from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionError("client closed before sending") from None
+        raise _BadRequest(400, "truncated request") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise _BadRequest(413, "request headers too large")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _BadRequest(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise _BadRequest(400, f"unsupported protocol {version!r}")
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _BadRequest(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise _BadRequest(400, "chunked request bodies are not supported")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest(400, "malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _BadRequest(413, f"request body over {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    # Strip the query string: the API carries everything in paths/bodies.
+    return method.upper(), path.split("?", 1)[0], body
+
+
+async def _send_json(writer, status: int, payload: dict) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    await _send_raw(writer, status, body)
+
+
+async def _send_raw(writer, status: int, body: bytes) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()

@@ -1,0 +1,568 @@
+"""Job model of the MCT daemon: specs, lifecycle, single-flight runs.
+
+A *job spec* is the JSON body of a submission — circuit source, delay
+model transforms, analysis options.  Parsing is strict and eager
+(unknown keys, bad netlists and invalid knobs all raise
+:class:`~repro.errors.OptionsError` before anything is scheduled, so a
+malformed submission is a clean 400, never a traceback from inside a
+sweep), and every spec reduces to a canonical content address
+(:func:`~repro.service.cache.job_key`) keyed on the circuit's hash plus
+the engine's analysis-option fingerprint.
+
+The :class:`JobManager` runs specs on the existing engine machinery —
+``minimum_cycle_time`` with the daemon's ``--jobs`` pool or
+``--workers`` cluster transport — with three properties the endpoints
+rely on:
+
+* **single-flight**: submissions with the key of an in-flight sweep
+  attach to it instead of starting another (``ServiceStats.coalesced``);
+* **content-addressed caching**: completed results are stored as exact
+  bytes and replayed verbatim, so identical submissions get
+  byte-identical responses, across restarts when a cache directory is
+  configured;
+* **cooperative cancellation**: a cancel request sets the engine's
+  cancel event, which stops the sweep exactly like Ctrl-C — the result
+  is partial, checkpointed, and marked ``cancelled`` (the HTTP shape of
+  the CLI's exit-3 contract).  Cancelled/partial results are never
+  cached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+
+from repro.benchgen.circuits import paper_example2, s27
+from repro.errors import AnalysisError, OptionsError, ReproError
+from repro.logic.bench import parse_bench
+from repro.logic.blif import parse_blif
+from repro.logic.delays import (
+    as_fraction,
+    fanout_loaded_delays,
+    typed_delays,
+    unit_delays,
+)
+from repro.mct import (
+    DEFAULT_LADDER,
+    MctOptions,
+    minimum_cycle_time,
+    options_fingerprint,
+)
+from repro.mct.engine import RetryPolicy
+from repro.report.tables import format_fraction
+from repro.resilience import SweepCheckpoint
+from repro.service.cache import ResultCache, content_hash, job_key
+from repro.service.stats import ServiceStats
+
+RESULT_SCHEMA = "repro-mct-service-result/1"
+JOB_SCHEMA = "repro-mct-service-job/1"
+
+_DELAY_MODELS = {
+    "unit": unit_delays,
+    "typed": typed_delays,
+    "fanout": fanout_loaded_delays,
+}
+
+_GENERATORS = ("example2", "s27")
+
+#: ``options`` keys a submission may set, mapped to their coercion.
+_OPTION_FIELDS = {
+    "check_outputs": bool,
+    "use_reachability": bool,
+    "exact_feasibility": bool,
+    "max_age": int,
+    "max_candidates": int,
+    "max_failing_options": int,
+    "work_budget": int,
+    "time_limit": float,
+    "tau_floor": as_fraction,
+    "degrade": bool,
+    "bdd_kernel": str,
+    "bdd_sift_threshold": int,
+}
+
+
+def _frac_field(value, field: str):
+    if value is None:
+        return None
+    try:
+        return as_fraction(value)
+    except (ValueError, TypeError, ZeroDivisionError) as exc:
+        raise OptionsError(f"bad {field}: {value!r}") from exc
+
+
+class JobSpec:
+    """One validated submission, reduced to a canonical content address.
+
+    Construction does all the parsing work — circuit, delay transforms
+    and :class:`~repro.mct.MctOptions` are materialized eagerly so every
+    defect surfaces as an :class:`~repro.errors.OptionsError` *before*
+    a job exists.  The cache key deliberately excludes resource knobs
+    (``work_budget``, ``time_limit``) and everything execution-side
+    (jobs, workers, retries): it hashes the engine's own
+    :func:`~repro.mct.options_fingerprint`, the same invariant the
+    checkpoint resume contract is built on.
+    """
+
+    def __init__(self, data):
+        if not isinstance(data, dict):
+            raise OptionsError("job spec must be a JSON object")
+        unknown = set(data) - {"circuit", "delays", "options"}
+        if unknown:
+            raise OptionsError(
+                f"unknown job fields: {', '.join(sorted(unknown))}"
+            )
+        self._parse_circuit(data.get("circuit"))
+        self._parse_delays(data.get("delays"))
+        self.options = self._parse_options(data.get("options"))
+        # Materialize now: a netlist that does not parse, or a delay
+        # transform that does not apply, must 400 at submission time.
+        self.circuit, self.delays = self._materialize()
+        self.key = job_key(self.canonical())
+
+    # -- parsing -------------------------------------------------------
+    def _parse_circuit(self, circuit) -> None:
+        if not isinstance(circuit, dict):
+            raise OptionsError("job spec needs a 'circuit' object")
+        unknown = set(circuit) - {"kind", "source"}
+        if unknown:
+            raise OptionsError(
+                f"unknown circuit fields: {', '.join(sorted(unknown))}"
+            )
+        self.kind = circuit.get("kind")
+        source = circuit.get("source")
+        if self.kind not in ("bench", "blif", "generator"):
+            raise OptionsError(
+                f"circuit kind must be 'bench', 'blif' or 'generator', "
+                f"not {self.kind!r}"
+            )
+        if not isinstance(source, str) or not source.strip():
+            raise OptionsError("circuit source must be a non-empty string")
+        if self.kind == "generator" and source not in _GENERATORS:
+            raise OptionsError(
+                f"unknown generator {source!r}; "
+                f"choose one of {', '.join(_GENERATORS)}"
+            )
+        self.source = source
+
+    def _parse_delays(self, delays) -> None:
+        delays = {} if delays is None else delays
+        if not isinstance(delays, dict):
+            raise OptionsError("'delays' must be a JSON object")
+        unknown = set(delays) - {"model", "widen", "setup", "hold"}
+        if unknown:
+            raise OptionsError(
+                f"unknown delay fields: {', '.join(sorted(unknown))}"
+            )
+        model = delays.get("model")
+        if self.kind == "generator" and self.source == "example2":
+            # Example 2 carries the paper's own interval delays; a
+            # model would silently replace ground truth.
+            if model is not None:
+                raise OptionsError(
+                    "generator 'example2' has intrinsic delays; "
+                    "omit delays.model"
+                )
+        else:
+            model = model or "fanout"
+            if model not in _DELAY_MODELS:
+                raise OptionsError(
+                    f"unknown delay model {model!r}; "
+                    f"choose one of {', '.join(sorted(_DELAY_MODELS))}"
+                )
+        self.delay_model = model
+        self.widen = _frac_field(delays.get("widen"), "delays.widen")
+        self.setup = _frac_field(delays.get("setup"), "delays.setup")
+        self.hold = _frac_field(delays.get("hold"), "delays.hold")
+
+    @staticmethod
+    def _parse_options(options) -> MctOptions:
+        options = {} if options is None else options
+        if not isinstance(options, dict):
+            raise OptionsError("'options' must be a JSON object")
+        unknown = set(options) - set(_OPTION_FIELDS)
+        if unknown:
+            raise OptionsError(
+                f"unknown options: {', '.join(sorted(unknown))}"
+            )
+        kwargs = {}
+        for field, coerce in _OPTION_FIELDS.items():
+            if field not in options or options[field] is None:
+                continue
+            try:
+                kwargs[field] = coerce(options[field])
+            except (ValueError, TypeError, ZeroDivisionError) as exc:
+                raise OptionsError(
+                    f"bad options.{field}: {options[field]!r}"
+                ) from exc
+        if kwargs.pop("degrade", False):
+            kwargs["degradation_ladder"] = DEFAULT_LADDER
+        return MctOptions(**kwargs)  # __post_init__ validates knobs
+
+    def _materialize(self):
+        try:
+            if self.kind == "generator":
+                if self.source == "example2":
+                    circuit, delays = paper_example2()
+                else:
+                    circuit, delays = s27(_DELAY_MODELS[self.delay_model])
+            else:
+                parse = parse_bench if self.kind == "bench" else parse_blif
+                circuit = parse(self.source, name=f"submitted-{self.kind}")
+                delays = _DELAY_MODELS[self.delay_model](circuit)
+        except OptionsError:
+            raise
+        except (ReproError, ValueError) as exc:
+            raise OptionsError(f"bad circuit: {exc}") from exc
+        try:
+            if self.widen is not None:
+                delays = delays.widen(self.widen)
+            if self.setup is not None or self.hold is not None:
+                delays = delays.with_setup_hold(
+                    self.setup or 0, self.hold or 0
+                )
+        except (ReproError, ValueError) as exc:
+            raise OptionsError(f"bad delay transform: {exc}") from exc
+        return circuit, delays
+
+    # -- content addressing --------------------------------------------
+    def canonical(self) -> dict:
+        """The JSON-safe identity the cache key hashes.
+
+        Netlist text enters by content hash, never verbatim, so the key
+        length is bounded and whitespace-only netlist edits still miss
+        (the *text* is the submitted artifact).  Analysis options enter
+        through :func:`~repro.mct.options_fingerprint` — resource and
+        execution knobs are out by construction.
+        """
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": self.kind,
+            "source": (
+                self.source
+                if self.kind == "generator"
+                else content_hash(self.source)
+            ),
+            "delay_model": self.delay_model,
+            "widen": None if self.widen is None else str(self.widen),
+            "setup": None if self.setup is None else str(self.setup),
+            "hold": None if self.hold is None else str(self.hold),
+            "fingerprint": options_fingerprint(self.options),
+        }
+
+
+class Job:
+    """One submitted analysis and its observable lifecycle.
+
+    States move ``queued → running → done | failed | cancelled``.
+    ``events`` accumulates NDJSON-ready progress dicts (one per
+    committed :class:`~repro.mct.CandidateRecord`, plus the terminal
+    event); streamers park on :meth:`wait_change` futures that the
+    manager resolves from the event loop thread.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, *, cached: bool = False):
+        self.id = job_id
+        self.spec = spec
+        self.key = spec.key
+        self.state = "done" if cached else "queued"
+        self.cached = cached
+        self.coalesced = False
+        self.events: list[dict] = []
+        self.result_bytes: bytes | None = None
+        self.error: str | None = None
+        self.wall_seconds: float = 0.0
+        self.cancel_event = threading.Event()
+        self._waiters: list[asyncio.Future] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def wait_change(self, loop) -> asyncio.Future:
+        future = loop.create_future()
+        if self.finished:
+            future.set_result(None)
+        else:
+            self._waiters.append(future)
+        return future
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def status(self) -> dict:
+        data = {
+            "job": self.id,
+            "key": self.key,
+            "circuit": self.spec.circuit.name,
+            "state": self.state,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "events": len(self.events),
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+def result_document(spec: JobSpec, result) -> dict:
+    """The service's result JSON for one finished sweep.
+
+    Embeds the sweep as a checkpoint-v2 dict — the engine's own
+    interrupted-sweep checkpoint when there is one (cancelled/partial
+    runs), or one synthesized from the completed record list, so every
+    cached entry is a valid ``repro-mct-checkpoint/2`` payload a client
+    could feed back to ``repro-mct analyze --resume``.
+    """
+    checkpoint = result.checkpoint
+    if checkpoint is None:
+        checkpoint = SweepCheckpoint(
+            circuit_name=result.circuit_name,
+            L=result.L,
+            last_tau=min(
+                (r.tau for r in result.candidates), default=None
+            ),
+            records=tuple(result.candidates),
+            rung=result.rung,
+            reason="completed",
+            fingerprint=options_fingerprint(spec.options),
+            bdd_stats=(
+                None if result.bdd_stats is None
+                else result.bdd_stats.as_dict()
+            ),
+            supervision=(
+                None if result.supervision is None
+                else result.supervision.as_dict()
+            ),
+            lp_stats=(
+                None if result.lp_stats is None
+                else result.lp_stats.as_dict()
+            ),
+        )
+    bound = result.mct_upper_bound
+    window = result.failing_window
+    return {
+        "schema": RESULT_SCHEMA,
+        "key": spec.key,
+        "circuit": result.circuit_name,
+        "bound": None if bound is None else str(bound),
+        "bound_display": None if bound is None else format_fraction(bound),
+        "failure_found": result.failure_found,
+        "failing_window": (
+            None if window is None else [str(window[0]), str(window[1])]
+        ),
+        "failing_roots": list(result.failing_roots),
+        "candidates": len(result.candidates),
+        "decisions_run": result.decisions_run,
+        "rung": result.rung,
+        "budget_exceeded": result.budget_exceeded,
+        "deadline_exceeded": result.deadline_exceeded,
+        "cancelled": result.cancelled,
+        "partial": result.interrupted,
+        "checkpoint": checkpoint.to_dict(),
+    }
+
+
+class JobManager:
+    """Owns every job: caching, coalescing, execution, cancellation."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        stats: ServiceStats | None = None,
+        max_inflight: int = 2,
+        jobs: int = 1,
+        worker_specs: tuple[str, ...] = (),
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.5,
+    ):
+        if max_inflight < 1:
+            raise OptionsError("max_inflight must be positive")
+        self.cache = cache or ResultCache()
+        self.stats = stats or ServiceStats()
+        self.jobs = jobs
+        self.worker_specs = tuple(worker_specs)
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries, task_timeout=task_timeout
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._next_id = 0
+
+    # -- lookup --------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs_status(self) -> list[dict]:
+        return [job.status() for job in self._jobs.values()]
+
+    # -- submission ----------------------------------------------------
+    def submit(self, data) -> Job:
+        """Parse, content-address and schedule one submission.
+
+        Exactly one of three things happens, in cache-first order:
+        a cache hit materializes a finished job immediately; a key
+        matching an in-flight sweep coalesces onto it (same job id —
+        N duplicate submitters share one sweep *and* one cancel
+        scope); otherwise a fresh sweep is scheduled.
+        """
+        spec = JobSpec(data)  # raises OptionsError on any defect
+        self.stats.jobs_submitted += 1
+        cached = self.cache.get(spec.key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            job = self._new_job(spec, cached=True)
+            job.result_bytes = cached
+            return job
+        running = self._inflight.get(spec.key)
+        if running is not None and not running.finished:
+            self.stats.coalesced += 1
+            running.coalesced = True
+            return running
+        self.stats.cache_misses += 1
+        job = self._new_job(spec)
+        self._inflight[spec.key] = job
+        task = asyncio.get_running_loop().create_task(self._run(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    def _new_job(self, spec: JobSpec, *, cached: bool = False) -> Job:
+        self._next_id += 1
+        job = Job(f"job-{self._next_id:06d}", spec, cached=cached)
+        self._jobs[job.id] = job
+        return job
+
+    def cancel(self, job: Job) -> bool:
+        """Request cooperative cancellation; True if it could apply."""
+        if job.finished:
+            return False
+        job.cancel_event.set()
+        return True
+
+    async def close(self) -> None:
+        """Cancel every in-flight sweep and wait for the runners."""
+        for job in list(self._inflight.values()):
+            job.cancel_event.set()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # -- execution -----------------------------------------------------
+    async def _run(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+
+        def on_record(record) -> None:
+            # Called from the sweep thread at every ordered commit;
+            # hop to the loop so event append + streamer wakeup are
+            # single-threaded.
+            event = {
+                "event": "candidate",
+                "tau": str(record.tau),
+                "status": record.status,
+                "m": record.m,
+                "rung": record.rung,
+            }
+            loop.call_soon_threadsafe(self._record_event, job, event)
+
+        async with self._semaphore:
+            job.state = "running"
+            self.stats.in_flight += 1
+            started = time.monotonic()
+            try:
+                result = await asyncio.to_thread(
+                    self._sweep, job.spec, on_record, job.cancel_event
+                )
+            except AnalysisError as exc:
+                job.error = str(exc)
+                job.state = "failed"
+                self.stats.jobs_failed += 1
+            except Exception as exc:  # defensive: never kill the loop
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                self.stats.jobs_failed += 1
+            else:
+                self._finish(job, result)
+            finally:
+                job.wall_seconds = time.monotonic() - started
+                self.stats.sweep_seconds += job.wall_seconds
+                self.stats.in_flight -= 1
+                if self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self._record_event(job, self._terminal_event(job))
+
+    def _sweep(self, spec: JobSpec, on_record, cancel_event):
+        # Execution knobs are the daemon's, never the submitter's: the
+        # client describes an analysis, the operator owns the fleet.
+        options = dataclasses.replace(
+            spec.options,
+            retry_policy=self.retry_policy,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
+        transport = None
+        if self.worker_specs:
+            # Imported lazily: the daemon is usable without the cluster
+            # stack, and a fresh transport per sweep keeps worker
+            # connection state job-scoped.
+            from repro.parallel import SocketTransport
+
+            transport = SocketTransport(
+                self.worker_specs,
+                heartbeat_interval=self.heartbeat_interval,
+                heartbeat_timeout=self.heartbeat_timeout,
+            )
+        return minimum_cycle_time(
+            spec.circuit,
+            spec.delays,
+            options,
+            jobs=self.jobs,
+            transport=transport,
+            progress=on_record,
+            cancel=cancel_event,
+        )
+
+    def _finish(self, job: Job, result) -> None:
+        document = result_document(job.spec, result)
+        job.result_bytes = _serialize(document)
+        if result.cancelled:
+            job.state = "cancelled"
+            self.stats.jobs_cancelled += 1
+        else:
+            job.state = "done"
+            self.stats.jobs_completed += 1
+            if not result.interrupted:
+                # Only complete bounds are content-addressed: a partial
+                # result depends on the budget/deadline that cut it
+                # short, which the key deliberately does not hash.
+                self.cache.put(job.key, job.result_bytes)
+
+    def _terminal_event(self, job: Job) -> dict:
+        event = {"event": job.state, "job": job.id}
+        if job.error is not None:
+            event["error"] = job.error
+        return event
+
+    def _record_event(self, job: Job, event: dict) -> None:
+        job.events.append(event)
+        job._wake()
+
+
+def _serialize(document: dict) -> bytes:
+    """Pinned result serialization (the bytes the cache replays)."""
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")

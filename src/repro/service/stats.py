@@ -1,0 +1,63 @@
+"""Daemon-side telemetry: what the job manager did for its clients.
+
+The counters follow the repo's stats idiom (:class:`~repro.bdd.BddStats`,
+:class:`~repro.parallel.SupervisionStats`): a plain mutable dataclass
+with a one-line :meth:`ServiceStats.summary` for the ``--stats`` CLI
+footer and an :meth:`ServiceStats.as_dict` for the ``/stats`` endpoint.
+Cache effectiveness is the headline number — a submit is exactly one of
+a *hit* (answered from the content-addressed cache), a *coalesced*
+follower (attached to an identical in-flight sweep), or a *miss* (a
+fresh sweep was started).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """What the MCT daemon did since it started."""
+
+    #: Total submissions accepted (hits + coalesced + misses).
+    jobs_submitted: int = 0
+    #: Sweeps that ran to a complete bound.
+    jobs_completed: int = 0
+    #: Sweeps that raised an :class:`~repro.errors.AnalysisError`.
+    jobs_failed: int = 0
+    #: Sweeps stopped by a cancel request (partial, exit-3-shaped).
+    jobs_cancelled: int = 0
+    #: Submissions answered from the result cache without any sweep.
+    cache_hits: int = 0
+    #: Submissions that had to start a sweep.
+    cache_misses: int = 0
+    #: Submissions attached to an identical sweep already in flight
+    #: (single-flight: N concurrent duplicates cost one sweep).
+    coalesced: int = 0
+    #: Sweeps currently executing (gauge, not a counter).
+    in_flight: int = 0
+    #: Total wall-clock seconds spent inside sweeps.
+    sweep_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"jobs={self.jobs_submitted} hits={self.cache_hits} "
+            f"misses={self.cache_misses} coalesced={self.coalesced} "
+            f"in_flight={self.in_flight} "
+            f"completed={self.jobs_completed} failed={self.jobs_failed} "
+            f"cancelled={self.jobs_cancelled} "
+            f"sweep_seconds={self.sweep_seconds:.2f}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+            "in_flight": self.in_flight,
+            "sweep_seconds": round(self.sweep_seconds, 6),
+        }

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import signal
 import socket
 from fractions import Fraction
 
@@ -250,6 +251,43 @@ class TestClusterSweep:
         assert result.supervision.workers_lost == 2
         assert result.supervision.quarantined >= 1
 
+    def test_unreachable_worker_is_recorded_not_silent(self, widened, serial):
+        # Satellite (PR 9): a partially reachable fleet must not
+        # silently degrade — the dead address shows up in the
+        # supervision stats (and hence --stats / result telemetry),
+        # while the sweep still runs to the serial answer on survivors.
+        circuit, delays = widened
+        dead = "127.0.0.1:%d" % free_port()
+        server = WorkerServer().start()
+        try:
+            tp = SocketTransport(
+                ["%s:%d" % server.address, dead],
+                connect_timeout=0.5,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=0.2,
+            )
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        finally:
+            server.stop()
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.unreachable_workers == [dead]
+        assert f"unreachable=1({dead})" in sup.summary()
+        assert sup.as_dict()["unreachable_workers"] == [dead]
+
+    def test_reachable_fleet_reports_no_unreachable(self, widened):
+        circuit, delays = widened
+        with fleet(WorkerServer()) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        sup = result.supervision
+        assert sup.unreachable_workers == []
+        assert "unreachable" not in sup.summary()
+        assert "unreachable_workers" not in sup.as_dict()
+
     def test_fault_plan_arms_worker_servers(self):
         # In-process loopback workers inherit the active fault plan, so
         # cluster chaos tests need no explicit plumbing.
@@ -394,3 +432,46 @@ class TestClusterCli:
     def test_worker_rejects_negative_fault_knobs(self, capsys):
         assert main(["worker", "--kill-at", "-1"]) == 1
         assert main(["worker", "--drop-heartbeats-after", "-2"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Worker shutdown (satellite: SIGTERM/SIGINT must exit cleanly)
+# ----------------------------------------------------------------------
+class TestWorkerShutdown:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_worker_exits_cleanly_on_signal(self, signum):
+        # Satellite (PR 9): an operator `kill` (or Ctrl-C) of
+        # `repro-mct worker` must close the listener and exit 0 — not
+        # hang on the stop event or die with a traceback.
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("listening on "), line
+            host, port = parse_worker_address(line.split()[-1])
+            # The worker is genuinely serving: the hello handshake works.
+            with socket.create_connection((host, port), timeout=2.0):
+                pass
+            proc.send_signal(signum)
+            code = proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert code == 0, proc.stderr.read()
+        # The listener is really gone, not leaked to a zombie thread.
+        with pytest.raises(OSError):
+            with socket.create_connection((host, port), timeout=0.5):
+                pass

@@ -244,6 +244,50 @@ class TestCheckpoint:
         assert path.read_text() == before
         assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
 
+    def test_save_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        # Satellite (PR 9): os.replace makes the rename atomic but not
+        # durable — the directory entry must itself be fsynced, or a
+        # crash right after save() can roll back to the old (or no)
+        # checkpoint.  Spy on os.fsync and require a call whose fd is
+        # the *parent directory*, after the rename.
+        import os
+
+        path = tmp_path / "ckpt.json"
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append(("fsync", os.fstat(fd).st_ino))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        self.make().save(path)
+        dir_inode = os.stat(tmp_path).st_ino
+        assert ("fsync", dir_inode) in events
+        assert events.index(("replace", None)) < events.index(
+            ("fsync", dir_inode)
+        )
+
+    def test_fsync_directory_suppresses_refusals(self, tmp_path, monkeypatch):
+        # Platforms that refuse directory fsync (or O_RDONLY dir fds)
+        # must degrade to best-effort, never crash a checkpoint save.
+        import os
+
+        from repro.resilience import fsync_directory
+
+        def refuse(fd):
+            raise OSError("operation not supported")
+
+        monkeypatch.setattr(os, "fsync", refuse)
+        fsync_directory(tmp_path)  # no raise
+        monkeypatch.undo()
+        fsync_directory(tmp_path / "does-not-exist")  # no raise either
+
     def test_rejects_bad_version(self):
         data = self.make().to_dict()
         data["version"] = 99

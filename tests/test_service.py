@@ -1,0 +1,476 @@
+"""The MCT daemon: caching, coalescing, cancellation, HTTP hygiene.
+
+The contract under test is the PR 9 acceptance criterion: two
+identical submissions must cost exactly one sweep — observable in
+``ServiceStats`` — and return byte-identical result JSON, including
+across a daemon restart pointed at the same ``--cache-dir``; a cancel
+mid-sweep yields the partial, checkpointed, exit-3-shaped payload; and
+no malformed submission can ever produce anything but a clean JSON
+400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.benchgen import S27_BENCH
+from repro.cli import main
+from repro.errors import OptionsError
+from repro.service import (
+    JobManager,
+    JobSpec,
+    MctService,
+    ResultCache,
+    ServiceStats,
+    content_hash,
+    job_key,
+)
+
+EXAMPLE2 = {"circuit": {"kind": "generator", "source": "example2"}}
+S27_JOB = {
+    "circuit": {"kind": "bench", "source": S27_BENCH},
+    "delays": {"model": "fanout"},
+}
+
+
+def run(coro_fn, **manager_kwargs):
+    """Run one async scenario against a live in-process daemon."""
+
+    async def scenario():
+        manager = JobManager(**manager_kwargs)
+        service = MctService(manager)
+        host, port = await service.start()
+        try:
+            return await coro_fn(service, host, port)
+        finally:
+            await service.close()
+
+    return asyncio.run(scenario())
+
+
+async def http(host, port, method, path, body=None, read_all=False):
+    """One raw HTTP/1.1 exchange; returns (status, body_bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b""
+        if body is not None:
+            payload = body if isinstance(body, bytes) else json.dumps(
+                body
+            ).encode("utf-8")
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError, OSError):
+            await writer.wait_closed()
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, rest
+
+
+async def wait_done(host, port, job_id, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status, body = await http(host, port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        doc = json.loads(body)
+        if doc["state"] in ("done", "failed", "cancelled"):
+            return doc
+        assert asyncio.get_running_loop().time() < deadline, doc
+        await asyncio.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_same_spec_same_key(self):
+        assert JobSpec(EXAMPLE2).key == JobSpec(dict(EXAMPLE2)).key
+
+    def test_resource_knobs_do_not_change_the_key(self):
+        # The key hashes the engine's analysis fingerprint: budget and
+        # time limit are resources, and a bound computed under any of
+        # them is the same bound (the contract --resume is built on).
+        base = JobSpec(S27_JOB)
+        budgeted = JobSpec(
+            {**S27_JOB, "options": {"work_budget": 10**9,
+                                    "time_limit": 3600.0}}
+        )
+        assert budgeted.key == base.key
+
+    def test_analysis_knobs_change_the_key(self):
+        base = JobSpec(S27_JOB)
+        aged = JobSpec({**S27_JOB, "options": {"max_age": 8}})
+        reach = JobSpec({**S27_JOB, "options": {"use_reachability": True}})
+        assert len({base.key, aged.key, reach.key}) == 3
+
+    def test_netlist_enters_by_content_hash(self):
+        spec = JobSpec(S27_JOB)
+        assert spec.canonical()["source"] == content_hash(S27_BENCH)
+        edited = JobSpec(
+            {**S27_JOB, "circuit": {"kind": "bench",
+                                    "source": S27_BENCH + "\n"}}
+        )
+        assert edited.key != spec.key
+
+    def test_delay_transforms_change_the_key(self):
+        base = JobSpec(S27_JOB)
+        widened = JobSpec({**S27_JOB, "delays": {"model": "fanout",
+                                                 "widen": "9/10"}})
+        assert widened.key != base.key
+
+    def test_key_is_stable_json(self):
+        spec = JobSpec(EXAMPLE2)
+        assert spec.key == job_key(spec.canonical())
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            "not an object",
+            {},
+            {"circuit": {"kind": "bench"}},
+            {"circuit": {"kind": "nope", "source": "x"}},
+            {"circuit": {"kind": "generator", "source": "nope"}},
+            {"circuit": {"kind": "bench", "source": "GIBBERISH("}},
+            {**EXAMPLE2, "delays": {"model": "fanout"}},
+            {**EXAMPLE2, "unknown": 1},
+            {**EXAMPLE2, "delays": {"widen": "zero/none"}},
+            {**EXAMPLE2, "options": {"bdd_kernel": "quantum"}},
+            {**EXAMPLE2, "options": {"nope": 1}},
+            {**EXAMPLE2, "options": {"max_age": "many"}},
+        ],
+    )
+    def test_defects_raise_options_error(self, data):
+        with pytest.raises(OptionsError):
+            JobSpec(data)
+
+
+# ----------------------------------------------------------------------
+# Caching and single-flight (the tentpole acceptance criterion)
+# ----------------------------------------------------------------------
+class TestCacheAndCoalesce:
+    def test_identical_submissions_one_sweep_identical_bytes(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            assert status == 200
+            first = json.loads(body)
+            assert first["cached"] is False
+            await wait_done(host, port, first["job"])
+            _, res1 = await http(
+                host, port, "GET", f"/jobs/{first['job']}/result"
+            )
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            second = json.loads(body)
+            assert second["cached"] is True
+            assert second["state"] == "done"
+            _, res2 = await http(
+                host, port, "GET", f"/jobs/{second['job']}/result"
+            )
+            assert res1 == res2  # byte-identical, not merely equal
+            stats = service.stats
+            assert stats.jobs_submitted == 2
+            assert stats.cache_misses == 1
+            assert stats.cache_hits == 1
+            doc = json.loads(res1)
+            assert doc["schema"] == "repro-mct-service-result/1"
+            assert doc["bound"] == "5/2"
+            assert doc["bound_display"] == "2.5"
+            assert doc["partial"] is False
+            assert doc["checkpoint"]["schema"] == "repro-mct-checkpoint/2"
+
+        run(scenario)
+
+    def test_concurrent_duplicates_coalesce_onto_one_sweep(self):
+        # Submitted back-to-back in one event-loop tick, before the
+        # sweep thread can start: the duplicates MUST attach to the
+        # primary (same job id, one sweep, one BddStats) rather than
+        # racing it.
+        async def scenario(service, host, port):
+            manager = service.manager
+            primary = manager.submit(dict(EXAMPLE2))
+            follower = manager.submit(dict(EXAMPLE2))
+            third = manager.submit(dict(EXAMPLE2))
+            assert follower is primary and third is primary
+            assert primary.coalesced is True
+            stats = service.stats
+            assert stats.jobs_submitted == 3
+            assert stats.cache_misses == 1
+            assert stats.coalesced == 2
+            doc = await wait_done(host, port, primary.id)
+            assert doc["state"] == "done"
+            # One sweep ran: every submitter reads the same bytes (and
+            # hence the same embedded BDD counters — a second sweep
+            # would have produced a distinct bdd_stats block object).
+            _, res = await http(
+                host, port, "GET", f"/jobs/{primary.id}/result"
+            )
+            assert json.loads(res)["bound"] == "5/2"
+            assert manager.cache.get(primary.key) == res
+
+        run(scenario)
+
+    def test_http_level_duplicates_cost_one_sweep(self):
+        # Over the wire the two posts race the sweep: whichever side
+        # of the finish line the second lands on (coalesced or cache
+        # hit), the sweep count stays one.
+        async def scenario(service, host, port):
+            results = await asyncio.gather(
+                http(host, port, "POST", "/jobs", S27_JOB),
+                http(host, port, "POST", "/jobs", S27_JOB),
+            )
+            ids = [json.loads(body)["job"] for status, body in results]
+            for job_id in ids:
+                await wait_done(host, port, job_id)
+            bodies = {
+                (await http(host, port, "GET", f"/jobs/{i}/result"))[1]
+                for i in ids
+            }
+            assert len(bodies) == 1  # byte-identical either way
+            stats = service.stats
+            assert stats.jobs_submitted == 2
+            assert stats.cache_misses == 1
+            assert stats.coalesced + stats.cache_hits == 1
+            assert json.loads(bodies.pop())["bound"] == "23/2"
+
+        run(scenario)
+
+    def test_restart_with_cache_dir_skips_recompute(self, tmp_path):
+        async def first_life(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            return res
+
+        res1 = run(first_life, cache=ResultCache(tmp_path / "cache"))
+
+        async def second_life(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            doc = json.loads(body)
+            # Answered from disk: no sweep, already done at submit time.
+            assert doc["cached"] is True and doc["state"] == "done"
+            _, res = await http(host, port, "GET", f"/jobs/{doc['job']}/result")
+            assert service.stats.cache_hits == 1
+            assert service.stats.cache_misses == 0
+            return res
+
+        res2 = run(second_life, cache=ResultCache(tmp_path / "cache"))
+        assert res1 == res2  # byte-identical across the restart
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k" * 64, b'{"ok": true}')
+        (tmp_path / ("k" * 64 + ".json")).write_bytes(b'{"truncated')
+        assert ResultCache(tmp_path).get("k" * 64) is None
+
+    def test_memory_cache_roundtrip(self):
+        cache = ResultCache()
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, b"payload")
+        assert cache.get("a" * 64) == b"payload"
+
+
+# ----------------------------------------------------------------------
+# Cancellation (the exit-3 contract over HTTP)
+# ----------------------------------------------------------------------
+class TestCancel:
+    def test_cancel_yields_partial_exit3_shaped_payload(self):
+        async def scenario(service, host, port):
+            manager = service.manager
+            job = manager.submit(dict(S27_JOB))
+            # Cancel before the sweep thread takes its first window:
+            # deterministic, and exactly the operator-interrupt path.
+            assert manager.cancel(job) is True
+            doc = await wait_done(host, port, job.id)
+            assert doc["state"] == "cancelled"
+            _, res = await http(host, port, "GET", f"/jobs/{job.id}/result")
+            payload = json.loads(res)
+            assert payload["cancelled"] is True
+            assert payload["partial"] is True  # what CLI exit 3 means
+            assert payload["checkpoint"]["schema"] == (
+                "repro-mct-checkpoint/2"
+            )
+            assert service.stats.jobs_cancelled == 1
+            # Partial results are never content-addressed.
+            assert manager.cache.get(job.key) is None
+            # ...so a re-submission runs the sweep for real.
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            assert json.loads(body)["cached"] is False
+
+        run(scenario)
+
+    def test_cancel_finished_job_is_a_noop(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            status, body = await http(
+                host, port, "POST", f"/jobs/{job}/cancel"
+            )
+            assert status == 200
+            assert json.loads(body)["cancelling"] is False
+
+        run(scenario)
+
+
+# ----------------------------------------------------------------------
+# Streaming
+# ----------------------------------------------------------------------
+class TestStream:
+    def test_stream_replays_commits_then_terminal_event(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            status, raw = await http(
+                host, port, "GET", f"/jobs/{job}/stream"
+            )
+            assert status == 200
+            lines = [json.loads(l) for l in raw.splitlines() if l]
+            assert lines, "stream must carry at least the terminal event"
+            candidates = [l for l in lines if l["event"] == "candidate"]
+            assert candidates, "ordered commits must be streamed"
+            assert all(
+                set(c) >= {"tau", "status", "m", "rung"} for c in candidates
+            )
+            assert lines[-1]["event"] == "done"
+            # The streamed taus are the result's candidate sequence.
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            doc = json.loads(res)
+            assert len(candidates) == doc["candidates"]
+            assert [c["tau"] for c in candidates] == [
+                r["tau"] for r in doc["checkpoint"]["records"]
+            ]
+
+        run(scenario)
+
+    def test_stream_of_cached_job_ends_immediately(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            await wait_done(host, port, json.loads(body)["job"])
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            status, raw = await http(
+                host, port, "GET", f"/jobs/{job}/stream"
+            )
+            lines = [json.loads(l) for l in raw.splitlines() if l]
+            assert lines[-1]["event"] == "done"
+            assert lines[-1]["cached"] is True
+
+        run(scenario)
+
+
+# ----------------------------------------------------------------------
+# HTTP hygiene: clean errors, never tracebacks
+# ----------------------------------------------------------------------
+class TestHttpHygiene:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"this is not json",
+            b"[1, 2, 3]",
+            json.dumps({"circuit": {"kind": "nope", "source": "x"}}).encode(),
+            json.dumps({"circuit": {"kind": "bench",
+                                    "source": "NOT A NETLIST("}}).encode(),
+            json.dumps({**EXAMPLE2, "options": {"bdd_kernel": "bad"}}).encode(),
+        ],
+    )
+    def test_malformed_submissions_get_400(self, body):
+        async def scenario(service, host, port):
+            status, raw = await http(host, port, "POST", "/jobs", body)
+            assert status == 400
+            doc = json.loads(raw)  # the error itself is clean JSON
+            assert "error" in doc and "Traceback" not in raw.decode()
+            # The daemon survived: it still answers.
+            status, raw = await http(host, port, "GET", "/healthz")
+            assert status == 200
+
+        run(scenario)
+
+    def test_unknown_paths_and_methods(self):
+        async def scenario(service, host, port):
+            assert (await http(host, port, "GET", "/nope"))[0] == 404
+            assert (await http(host, port, "GET", "/jobs/xx"))[0] == 404
+            assert (
+                await http(host, port, "DELETE", "/jobs/xx")
+            )[0] == 404
+            assert (await http(host, port, "PUT", "/jobs"))[0] == 405
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            assert (
+                await http(host, port, "POST", f"/jobs/{job}/result")
+            )[0] == 405
+            assert (
+                await http(host, port, "GET", f"/jobs/{job}/cancel")
+            )[0] == 405
+            await wait_done(host, port, job)
+
+        run(scenario)
+
+    def test_result_of_running_job_is_409(self):
+        async def scenario(service, host, port):
+            manager = service.manager
+            job = manager.submit(dict(S27_JOB))
+            status, body = await http(
+                host, port, "GET", f"/jobs/{job.id}/result"
+            )
+            if not job.finished:  # it was genuinely still running
+                assert status == 409
+            manager.cancel(job)
+            await wait_done(host, port, job.id)
+
+        run(scenario)
+
+    def test_malformed_wire_requests(self):
+        async def scenario(service, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GARBAGE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b" 400 " in raw.split(b"\r\n", 1)[0]
+            status, _ = await http(host, port, "GET", "/healthz")
+            assert status == 200
+
+        run(scenario)
+
+    def test_stats_endpoint_shape(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "GET", "/stats")
+            assert status == 200
+            doc = json.loads(body)
+            assert set(doc) == set(ServiceStats().as_dict())
+
+        run(scenario)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_rejects_bad_flags(self, capsys):
+        assert main(["serve", "--max-inflight", "0"]) == 1
+        assert "--max-inflight" in capsys.readouterr().err
+        assert main(["serve", "--port", "-1"]) == 1
+        assert "--port" in capsys.readouterr().err
+        assert main(["serve", "--port", "70000"]) == 1
+        assert main(["serve", "--jobs", "-1"]) == 1
+        assert main(["serve", "--max-retries", "-1"]) == 1
+        assert main(["serve", "--task-timeout", "0"]) == 1
+        assert main(["serve", "--heartbeat-interval", "0"]) == 1
+        assert main([
+            "serve", "--heartbeat-interval", "0.5",
+            "--heartbeat-timeout", "0.1",
+        ]) == 1
