@@ -30,6 +30,13 @@ from repro.logic.delays import (
     unit_delays,
 )
 from repro.errors import AnalysisError, CheckpointError, OptionsError
+from repro.netsec import (
+    SECRET_ENV,
+    TOKEN_ENV,
+    build_client_context,
+    build_server_context,
+    load_secret,
+)
 from repro.mct import (
     DEFAULT_LADDER,
     MctOptions,
@@ -73,23 +80,79 @@ def _sigterm_as_interrupt():
         signal.signal(signal.SIGTERM, previous)
 
 
-def _cluster_transport(args):
+def _tls_server_context(certfile, keyfile, cafile, *, flag="--tls"):
+    """Listener-side SSLContext from CLI flags, or ``None``.
+
+    Enforces the pairing rules (cert+key together, a CA only on top of
+    a cert) so a half-configured listener fails fast instead of
+    binding in plaintext.
+    """
+    if certfile is None and keyfile is None:
+        if cafile is not None:
+            raise OptionsError(
+                f"{flag}-ca requires {flag}-cert and {flag}-key"
+            )
+        return None
+    if certfile is None or keyfile is None:
+        raise OptionsError(
+            f"{flag}-cert and {flag}-key must be given together"
+        )
+    return build_server_context(certfile, keyfile, cafile)
+
+
+def _tls_client_context(cafile, certfile, keyfile, *, flag="--tls"):
+    """Dialer-side SSLContext from CLI flags, or ``None``.
+
+    The CA is the switch: without ``{flag}-ca`` there is nothing to
+    verify the peer against, so a client cert alone is a config error,
+    not a silent plaintext connection.
+    """
+    if cafile is None:
+        if certfile is not None or keyfile is not None:
+            raise OptionsError(
+                f"{flag}-cert/{flag}-key need {flag}-ca (the CA the "
+                "worker certificates chain to)"
+            )
+        return None
+    if (certfile is None) != (keyfile is None):
+        raise OptionsError(
+            f"{flag}-cert and {flag}-key must be given together"
+        )
+    return build_client_context(cafile, certfile, keyfile)
+
+
+def _cluster_transport(args, *, secret=None, cafile=None, certfile=None,
+                       keyfile=None, flag="--tls"):
     """The :class:`SocketTransport` of ``--workers``, or ``None``.
 
-    ``--workers`` is repeatable and comma-splittable; bad addresses
-    raise :class:`~repro.errors.OptionsError` (the caller turns that
-    into the flag-named exit-1 message).
+    ``--workers`` is repeatable and comma-splittable; bad addresses —
+    and bad security flag combinations — raise
+    :class:`~repro.errors.OptionsError` (the caller turns that into
+    the exit-1 message).  ``secret``/TLS material is resolved by the
+    caller because ``serve`` spells the worker-side flags differently
+    (``--worker-tls-*``) from ``analyze``/``table`` (``--tls-*``).
     """
     specs: list[str] = []
     for entry in args.workers or ():
         specs.extend(part for part in entry.split(",") if part.strip())
     if not specs:
+        if cafile is not None or certfile is not None or keyfile is not None:
+            raise OptionsError(f"{flag}-* flags need --workers")
         return None
-    return SocketTransport(
-        specs,
-        heartbeat_interval=args.heartbeat_interval,
-        heartbeat_timeout=args.heartbeat_timeout,
-    )
+    ssl_context = _tls_client_context(cafile, certfile, keyfile, flag=flag)
+    try:
+        return SocketTransport(
+            specs,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            connect_timeout=args.connect_timeout,
+            secret=secret,
+            ssl_context=ssl_context,
+        )
+    except OptionsError as exc:
+        # The remaining construction defects are address-shaped; name
+        # the flag so the operator knows which argument to fix.
+        raise OptionsError(f"--workers: {exc}") from None
 
 
 def _load(args) -> tuple:
@@ -149,10 +212,19 @@ def cmd_analyze(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.connect_timeout <= 0:
+        print("error: --connect-timeout must be positive", file=sys.stderr)
+        return 1
     try:
-        transport = _cluster_transport(args)
+        transport = _cluster_transport(
+            args,
+            secret=load_secret(args.secret_file, SECRET_ENV),
+            cafile=args.tls_ca,
+            certfile=args.tls_cert,
+            keyfile=args.tls_key,
+        )
     except OptionsError as exc:
-        print(f"error: --workers: {exc}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     faulted = (
         args.fail_budget_at is not None or args.fail_deadline_at is not None
@@ -330,8 +402,17 @@ def cmd_table(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.connect_timeout <= 0:
+        print("error: --connect-timeout must be positive", file=sys.stderr)
+        return 1
     try:
-        transport = _cluster_transport(args)
+        transport = _cluster_transport(
+            args,
+            secret=load_secret(args.secret_file, SECRET_ENV),
+            cafile=args.tls_ca,
+            certfile=args.tls_cert,
+            keyfile=args.tls_key,
+        )
         retry = RetryPolicy(max_retries=args.max_retries)
     except OptionsError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -496,8 +577,15 @@ def cmd_simulate(args) -> int:
     return 0 if ok else 2
 
 
-def _add_cluster_args(p) -> None:
-    """Coordinator-side cluster flags (shared by analyze and table)."""
+def _add_cluster_args(p, *, tls_flag_prefix="--tls") -> None:
+    """Coordinator-side cluster flags (analyze, table, serve).
+
+    ``serve`` passes ``tls_flag_prefix="--worker-tls"`` so the flags
+    for dialing TLS workers do not collide with the daemon's own HTTP
+    listener ``--tls-*`` flags.  None of these knobs enters the
+    checkpoint fingerprint or a cache key: they describe *where and
+    how* to compute, never *what*.
+    """
     p.add_argument("--workers", action="append", default=None,
                    metavar="HOST:PORT[,HOST:PORT...]",
                    help="decide on remote repro-mct workers instead of "
@@ -512,6 +600,25 @@ def _add_cluster_args(p) -> None:
                    help="declare a cluster worker dead after this many "
                         "seconds of silence; its leased windows are "
                         "re-dispatched to the survivors")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   metavar="SEC",
+                   help="bound on dialing plus handshaking each cluster "
+                        "worker; an unreachable or half-open worker is "
+                        "skipped after this many seconds (liveness after "
+                        "the handshake is --heartbeat-timeout's job)")
+    p.add_argument("--secret-file", default=None, metavar="PATH",
+                   help="file holding the cluster shared secret; workers "
+                        "must prove it (HMAC challenge-response) before "
+                        "any task bytes flow (default: $REPRO_MCT_SECRET "
+                        "if set, else unauthenticated)")
+    p.add_argument(f"{tls_flag_prefix}-ca", default=None, metavar="PEM",
+                   help="CA bundle the workers' certificates must chain "
+                        "to; enables TLS on the worker connections")
+    p.add_argument(f"{tls_flag_prefix}-cert", default=None, metavar="PEM",
+                   help="client certificate to present to TLS workers "
+                        f"(paired with {tls_flag_prefix}-key)")
+    p.add_argument(f"{tls_flag_prefix}-key", default=None, metavar="PEM",
+                   help=f"private key for {tls_flag_prefix}-cert")
 
 
 def cmd_worker(args) -> int:
@@ -530,6 +637,14 @@ def cmd_worker(args) -> int:
         if value is not None and value < 0:
             print(f"error: {flag} must be non-negative", file=sys.stderr)
             return 1
+    try:
+        secret = load_secret(args.secret_file, SECRET_ENV)
+        ssl_context = _tls_server_context(
+            args.tls_cert, args.tls_key, args.tls_ca
+        )
+    except OptionsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     def on_ready(address):
         print(f"listening on {address[0]}:{address[1]}", flush=True)
@@ -542,6 +657,8 @@ def cmd_worker(args) -> int:
                 kill_at=args.kill_at,
                 drop_heartbeats_after=args.drop_heartbeats_after,
                 on_ready=on_ready,
+                secret=secret,
+                ssl_context=ssl_context,
             )
     except KeyboardInterrupt:
         pass  # Ctrl-C / SIGTERM: a clean shutdown, not an error
@@ -583,12 +700,37 @@ def cmd_serve(args) -> int:
     if not 0 <= args.port <= 65535:
         print("error: --port must be in [0, 65535]", file=sys.stderr)
         return 1
+    if args.connect_timeout <= 0:
+        print("error: --connect-timeout must be positive", file=sys.stderr)
+        return 1
+    if args.job_ttl is not None and args.job_ttl <= 0:
+        print("error: --job-ttl must be positive", file=sys.stderr)
+        return 1
+    if args.max_jobs is not None and args.max_jobs < 1:
+        print("error: --max-jobs must be at least 1", file=sys.stderr)
+        return 1
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 1:
+        print("error: --cache-max-bytes must be positive", file=sys.stderr)
+        return 1
     worker_specs: list[str] = []
     for entry in args.workers or ():
         worker_specs.extend(p for p in entry.split(",") if p.strip())
     try:
+        auth_token = load_secret(
+            args.auth_token_file, TOKEN_ENV, what="token"
+        )
+        http_ssl = _tls_server_context(
+            args.tls_cert, args.tls_key, args.tls_ca
+        )
+        worker_secret = load_secret(args.secret_file, SECRET_ENV)
+        worker_ssl = _tls_client_context(
+            args.worker_tls_ca, args.worker_tls_cert, args.worker_tls_key,
+            flag="--worker-tls",
+        )
         manager = JobManager(
-            cache=ResultCache(args.cache_dir),
+            cache=ResultCache(
+                args.cache_dir, max_bytes=args.cache_max_bytes
+            ),
             max_inflight=args.max_inflight,
             jobs=args.jobs,
             worker_specs=tuple(worker_specs),
@@ -596,11 +738,19 @@ def cmd_serve(args) -> int:
             max_retries=args.max_retries,
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
+            connect_timeout=args.connect_timeout,
+            worker_secret=worker_secret,
+            worker_ssl_context=worker_ssl,
+            job_ttl=args.job_ttl,
+            max_jobs=args.max_jobs,
         )
     except (OptionsError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    service = MctService(manager, host=args.host, port=args.port)
+    service = MctService(
+        manager, host=args.host, port=args.port,
+        auth_token=auth_token, ssl_context=http_ssl,
+    )
 
     async def run() -> None:
         host, port = await service.start()
@@ -746,6 +896,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault injection: stop answering coordinator "
                         "pings after the Nth pong (0 never answers), "
                         "like a network partition")
+    p.add_argument("--secret-file", default=None, metavar="PATH",
+                   help="file holding the cluster shared secret; "
+                        "coordinators must prove it (HMAC challenge-"
+                        "response) before any task is accepted (default: "
+                        "$REPRO_MCT_SECRET if set, else unauthenticated)")
+    p.add_argument("--tls-cert", default=None, metavar="PEM",
+                   help="serve TLS with this certificate (with --tls-key)")
+    p.add_argument("--tls-key", default=None, metavar="PEM",
+                   help="private key for --tls-cert")
+    p.add_argument("--tls-ca", default=None, metavar="PEM",
+                   help="demand client certificates chaining to this CA "
+                        "(mutual TLS; requires --tls-cert/--tls-key)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("serve", help="run the MCT analysis daemon "
@@ -776,7 +938,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the service counters (cache hits, "
                         "coalesced submissions, sweep seconds) on "
                         "shutdown")
-    _add_cluster_args(p)
+    p.add_argument("--auth-token-file", default=None, metavar="PATH",
+                   help="file holding the bearer token every HTTP "
+                        "request must present (Authorization: Bearer); "
+                        "default: $REPRO_MCT_TOKEN if set, else "
+                        "unauthenticated")
+    p.add_argument("--tls-cert", default=None, metavar="PEM",
+                   help="serve HTTPS with this certificate "
+                        "(with --tls-key)")
+    p.add_argument("--tls-key", default=None, metavar="PEM",
+                   help="private key for --tls-cert")
+    p.add_argument("--tls-ca", default=None, metavar="PEM",
+                   help="demand client certificates chaining to this CA "
+                        "(mutual TLS; requires --tls-cert/--tls-key)")
+    p.add_argument("--job-ttl", type=float, default=None, metavar="SEC",
+                   help="evict finished jobs from the table this many "
+                        "seconds after they complete (running jobs are "
+                        "never evicted; default: keep forever)")
+    p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                   help="cap the job table at N entries, evicting the "
+                        "oldest finished jobs first (default: unbounded)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="cap the result cache (memory and --cache-dir "
+                        "disk tier) at this many bytes, evicting least-"
+                        "recently-used entries (default: unbounded)")
+    _add_cluster_args(p, tls_flag_prefix="--worker-tls")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("example2", help="walk through the paper's Example 2")

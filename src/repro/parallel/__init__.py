@@ -33,6 +33,7 @@ run's *aggregate* budget is ``jobs`` worker shares rather than one
 shared pool; each share still bounds its worker exactly.
 """
 
+from repro.netsec import AuthenticationError, ProtocolError
 from repro.parallel.cluster import (
     ClusterSession,
     SocketTransport,
@@ -62,8 +63,10 @@ from repro.parallel.transport import (
 from repro.parallel.windows import WindowDecider
 
 __all__ = [
+    "AuthenticationError",
     "BackoffSchedule",
     "ClusterSession",
+    "ProtocolError",
     "LocalTransport",
     "Quarantined",
     "RetryPolicy",

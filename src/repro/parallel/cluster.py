@@ -11,8 +11,17 @@ bolted on:
 * **length-prefixed JSON frames** carry the protocol; Python objects
   (regimes, verdicts, circuits) travel as base64 pickles inside the
   frames.  Pickles execute code on load, so the protocol is for
-  *trusted* clusters only — the same stance as every MPI-style
-  scientific scheduler.
+  *trusted* clusters only — and "trusted" is enforced, not assumed:
+  with a shared secret configured (``--secret-file`` /
+  ``REPRO_MCT_SECRET``) the handshake is a mutual HMAC
+  challenge–response (see :mod:`repro.netsec`), and an optional
+  :class:`ssl.SSLContext` wraps every connection in TLS.  A peer with
+  the wrong secret is refused before any pickle crosses the wire, and
+  the refusal is *permanent* — recorded in
+  :attr:`~repro.parallel.supervise.SupervisionStats.auth_failures`,
+  never retried, never granted a lease.  Frames themselves are
+  bounded (:data:`MAX_FRAME`) and malformed ones raise a clean
+  :class:`~repro.netsec.ProtocolError` on either side.
 * **lease-based ownership**: every task is leased to exactly one live
   worker; a worker that dies, times out, or goes silent has its leases
   *reclaimed* and re-dispatched to the survivors (work stealing from a
@@ -45,11 +54,19 @@ import os
 import pickle
 import queue
 import socket
+import ssl
 import struct
 import threading
 import time
 
 from repro.errors import AnalysisError, Budget, DeadlineExceeded, OptionsError
+from repro.netsec import (
+    AuthenticationError,
+    ProtocolError,
+    constant_time_eq,
+    hmac_proof,
+    new_nonce,
+)
 from repro.parallel.pool import worker_budget_limit
 from repro.parallel.supervise import (
     BackoffSchedule,
@@ -60,15 +77,19 @@ from repro.parallel.supervise import (
 from repro.parallel.transport import Transport, TransportSession
 from repro.resilience.faults import heartbeat_drop_limit, host_kill_limit
 
-#: Bump when the wire protocol changes incompatibly.
-PROTOCOL = "repro-mct-cluster/1"
+#: Bump when the wire protocol changes incompatibly.  ``/2`` added the
+#: HMAC challenge–response handshake (hello frames carry a nonce).
+PROTOCOL = "repro-mct-cluster/2"
 
 #: Exit status of a host-kill-injected worker process (``--kill-at``).
 KILLED_EXIT = 113
 
 _LEN = struct.Struct(">I")
-#: Refuse absurd frames instead of allocating unbounded buffers.
-MAX_FRAME = 256 * 1024 * 1024
+#: Refuse absurd frames instead of allocating unbounded buffers.  The
+#: largest legitimate frame is a ``configure`` payload carrying one
+#: pickled circuit; 64 MiB is orders of magnitude beyond anything the
+#: benchgen suite or an ISCAS-class netlist produces.
+MAX_FRAME = 64 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -84,20 +105,40 @@ def _load(text: str):
 
 
 def send_frame(sock: socket.socket, message: dict) -> None:
-    """One length-prefixed JSON frame (callers hold their send lock)."""
+    """One length-prefixed JSON frame (callers hold their send lock).
+
+    The :data:`MAX_FRAME` bound is enforced on *send* too: a frame this
+    side cannot emit is one the peer would refuse anyway, and failing
+    locally gives the error a stack trace instead of a reset socket.
+    """
     data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ProtocolError(f"refusing to send oversized frame ({len(data)} bytes)")
     sock.sendall(_LEN.pack(len(data)) + data)
 
 
 def recv_frame(sock: socket.socket) -> dict:
-    """Read one frame; raises ``ConnectionError`` on EOF/bad framing."""
+    """Read one frame; :class:`ProtocolError` on any wire defect.
+
+    Every way a hostile or buggy peer can corrupt the stream — an
+    oversized length prefix, truncation mid-frame, bytes that are not
+    UTF-8, UTF-8 that is not JSON, JSON that is not an object — maps
+    to one exception type that every reader loop already treats as
+    "this connection is broken" (it subclasses ``ConnectionError``).
+    The length check happens *before* allocation, so a 4 GiB prefix
+    costs four bytes of buffer, not four gigabytes.
+    """
     header = _recv_exact(sock, _LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
-        raise ConnectionError(f"oversized frame ({length} bytes)")
-    message = json.loads(_recv_exact(sock, length).decode("utf-8"))
+        raise ProtocolError(f"oversized frame ({length} bytes)")
+    body = _recv_exact(sock, length)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
     if not isinstance(message, dict):
-        raise ConnectionError("frame is not a JSON object")
+        raise ProtocolError("frame is not a JSON object")
     return message
 
 
@@ -106,7 +147,7 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     while n:
         chunk = sock.recv(n)
         if not chunk:
-            raise ConnectionError("connection closed mid-frame")
+            raise ProtocolError("connection closed mid-frame")
         chunks.append(chunk)
         n -= len(chunk)
     return b"".join(chunks)
@@ -215,6 +256,12 @@ class WorkerServer:
     connection sends *nothing* more (no pongs, no results) while tasks
     keep computing; with N=0 the silence starts right after the
     session is configured, so tests see the partition deterministically.
+
+    With ``secret`` set, every connection must pass the mutual HMAC
+    challenge–response before any ``configure``/``task`` frame is
+    accepted; a wrong proof gets one structured ``error`` frame and the
+    connection closes.  With ``ssl_context`` set, every connection is
+    TLS-wrapped before the first frame is read.
     """
 
     def __init__(
@@ -225,6 +272,8 @@ class WorkerServer:
         kill_at: int | None = None,
         drop_heartbeats_after: int | None = None,
         hard_exit: bool = False,
+        secret: bytes | None = None,
+        ssl_context: ssl.SSLContext | None = None,
     ):
         self.kill_at = kill_at if kill_at is not None else host_kill_limit()
         self.drop_heartbeats_after = (
@@ -233,6 +282,8 @@ class WorkerServer:
             else heartbeat_drop_limit()
         )
         self.hard_exit = hard_exit
+        self.secret = secret
+        self.ssl_context = ssl_context
         self._listener = socket.create_server((host, port))
         self.address = self._listener.getsockname()[:2]
         self._stopping = threading.Event()
@@ -299,8 +350,34 @@ class WorkerServer:
         self.stop()  # in-process server: every socket drops at once
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        if self.ssl_context is not None:
+            raw = conn
+            try:
+                # The TLS handshake runs on this connection's own
+                # thread (it blocks), with a bound so a client that
+                # connects and never speaks cannot pin the thread.
+                raw.settimeout(10.0)
+                conn = self.ssl_context.wrap_socket(raw, server_side=True)
+                conn.settimeout(None)
+            except (OSError, ssl.SSLError):
+                with self._lock:
+                    if raw in self._conns:
+                        self._conns.remove(raw)
+                with contextlib.suppress(OSError):
+                    raw.close()
+                return
+            with self._lock:
+                # stop() must be able to shut down the wrapped socket
+                # (the raw one's fd was transferred by wrap_socket).
+                if raw in self._conns:
+                    self._conns[self._conns.index(raw)] = conn
         send_lock = threading.Lock()
         work: queue.Queue = queue.Queue()
+        #: Auth state machine: with no secret every peer is trusted
+        #: (plaintext-compatible mode); with a secret the connection
+        #: must complete hello → challenge → auth before anything else.
+        authenticated = self.secret is None
+        server_nonce: str | None = None
         #: Injected partition: once set, this connection sends NOTHING
         #: more — no pongs, no results — while tasks keep computing.
         #: That is the failure mode only heartbeats can detect: the
@@ -327,12 +404,73 @@ class WorkerServer:
                 message = recv_frame(conn)
                 kind = message.get("type")
                 if kind == "hello":
+                    if self.secret is not None:
+                        client_nonce = message.get("nonce")
+                        if not isinstance(client_nonce, str) or not client_nonce:
+                            reply({
+                                "type": "error",
+                                "error": "auth",
+                                "detail": "hello carries no nonce "
+                                          "(this worker requires a secret)",
+                            })
+                            return
+                        server_nonce = new_nonce()
+                        reply({
+                            "type": "challenge",
+                            "protocol": PROTOCOL,
+                            "nonce": server_nonce,
+                            # Prove *our* possession of the secret over
+                            # the client's nonce first: the coordinator
+                            # ships pickles, so it must know it is not
+                            # talking to an impostor worker.
+                            "proof": hmac_proof(
+                                self.secret, PROTOCOL, "server", client_nonce
+                            ),
+                        })
+                        continue
                     reply({
                         "type": "hello",
                         "protocol": PROTOCOL,
                         "pid": os.getpid(),
                         "host": socket.gethostname(),
                     })
+                elif kind == "auth":
+                    if self.secret is None or server_nonce is None:
+                        reply({
+                            "type": "error",
+                            "error": "protocol",
+                            "detail": "unexpected auth frame",
+                        })
+                        return
+                    proof = hmac_proof(
+                        self.secret, PROTOCOL, "client", server_nonce
+                    )
+                    server_nonce = None
+                    if not constant_time_eq(
+                        str(message.get("proof", "")), proof
+                    ):
+                        reply({
+                            "type": "error",
+                            "error": "auth",
+                            "detail": "shared-secret proof rejected",
+                        })
+                        return
+                    authenticated = True
+                    reply({
+                        "type": "hello",
+                        "protocol": PROTOCOL,
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    })
+                elif not authenticated:
+                    # No work, no liveness, no shutdown for strangers:
+                    # one structured refusal, then the connection ends.
+                    reply({
+                        "type": "error",
+                        "error": "auth",
+                        "detail": "not authenticated",
+                    })
+                    return
                 elif kind == "ping":
                     drop = self.drop_heartbeats_after
                     if drop is not None and pongs >= drop:
@@ -407,6 +545,8 @@ def serve_worker(
     kill_at: int | None = None,
     drop_heartbeats_after: int | None = None,
     on_ready=None,
+    secret: bytes | None = None,
+    ssl_context: ssl.SSLContext | None = None,
 ) -> None:
     """Run one worker process until interrupted (the CLI entry point)."""
     server = WorkerServer(
@@ -415,6 +555,8 @@ def serve_worker(
         kill_at=kill_at,
         drop_heartbeats_after=drop_heartbeats_after,
         hard_exit=True,
+        secret=secret,
+        ssl_context=ssl_context,
     )
     if on_ready is not None:
         on_ready(server.address)
@@ -490,7 +632,11 @@ class ClusterSession(TransportSession):
         heartbeat_timeout: float = 2.5,
         deadline=None,
         connect_timeout: float = 10.0,
+        secret: bytes | None = None,
+        ssl_context: ssl.SSLContext | None = None,
     ):
+        self._secret = secret
+        self._ssl_context = ssl_context
         self.policy = policy or RetryPolicy()
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
@@ -514,13 +660,21 @@ class ClusterSession(TransportSession):
         self.unreachable: dict[str, str] = {}
         config_blob = _dump(config)
         for address in addresses:
-            worker, error = self._connect(address, connect_timeout)
+            worker, error, auth_failed = self._connect(
+                address, connect_timeout
+            )
             if worker is None:
                 # A sweep degraded to fewer hosts than configured must
                 # never be silent: record the address (and why) so the
                 # stats ladder / --stats surfaces it to the operator.
+                # Auth failures are counted separately — they are
+                # *permanent* (a wrong secret cannot heal), and because
+                # the worker is never admitted to the pool, no task is
+                # ever leased to it, let alone retried on it.
                 name = f"{address[0]}:{address[1]}"
                 self.stats.unreachable_workers.append(name)
+                if auth_failed:
+                    self.stats.auth_failures += 1
                 self.unreachable[name] = error
                 continue
             worker.send({"type": "configure", "kind": kind,
@@ -545,32 +699,109 @@ class ClusterSession(TransportSession):
         self._monitor_thread.start()
 
     # -- connection management -----------------------------------------
-    def _connect(self, address, timeout) -> tuple[_ClusterWorker | None, str]:
-        """Open one worker connection: ``(worker, "")`` or ``(None, why)``.
+    def _connect(
+        self, address, timeout
+    ) -> tuple["_ClusterWorker | None", str, bool]:
+        """Open one worker connection.
 
-        A per-address failure is *reported*, not swallowed: the caller
-        records the address and reason so a sweep running on fewer
-        hosts than configured is visible in the supervision stats.
+        Returns ``(worker, "", False)`` on success, else ``(None,
+        reason, auth_failed)``.  A per-address failure is *reported*,
+        not swallowed: the caller records the address and reason so a
+        sweep running on fewer hosts than configured is visible in the
+        supervision stats.  ``timeout`` bounds every step — TCP
+        connect, TLS handshake, and each handshake frame read — so a
+        SYN-blackholed or accept-then-silent (half-open) worker is
+        declared unreachable in bounded time instead of hanging the
+        session setup; only after the handshake succeeds does the
+        socket go blocking (liveness is the heartbeat monitor's job
+        from then on).
+
+        The ``auth_failed`` flag marks *permanent* rejections: wrong
+        secret, missing secret on either side, or an ``error`` refusal
+        frame.  Retrying those cannot succeed, so the caller counts
+        them distinctly from liveness loss.
         """
+        sock = None
         try:
             sock = socket.create_connection(address, timeout=timeout)
             sock.settimeout(timeout)
-            send_frame(sock, {"type": "hello", "protocol": PROTOCOL})
-            hello = recv_frame(sock)
-            if (
-                hello.get("type") != "hello"
-                or hello.get("protocol") != PROTOCOL
-            ):
+            if self._ssl_context is not None:
+                sock = self._ssl_context.wrap_socket(
+                    sock, server_hostname=address[0]
+                )
+            nonce = new_nonce()
+            send_frame(
+                sock, {"type": "hello", "protocol": PROTOCOL, "nonce": nonce}
+            )
+            reply = recv_frame(sock)
+            kind = reply.get("type")
+            if kind == "error":
+                raise AuthenticationError(
+                    str(reply.get("detail") or reply.get("error") or "refused")
+                )
+            if reply.get("protocol") != PROTOCOL:
                 raise ConnectionError(
-                    f"worker speaks {hello.get('protocol')!r}, not {PROTOCOL}"
+                    f"worker speaks {reply.get('protocol')!r}, not {PROTOCOL}"
+                )
+            if kind == "challenge":
+                if self._secret is None:
+                    raise AuthenticationError(
+                        "worker requires a shared secret and none is "
+                        "configured (--secret-file/REPRO_MCT_SECRET)"
+                    )
+                # Mutual auth: the worker must prove the secret over
+                # *our* nonce before we ship it anything — otherwise an
+                # impostor listener could harvest pickled circuits.
+                expected = hmac_proof(self._secret, PROTOCOL, "server", nonce)
+                if not constant_time_eq(
+                    str(reply.get("proof", "")), expected
+                ):
+                    raise AuthenticationError(
+                        "worker failed to prove the shared secret"
+                    )
+                send_frame(sock, {
+                    "type": "auth",
+                    "proof": hmac_proof(
+                        self._secret,
+                        PROTOCOL,
+                        "client",
+                        str(reply.get("nonce", "")),
+                    ),
+                })
+                hello = recv_frame(sock)
+                if hello.get("type") == "error":
+                    raise AuthenticationError(
+                        str(hello.get("detail") or "authentication rejected")
+                    )
+                if hello.get("type") != "hello":
+                    raise ConnectionError(
+                        f"unexpected {hello.get('type')!r} frame after auth"
+                    )
+            elif kind == "hello":
+                if self._secret is not None:
+                    raise AuthenticationError(
+                        "worker did not request authentication but this "
+                        "session has a shared secret configured"
+                    )
+            else:
+                raise ConnectionError(
+                    f"unexpected {kind!r} frame in handshake"
                 )
             sock.settimeout(None)
             # Keep latency down for the small ping/result frames.
             with contextlib.suppress(OSError):
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            return _ClusterWorker(address=tuple(address), sock=sock), ""
+            return _ClusterWorker(address=tuple(address), sock=sock), "", False
+        except AuthenticationError as exc:
+            if sock is not None:
+                with contextlib.suppress(OSError):
+                    sock.close()
+            return None, f"auth: {exc}", True
         except (ConnectionError, OSError) as exc:
-            return None, f"{type(exc).__name__}: {exc}"
+            if sock is not None:
+                with contextlib.suppress(OSError):
+                    sock.close()
+            return None, f"{type(exc).__name__}: {exc}", False
 
     def _live_workers(self) -> list[_ClusterWorker]:
         return [w for w in self._workers if w.alive]
@@ -783,17 +1014,26 @@ class SocketTransport(Transport):
         connect_timeout: float = 10.0,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 2.5,
+        secret: bytes | None = None,
+        ssl_context: ssl.SSLContext | None = None,
     ):
         addresses = [parse_worker_address(w) for w in workers]
         if not addresses:
             raise OptionsError("SocketTransport needs at least one worker")
         self.addresses = addresses
         self.connect_timeout = float(connect_timeout)
+        if self.connect_timeout <= 0:
+            raise OptionsError("connect_timeout must be positive")
         # Suite sessions have no MctOptions to carry the cadence, so
         # the transport holds a default; window sessions always use the
         # analysis options' knobs instead.
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        # Deployment configuration, like the transport itself: neither
+        # enters the options fingerprint, so checkpoints and cached
+        # results are portable across plaintext and TLS/auth fleets.
+        self.secret = secret
+        self.ssl_context = ssl_context
 
     def open_windows(
         self,
@@ -822,6 +1062,8 @@ class SocketTransport(Transport):
             heartbeat_timeout=options.heartbeat_timeout,
             deadline=deadline,
             connect_timeout=self.connect_timeout,
+            secret=self.secret,
+            ssl_context=self.ssl_context,
         )
 
     def open_suite(
@@ -839,4 +1081,6 @@ class SocketTransport(Transport):
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
             connect_timeout=self.connect_timeout,
+            secret=self.secret,
+            ssl_context=self.ssl_context,
         )

@@ -102,6 +102,13 @@ class SupervisionStats:
     #: than configured is an operational fact the operator must see —
     #: it surfaces in ``--stats`` and the result telemetry.
     unreachable_workers: list = dataclasses.field(default_factory=list)
+    #: Cluster only: workers rejected during the connect handshake for
+    #: credential reasons (wrong shared secret, secret configured on
+    #: only one side, refusal frame).  Permanent by construction —
+    #: unlike liveness loss, no retry or backoff is ever attempted and
+    #: no lease is ever granted; these addresses also appear in
+    #: ``unreachable_workers`` with an ``auth:`` reason.
+    auth_failures: int = 0
 
     def summary(self) -> str:
         text = (
@@ -119,6 +126,8 @@ class SupervisionStats:
                 f" unreachable={len(self.unreachable_workers)}"
                 f"({','.join(self.unreachable_workers)})"
             )
+        if self.auth_failures:
+            text += f" auth_failures={self.auth_failures}"
         return text
 
     def as_dict(self) -> dict:
@@ -134,6 +143,8 @@ class SupervisionStats:
         }
         if self.unreachable_workers:
             data["unreachable_workers"] = sorted(self.unreachable_workers)
+        if self.auth_failures:
+            data["auth_failures"] = self.auth_failures
         return data
 
 

@@ -21,6 +21,12 @@ whole module:
    identical analyses coalesce while in flight (single-flight) and
    replay byte-identically from the cache afterwards, across daemon
    restarts when ``--cache-dir`` is set.
+
+Deployment hardening lives beside, not inside, that identity: bearer
+auth and TLS on the listener (:mod:`repro.netsec`), TTL/LRU bounds on
+the job table and the disk cache, and cancel-resume via retained
+checkpoints are all operator knobs — none enters a cache key or
+fingerprint, so hardened and plain deployments serve the same bytes.
 """
 
 from repro.service.cache import ResultCache, content_hash, job_key

@@ -15,7 +15,22 @@ every hit, so identical submissions get byte-identical responses —
 including across a daemon restart, because a directory-backed cache
 writes each entry with the checkpoint module's atomic-rename +
 directory-fsync discipline (the result document embeds the sweep's
-checkpoint-v2 dict, which is what makes the entry self-describing).
+canonical checkpoint dict, which is what makes the entry
+self-describing).
+
+Two lifecycle guarantees keep a long-lived daemon healthy:
+
+* **bounded size** — with ``max_bytes`` set, the cache is an LRU over
+  entry byte sizes: a :meth:`get` refreshes an entry, a :meth:`put`
+  past the cap evicts least-recently-used entries (memory *and* disk)
+  until it fits, counting each in :attr:`evictions`.  The newest entry
+  always survives, even alone over the cap — evicting what was just
+  computed would make the cache a pure liability.
+* **single writer** — a directory-backed cache takes an ``fcntl`` lock
+  on ``<directory>/.lock`` at construction.  Two daemons pointed at
+  the same ``--cache-dir`` would race each other's mkstemp/rename
+  writes and LRU deletes; the second one now fails fast with an
+  :class:`~repro.errors.OptionsError` instead.
 """
 
 from __future__ import annotations
@@ -27,7 +42,16 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.errors import OptionsError
 from repro.resilience.checkpoint import fsync_directory
+
+try:  # pragma: no cover - always present on the POSIX targets we run on
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: Name of the single-writer lock file inside a cache directory.
+LOCK_NAME = ".lock"
 
 
 def job_key(spec: dict) -> str:
@@ -57,21 +81,86 @@ class ResultCache:
     directory fsync), so a crash mid-write can never leave a truncated
     entry that a restarted daemon would then serve — and :meth:`get`
     falls back to disk on a memory miss, which is what makes a restart
-    with the same ``--cache-dir`` skip recomputation.
+    with the same ``--cache-dir`` skip recomputation.  Existing entries
+    are indexed at construction (oldest-modified first) so the LRU cap
+    spans restarts too.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        max_bytes: int | None = None,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise OptionsError("cache max_bytes must be positive or None")
+        self.max_bytes = max_bytes
+        self.evictions = 0
         self._memory: dict[str, bytes] = {}
+        #: LRU index over every known entry (memory or disk): key →
+        #: byte size, oldest first.  This is what the cap walks.
+        self._sizes: dict[str, int] = {}
+        self._lock_file = None
         self._directory = None if directory is None else Path(directory)
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            self._acquire_lock()
+            self._index_directory()
 
     @property
     def directory(self) -> Path | None:
         return self._directory
 
+    @property
+    def total_bytes(self) -> int:
+        """Sum of every indexed entry's size (the number the cap bounds)."""
+        return sum(self._sizes.values())
+
+    def _acquire_lock(self) -> None:
+        if fcntl is None:  # non-POSIX: no advisory locking available
+            return
+        path = self._directory / LOCK_NAME
+        try:
+            lock_file = open(path, "a+b")
+        except OSError as exc:
+            raise OptionsError(f"cannot open cache lock {path}: {exc}") from exc
+        try:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            lock_file.close()
+            raise OptionsError(
+                f"cache directory {self._directory} is already in use by "
+                "another daemon (its lock file is held); two writers would "
+                "race each other's writes and evictions"
+            ) from None
+        self._lock_file = lock_file
+
+    def _index_directory(self) -> None:
+        entries = []
+        for path in self._directory.glob("*.json"):
+            with contextlib.suppress(OSError):
+                stat = path.stat()
+                entries.append((stat.st_mtime, path.stem, stat.st_size))
+        for _mtime, key, size in sorted(entries):
+            self._sizes[key] = size
+        self._enforce_cap()
+
+    def close(self) -> None:
+        """Release the single-writer lock (idempotent)."""
+        lock_file, self._lock_file = self._lock_file, None
+        if lock_file is not None:
+            if fcntl is not None:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+            with contextlib.suppress(OSError):
+                lock_file.close()
+
     def _path(self, key: str) -> Path:
         return self._directory / f"{key}.json"
+
+    def _touch(self, key: str, size: int) -> None:
+        self._sizes.pop(key, None)
+        self._sizes[key] = size  # (re)insert at the fresh end
 
     def get(self, key: str) -> bytes | None:
         """The stored bytes for ``key``, or None.
@@ -83,6 +172,7 @@ class ResultCache:
         """
         value = self._memory.get(key)
         if value is not None:
+            self._touch(key, len(value))
             return value
         if self._directory is None:
             return None
@@ -92,25 +182,46 @@ class ResultCache:
         except (OSError, ValueError):
             return None
         self._memory[key] = value
+        self._touch(key, len(value))
         return value
 
     def put(self, key: str, value: bytes) -> None:
         """Store ``value`` under ``key`` (last writer wins)."""
         self._memory[key] = value
-        if self._directory is None:
+        self._touch(key, len(value))
+        if self._directory is not None:
+            target = self._path(key)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self._directory), prefix=f".{key[:16]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(value)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, target)
+                fsync_directory(self._directory)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        self._enforce_cap()
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        The most recent entry is never evicted: a cache that cannot
+        hold even one result should still serve the one it just
+        stored.  Eviction removes both tiers — the memory copy and the
+        disk file — so a restart cannot resurrect an evicted entry.
+        """
+        if self.max_bytes is None:
             return
-        target = self._path(key)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self._directory), prefix=f".{key[:16]}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(value)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, target)
-            fsync_directory(self._directory)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+        while len(self._sizes) > 1 and self.total_bytes > self.max_bytes:
+            key = next(iter(self._sizes))
+            self._sizes.pop(key)
+            self._memory.pop(key, None)
+            if self._directory is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self._path(key))
+            self.evictions += 1

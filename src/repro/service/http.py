@@ -24,6 +24,17 @@ GET       ``/jobs/<id>/stream``    NDJSON: one line per committed candidate,
 GET       ``/stats``               :class:`~repro.service.ServiceStats`
 GET       ``/healthz``             liveness probe
 ========  =======================  ==========================================
+
+Security (both optional, see :mod:`repro.netsec`): with an
+``auth_token`` configured (``--auth-token-file``/``REPRO_MCT_TOKEN``)
+*every* endpoint — including ``/healthz`` — requires ``Authorization:
+Bearer <token>``; a missing or wrong token is a JSON ``401`` with a
+``WWW-Authenticate`` header, compared in constant time, and counted in
+``ServiceStats.auth_rejected``.  With an ``ssl_context`` the listener
+speaks TLS (``--tls-cert``/``--tls-key``, plus ``--tls-ca`` to demand
+client certificates).  Neither knob enters any cache key or
+fingerprint: result bytes are identical across plaintext and TLS
+deployments.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ import asyncio
 import json
 
 from repro.errors import OptionsError
+from repro.netsec import check_bearer
 from repro.service.jobs import JobManager
 from repro.service.stats import ServiceStats
 
@@ -45,6 +57,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -65,22 +78,29 @@ class MctService:
     """The daemon: an HTTP front end over a :class:`JobManager`."""
 
     def __init__(self, manager: JobManager, *, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, auth_token: bytes | None = None,
+                 ssl_context=None):
         self.manager = manager
         self.host = host
         self.port = port
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
         self.address: tuple[str, int] | None = None
         self._server: asyncio.base_events.Server | None = None
 
     @property
     def stats(self) -> ServiceStats:
-        return self.manager.stats
+        stats = self.manager.stats
+        # The cache owns its own eviction counter; mirror it into the
+        # service snapshot so /stats and --stats see one number.
+        stats.cache_evictions = self.manager.cache.evictions
+        return stats
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind and serve; returns the bound (host, port)."""
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
+            self._handle, self.host, self.port, ssl=self.ssl_context
         )
         self.address = self._server.sockets[0].getsockname()[:2]
         return self.address
@@ -101,7 +121,19 @@ class MctService:
     async def _handle(self, reader, writer) -> None:
         try:
             try:
-                method, path, body = await _read_request(reader)
+                method, path, headers, body = await _read_request(reader)
+                if self.auth_token is not None and not check_bearer(
+                    headers.get("authorization"), self.auth_token
+                ):
+                    # Auth gates everything, /healthz included: an
+                    # unauthenticated caller learns nothing, not even
+                    # that the daemon is alive.
+                    self.stats.auth_rejected += 1
+                    return await _send_json(
+                        writer, 401,
+                        {"error": "missing or invalid bearer token"},
+                        extra_headers=("WWW-Authenticate: Bearer",),
+                    )
                 await self._dispatch(writer, method, path, body)
             except _BadRequest as exc:
                 await _send_json(
@@ -160,8 +192,14 @@ class MctService:
         parts = path.strip("/").split("/")
         job = self.manager.get(parts[1])
         if job is None:
+            self.stats.jobs_not_found += 1
+            evicted = self.manager.was_evicted(parts[1])
             return await _send_json(
-                writer, 404, {"error": f"no such job: {parts[1]}"}
+                writer, 404,
+                {"error": (
+                    f"job {parts[1]} was evicted by the lifecycle policy"
+                    if evicted else f"no such job: {parts[1]}"
+                ), "evicted": evicted},
             )
         action = parts[2] if len(parts) > 2 else None
         if action is None:
@@ -238,7 +276,7 @@ class MctService:
             await job.wait_change(loop)
 
 
-async def _read_request(reader) -> tuple[str, str, bytes]:
+async def _read_request(reader) -> tuple[str, str, dict, bytes]:
     """Parse one request; raises :class:`_BadRequest` on any defect."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -275,20 +313,26 @@ async def _read_request(reader) -> tuple[str, str, bytes]:
         raise _BadRequest(413, f"request body over {MAX_BODY_BYTES} bytes")
     body = await reader.readexactly(length) if length else b""
     # Strip the query string: the API carries everything in paths/bodies.
-    return method.upper(), path.split("?", 1)[0], body
+    return method.upper(), path.split("?", 1)[0], headers, body
 
 
-async def _send_json(writer, status: int, payload: dict) -> None:
+async def _send_json(
+    writer, status: int, payload: dict, *, extra_headers: tuple = ()
+) -> None:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-    await _send_raw(writer, status, body)
+    await _send_raw(writer, status, body, extra_headers=extra_headers)
 
 
-async def _send_raw(writer, status: int, body: bytes) -> None:
+async def _send_raw(
+    writer, status: int, body: bytes, *, extra_headers: tuple = ()
+) -> None:
     reason = _REASONS.get(status, "Unknown")
+    extras = "".join(f"{line}\r\n" for line in extra_headers)
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         "Connection: close\r\n\r\n"
     ).encode("latin-1")
     writer.write(head + body)

@@ -24,12 +24,25 @@ rely on:
   cancel event, which stops the sweep exactly like Ctrl-C — the result
   is partial, checkpointed, and marked ``cancelled`` (the HTTP shape of
   the CLI's exit-3 contract).  Cancelled/partial results are never
-  cached.
+  cached — but the interrupted sweep's *checkpoint* (a cancel's, or a
+  work-budget/deadline exhaustion's) is retained keyed by the job's
+  content address, so resubmitting the same spec resumes
+  from it via ``minimum_cycle_time(resume_from=...)``: the already
+  decided windows replay instead of recomputing, and the final bound
+  and cached bytes are identical to an uninterrupted run's (the
+  result document embeds the checkpoint's *canonical*,
+  measurement-free form precisely so that holds byte-for-byte);
+* **bounded lifecycle**: the job table is capped by ``--job-ttl``
+  (terminal jobs expire) and ``--max-jobs`` (oldest terminal jobs are
+  LRU-evicted past the cap).  Running or queued jobs are never
+  evicted; an evicted id answers 404 with ``evicted: true`` and an
+  eviction counter in :class:`~repro.service.ServiceStats`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import dataclasses
 import json
 import threading
@@ -57,8 +70,19 @@ from repro.resilience import SweepCheckpoint
 from repro.service.cache import ResultCache, content_hash, job_key
 from repro.service.stats import ServiceStats
 
-RESULT_SCHEMA = "repro-mct-service-result/1"
+#: ``/2`` made result bodies fully deterministic: the embedded
+#: checkpoint is the *canonical* (measurement-free) form and the
+#: telemetry-dependent ``decisions_run`` field is gone, so two runs of
+#: the same spec — serial or clustered, plaintext or TLS, fresh or
+#: resumed from a cancelled sweep's checkpoint — serialize to the very
+#: same bytes.  That is what lets CI ``cmp`` result files across legs.
+RESULT_SCHEMA = "repro-mct-service-result/2"
 JOB_SCHEMA = "repro-mct-service-job/1"
+
+#: Interrupted-sweep checkpoints retained for resume, by job key (LRU).
+MAX_RETAINED_CHECKPOINTS = 64
+#: Evicted job ids remembered so their 404s can say "evicted" (LRU).
+MAX_EVICTED_IDS = 4096
 
 _DELAY_MODELS = {
     "unit": unit_delays,
@@ -271,10 +295,21 @@ class Job:
         self.state = "done" if cached else "queued"
         self.cached = cached
         self.coalesced = False
+        #: True when this sweep resumed from an interrupted (cancelled
+        #: or budget/deadline-exhausted) predecessor's retained
+        #: checkpoint (``events`` then counts only the windows
+        #: actually recomputed, not the replayed ones).
+        self.resumed = False
         self.events: list[dict] = []
         self.result_bytes: bytes | None = None
         self.error: str | None = None
         self.wall_seconds: float = 0.0
+        self.created_at = time.monotonic()
+        #: Set when the job reaches a terminal state; the TTL/LRU
+        #: eviction clock (cache hits are terminal at birth).
+        self.finished_at: float | None = (
+            self.created_at if cached else None
+        )
         self.cancel_event = threading.Event()
         self._waiters: list[asyncio.Future] = []
 
@@ -304,6 +339,7 @@ class Job:
             "state": self.state,
             "cached": self.cached,
             "coalesced": self.coalesced,
+            "resumed": self.resumed,
             "events": len(self.events),
             "wall_seconds": round(self.wall_seconds, 6),
         }
@@ -315,11 +351,20 @@ class Job:
 def result_document(spec: JobSpec, result) -> dict:
     """The service's result JSON for one finished sweep.
 
-    Embeds the sweep as a checkpoint-v2 dict — the engine's own
+    Embeds the sweep as a checkpoint dict — the engine's own
     interrupted-sweep checkpoint when there is one (cancelled/partial
-    runs), or one synthesized from the completed record list, so every
-    cached entry is a valid ``repro-mct-checkpoint/2`` payload a client
-    could feed back to ``repro-mct analyze --resume``.
+    runs), or one synthesized from the completed record list — in its
+    *canonical*, measurement-free form (plus the ``version`` key
+    :meth:`~repro.resilience.SweepCheckpoint.from_dict` requires), so
+    every entry is still a valid ``repro-mct-checkpoint/2`` payload a
+    client could feed back to ``repro-mct analyze --resume``.
+
+    Determinism is the contract here: nothing wall-clock- or
+    telemetry-dependent (``elapsed_seconds``, ``ite_calls``,
+    ``decisions_run``, supervision history) enters the document, so
+    identical specs serialize to identical bytes whether the sweep ran
+    serial or clustered, over plaintext or TLS, fresh or resumed from
+    a cancelled predecessor's checkpoint.
     """
     checkpoint = result.checkpoint
     if checkpoint is None:
@@ -333,18 +378,6 @@ def result_document(spec: JobSpec, result) -> dict:
             rung=result.rung,
             reason="completed",
             fingerprint=options_fingerprint(spec.options),
-            bdd_stats=(
-                None if result.bdd_stats is None
-                else result.bdd_stats.as_dict()
-            ),
-            supervision=(
-                None if result.supervision is None
-                else result.supervision.as_dict()
-            ),
-            lp_stats=(
-                None if result.lp_stats is None
-                else result.lp_stats.as_dict()
-            ),
         )
     bound = result.mct_upper_bound
     window = result.failing_window
@@ -360,13 +393,15 @@ def result_document(spec: JobSpec, result) -> dict:
         ),
         "failing_roots": list(result.failing_roots),
         "candidates": len(result.candidates),
-        "decisions_run": result.decisions_run,
         "rung": result.rung,
         "budget_exceeded": result.budget_exceeded,
         "deadline_exceeded": result.deadline_exceeded,
         "cancelled": result.cancelled,
         "partial": result.interrupted,
-        "checkpoint": checkpoint.to_dict(),
+        "checkpoint": {
+            "version": checkpoint.version,
+            **checkpoint.canonical(),
+        },
     }
 
 
@@ -385,9 +420,18 @@ class JobManager:
         max_retries: int = 2,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 2.5,
+        connect_timeout: float = 10.0,
+        worker_secret: bytes | None = None,
+        worker_ssl_context=None,
+        job_ttl: float | None = None,
+        max_jobs: int | None = None,
     ):
         if max_inflight < 1:
             raise OptionsError("max_inflight must be positive")
+        if job_ttl is not None and job_ttl <= 0:
+            raise OptionsError("job_ttl must be positive or None")
+        if max_jobs is not None and max_jobs < 1:
+            raise OptionsError("max_jobs must be positive or None")
         self.cache = cache or ResultCache()
         self.stats = stats or ServiceStats()
         self.jobs = jobs
@@ -397,8 +441,19 @@ class JobManager:
         )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.worker_secret = worker_secret
+        self.worker_ssl_context = worker_ssl_context
+        self.job_ttl = job_ttl
+        self.max_jobs = max_jobs
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
+        #: Interrupted sweeps' checkpoints, by job key (bounded LRU):
+        #: a resubmission with the same content address resumes from
+        #: here instead of recomputing the already-decided windows.
+        self._resume: collections.OrderedDict = collections.OrderedDict()
+        #: Ids the lifecycle policy dropped, so their 404s can say so.
+        self._evicted: collections.OrderedDict = collections.OrderedDict()
         self._tasks: set[asyncio.Task] = set()
         self._semaphore = asyncio.Semaphore(max_inflight)
         self._next_id = 0
@@ -406,6 +461,9 @@ class JobManager:
     # -- lookup --------------------------------------------------------
     def get(self, job_id: str) -> Job | None:
         return self._jobs.get(job_id)
+
+    def was_evicted(self, job_id: str) -> bool:
+        return job_id in self._evicted
 
     def jobs_status(self) -> list[dict]:
         return [job.status() for job in self._jobs.values()]
@@ -422,6 +480,7 @@ class JobManager:
         """
         spec = JobSpec(data)  # raises OptionsError on any defect
         self.stats.jobs_submitted += 1
+        self._evict_jobs()
         cached = self.cache.get(spec.key)
         if cached is not None:
             self.stats.cache_hits += 1
@@ -460,6 +519,42 @@ class JobManager:
             job.cancel_event.set()
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self.cache.close()
+
+    # -- lifecycle ------------------------------------------------------
+    def _evict_jobs(self) -> None:
+        """Apply the TTL and the table cap; terminal jobs only.
+
+        Runs on the event loop thread at every submit, so the table
+        never grows unbounded between explicit sweeps.  Eviction order
+        is oldest-finished first; queued/running jobs (and coalesced
+        followers attached to them) are structurally exempt because
+        ``finished_at`` is unset until a terminal state.
+        """
+        now = time.monotonic()
+        if self.job_ttl is not None:
+            for job in list(self._jobs.values()):
+                if (
+                    job.finished_at is not None
+                    and now - job.finished_at > self.job_ttl
+                ):
+                    self._drop_job(job)
+        if self.max_jobs is not None and len(self._jobs) > self.max_jobs:
+            terminal = sorted(
+                (j for j in self._jobs.values() if j.finished_at is not None),
+                key=lambda j: j.finished_at,
+            )
+            for job in terminal:
+                if len(self._jobs) <= self.max_jobs:
+                    break
+                self._drop_job(job)
+
+    def _drop_job(self, job: Job) -> None:
+        del self._jobs[job.id]
+        self._evicted[job.id] = None
+        while len(self._evicted) > MAX_EVICTED_IDS:
+            self._evicted.popitem(last=False)
+        self.stats.jobs_evicted += 1
 
     # -- execution -----------------------------------------------------
     async def _run(self, job: Job) -> None:
@@ -482,9 +577,21 @@ class JobManager:
             job.state = "running"
             self.stats.in_flight += 1
             started = time.monotonic()
+            # Cancel-resume: a prior run of this exact content address
+            # that was cancelled (or ran out of budget) left its
+            # checkpoint here.  Replaying
+            # it means only the windows past the interruption point are
+            # recomputed; the fingerprint inside the checkpoint matches
+            # by construction (the key hashes the same fingerprint).
+            resume_from = self._resume.get(job.key)
+            if resume_from is not None:
+                self._resume.move_to_end(job.key)
+                job.resumed = True
+                self.stats.jobs_resumed += 1
             try:
                 result = await asyncio.to_thread(
-                    self._sweep, job.spec, on_record, job.cancel_event
+                    self._sweep, job.spec, on_record, job.cancel_event,
+                    resume_from,
                 )
             except AnalysisError as exc:
                 job.error = str(exc)
@@ -498,13 +605,14 @@ class JobManager:
                 self._finish(job, result)
             finally:
                 job.wall_seconds = time.monotonic() - started
+                job.finished_at = time.monotonic()
                 self.stats.sweep_seconds += job.wall_seconds
                 self.stats.in_flight -= 1
                 if self._inflight.get(job.key) is job:
                     del self._inflight[job.key]
                 self._record_event(job, self._terminal_event(job))
 
-    def _sweep(self, spec: JobSpec, on_record, cancel_event):
+    def _sweep(self, spec: JobSpec, on_record, cancel_event, resume_from=None):
         # Execution knobs are the daemon's, never the submitter's: the
         # client describes an analysis, the operator owns the fleet.
         options = dataclasses.replace(
@@ -522,13 +630,17 @@ class JobManager:
 
             transport = SocketTransport(
                 self.worker_specs,
+                connect_timeout=self.connect_timeout,
                 heartbeat_interval=self.heartbeat_interval,
                 heartbeat_timeout=self.heartbeat_timeout,
+                secret=self.worker_secret,
+                ssl_context=self.worker_ssl_context,
             )
         return minimum_cycle_time(
             spec.circuit,
             spec.delays,
             options,
+            resume_from=resume_from,
             jobs=self.jobs,
             transport=transport,
             progress=on_record,
@@ -544,11 +656,24 @@ class JobManager:
         else:
             job.state = "done"
             self.stats.jobs_completed += 1
-            if not result.interrupted:
-                # Only complete bounds are content-addressed: a partial
-                # result depends on the budget/deadline that cut it
-                # short, which the key deliberately does not hash.
-                self.cache.put(job.key, job.result_bytes)
+        if result.interrupted or result.cancelled:
+            # Retain the exit-3-shaped checkpoint keyed by content
+            # address so a resubmission — after a cancel, or with a
+            # bigger budget after exhaustion (the budget is not part
+            # of the key) — resumes instead of starting over.
+            if result.checkpoint is not None:
+                self._resume[job.key] = result.checkpoint
+                self._resume.move_to_end(job.key)
+                while len(self._resume) > MAX_RETAINED_CHECKPOINTS:
+                    self._resume.popitem(last=False)
+        else:
+            # Only complete bounds are content-addressed: a partial
+            # result depends on the budget/deadline that cut it
+            # short, which the key deliberately does not hash.
+            self.cache.put(job.key, job.result_bytes)
+            # The bound is final; the retained partial checkpoint
+            # has nothing left to offer.
+            self._resume.pop(job.key, None)
 
     def _terminal_event(self, job: Job) -> dict:
         event = {"event": job.state, "job": job.id}

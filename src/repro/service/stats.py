@@ -38,6 +38,18 @@ class ServiceStats:
     in_flight: int = 0
     #: Total wall-clock seconds spent inside sweeps.
     sweep_seconds: float = 0.0
+    #: Requests refused for a missing or wrong bearer token (401s).
+    auth_rejected: int = 0
+    #: Jobs dropped from the table by the TTL/LRU lifecycle policy.
+    jobs_evicted: int = 0
+    #: Cache entries dropped by the ``--cache-max-bytes`` LRU cap.
+    cache_evictions: int = 0
+    #: Sweeps that resumed from a cancelled predecessor's retained
+    #: checkpoint instead of recomputing from scratch.
+    jobs_resumed: int = 0
+    #: Status/result/cancel/stream requests for an unknown job id
+    #: (including expired/evicted ids — the 404 body says which).
+    jobs_not_found: int = 0
 
     def summary(self) -> str:
         return (
@@ -45,7 +57,10 @@ class ServiceStats:
             f"misses={self.cache_misses} coalesced={self.coalesced} "
             f"in_flight={self.in_flight} "
             f"completed={self.jobs_completed} failed={self.jobs_failed} "
-            f"cancelled={self.jobs_cancelled} "
+            f"cancelled={self.jobs_cancelled} resumed={self.jobs_resumed} "
+            f"evicted={self.jobs_evicted} "
+            f"cache_evictions={self.cache_evictions} "
+            f"auth_rejected={self.auth_rejected} "
             f"sweep_seconds={self.sweep_seconds:.2f}"
         )
 
@@ -55,9 +70,14 @@ class ServiceStats:
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
             "jobs_cancelled": self.jobs_cancelled,
+            "jobs_resumed": self.jobs_resumed,
+            "jobs_evicted": self.jobs_evicted,
+            "jobs_not_found": self.jobs_not_found,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
             "coalesced": self.coalesced,
+            "auth_rejected": self.auth_rejected,
             "in_flight": self.in_flight,
             "sweep_seconds": round(self.sweep_seconds, 6),
         }

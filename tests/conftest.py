@@ -1,0 +1,36 @@
+"""Shared fixtures: TLS material for the network-hardening tests."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def tls_certs(tmp_path_factory):
+    """A self-signed certificate/key pair (also its own CA bundle).
+
+    Generated once per session with the openssl CLI — exactly how the
+    CI jobs and the USAGE.md cookbook provision a test fleet.  Tests
+    that need TLS skip cleanly on machines without openssl.
+    """
+    openssl = shutil.which("openssl")
+    if openssl is None:
+        pytest.skip("openssl CLI not available")
+    directory = tmp_path_factory.mktemp("tls")
+    cert = directory / "cert.pem"
+    key = directory / "key.pem"
+    proc = subprocess.run(
+        [
+            openssl, "req", "-x509", "-newkey", "rsa:2048",
+            "-keyout", str(key), "-out", str(cert),
+            "-days", "2", "-nodes", "-subj", "/CN=repro-mct-test",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"openssl could not generate a test cert: {proc.stderr}")
+    return {"cert": str(cert), "key": str(key), "ca": str(cert)}

@@ -65,15 +65,16 @@ def assert_equivalent(serial, disturbed):
 
 
 @contextlib.contextmanager
-def fleet(*servers):
+def fleet(*servers, **transport_kwargs):
     """Start in-process loopback workers, yield a transport over them."""
     started = [server.start() for server in servers]
+    kwargs = dict(
+        connect_timeout=2.0, heartbeat_interval=0.05, heartbeat_timeout=0.2
+    )
+    kwargs.update(transport_kwargs)
     try:
         yield SocketTransport(
-            ["%s:%d" % server.address for server in started],
-            connect_timeout=2.0,
-            heartbeat_interval=0.05,
-            heartbeat_timeout=0.2,
+            ["%s:%d" % server.address for server in started], **kwargs
         )
     finally:
         for server in started:
@@ -321,6 +322,222 @@ class TestClusterSweep:
 
 
 # ----------------------------------------------------------------------
+# Authenticated + TLS wire (the hardening tentpole)
+# ----------------------------------------------------------------------
+class TestClusterSecurity:
+    @pytest.fixture(scope="class")
+    def widened(self):
+        circuit, delays = paper_example2()
+        return circuit, delays.widen(Fraction(9, 10))
+
+    @pytest.fixture(scope="class")
+    def serial(self, widened):
+        circuit, delays = widened
+        return minimum_cycle_time(circuit, delays)
+
+    def test_authenticated_fleet_matches_serial(self, widened, serial):
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(secret=b"s3cret"), WorkerServer(secret=b"s3cret"),
+            secret=b"s3cret",
+        ) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.auth_failures == 0
+        assert "auth_failures" not in sup.as_dict()
+        assert "auth_failures" not in sup.summary()
+
+    def test_wrong_secret_is_permanent_not_retried(self, widened, serial):
+        # One impostor worker among good ones: the handshake refusal is
+        # recorded as an auth failure (permanent — no lease, no retry,
+        # no quarantine ladder), and the survivors still produce the
+        # exact serial answer.
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(secret=b"s3cret"), WorkerServer(secret=b"WRONG"),
+            secret=b"s3cret",
+        ) as tp:
+            bad = "%s:%d" % tp.addresses[1]
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        sup = result.supervision
+        assert sup.auth_failures == 1
+        assert sup.unreachable_workers == [bad]
+        assert sup.as_dict()["auth_failures"] == 1
+        assert "auth_failures=1" in sup.summary()
+        # Permanent means permanent: the refusal consumed no retry
+        # budget and quarantined nothing.
+        assert sup.retries == 0
+        assert sup.quarantined == 0
+
+    def test_all_wrong_secrets_is_clean_analysis_error(self, widened):
+        circuit, delays = widened
+        with fleet(WorkerServer(secret=b"WRONG"), secret=b"s3cret") as tp:
+            with pytest.raises(AnalysisError, match="no cluster workers"):
+                minimum_cycle_time(
+                    circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+                )
+
+    def test_secretless_client_refused_by_secret_worker(self, widened):
+        circuit, delays = widened
+        with fleet(WorkerServer(secret=b"s3cret")) as tp:
+            with pytest.raises(AnalysisError, match="no cluster workers"):
+                minimum_cycle_time(
+                    circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+                )
+
+    def test_secret_client_refuses_secretless_worker(self, widened):
+        # The expectation is mutual: a coordinator configured for auth
+        # must not ship pickles to a worker that never proved itself.
+        circuit, delays = widened
+        with fleet(WorkerServer(), secret=b"s3cret") as tp:
+            with pytest.raises(AnalysisError, match="no cluster workers"):
+                minimum_cycle_time(
+                    circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+                )
+
+    def test_worker_survives_auth_probe(self, widened, serial):
+        # A refused peer must not wedge the worker: after the impostor
+        # is turned away, a correct coordinator gets the full answer.
+        circuit, delays = widened
+        server = WorkerServer(secret=b"s3cret").start()
+        try:
+            address = "%s:%d" % server.address
+            with pytest.raises(AnalysisError, match="no cluster workers"):
+                minimum_cycle_time(
+                    circuit, delays, MctOptions(**CLUSTER_OPTS),
+                    transport=SocketTransport(
+                        [address], connect_timeout=2.0, secret=b"WRONG"
+                    ),
+                )
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS),
+                transport=SocketTransport(
+                    [address], connect_timeout=2.0, secret=b"s3cret"
+                ),
+            )
+        finally:
+            server.stop()
+        assert_equivalent(serial, result)
+
+    def test_tls_fleet_matches_serial(self, widened, serial, tls_certs):
+        from repro.netsec import build_client_context, build_server_context
+
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(
+                ssl_context=build_server_context(
+                    tls_certs["cert"], tls_certs["key"]
+                )
+            ),
+            WorkerServer(
+                ssl_context=build_server_context(
+                    tls_certs["cert"], tls_certs["key"]
+                )
+            ),
+            ssl_context=build_client_context(tls_certs["ca"]),
+        ) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+
+    def test_tls_and_auth_compose(self, widened, serial, tls_certs):
+        from repro.netsec import build_client_context, build_server_context
+
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(
+                secret=b"s3cret",
+                ssl_context=build_server_context(
+                    tls_certs["cert"], tls_certs["key"]
+                ),
+            ),
+            secret=b"s3cret",
+            ssl_context=build_client_context(tls_certs["ca"]),
+        ) as tp:
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+        assert_equivalent(serial, result)
+        assert result.supervision.auth_failures == 0
+
+    def test_untrusted_worker_cert_is_refused(self, widened, tls_certs,
+                                              tmp_path):
+        # The client trusts exactly its CA bundle: a worker presenting
+        # a certificate from outside it is unreachable, not trusted.
+        import shutil
+        import subprocess
+
+        from repro.netsec import build_client_context, build_server_context
+
+        openssl = shutil.which("openssl")
+        if openssl is None:
+            pytest.skip("openssl CLI not available")
+        other_cert = tmp_path / "other.pem"
+        other_key = tmp_path / "other.key"
+        subprocess.run(
+            [openssl, "req", "-x509", "-newkey", "rsa:2048",
+             "-keyout", str(other_key), "-out", str(other_cert),
+             "-days", "2", "-nodes", "-subj", "/CN=untrusted"],
+            capture_output=True, check=True,
+        )
+        circuit, delays = widened
+        with fleet(
+            WorkerServer(
+                ssl_context=build_server_context(other_cert, other_key)
+            ),
+            ssl_context=build_client_context(tls_certs["ca"]),
+            connect_timeout=2.0,
+        ) as tp:
+            with pytest.raises(AnalysisError, match="no cluster workers"):
+                minimum_cycle_time(
+                    circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+                )
+
+    def test_half_open_worker_bounded_by_connect_timeout(self, widened,
+                                                         serial):
+        # A listener that accepts TCP but never answers the handshake
+        # (a SYN-blackholed or wedged host): the dial must give up in
+        # --connect-timeout seconds, not hang on an unbounded read.
+        import time as _time
+
+        circuit, delays = widened
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(8)  # backlog ACKs the connect; nobody ever reads
+        server = WorkerServer().start()
+        try:
+            tp = SocketTransport(
+                ["%s:%d" % server.address,
+                 "127.0.0.1:%d" % silent.getsockname()[1]],
+                connect_timeout=0.5,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=0.2,
+            )
+            began = _time.monotonic()
+            result = minimum_cycle_time(
+                circuit, delays, MctOptions(**CLUSTER_OPTS), transport=tp
+            )
+            elapsed = _time.monotonic() - began
+        finally:
+            server.stop()
+            silent.close()
+        assert_equivalent(serial, result)
+        assert len(result.supervision.unreachable_workers) == 1
+        assert elapsed < 10.0  # bounded: one 0.5s dial, not a hang
+
+    def test_transport_validates_connect_timeout(self):
+        with pytest.raises(OptionsError):
+            SocketTransport(["h:1"], connect_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
 # Suite rows over the cluster
 # ----------------------------------------------------------------------
 class TestClusterSuite:
@@ -432,6 +649,71 @@ class TestClusterCli:
     def test_worker_rejects_negative_fault_knobs(self, capsys):
         assert main(["worker", "--kill-at", "-1"]) == 1
         assert main(["worker", "--drop-heartbeats-after", "-2"]) == 1
+
+    def test_analyze_authenticated_cluster(self, bench, tmp_path, capsys):
+        secret = tmp_path / "secret"
+        secret.write_text("cli-secret\n")
+        with fleet(
+            WorkerServer(secret=b"cli-secret"),
+            WorkerServer(secret=b"cli-secret"),
+        ) as tp:
+            addresses = ",".join("%s:%d" % a for a in tp.addresses)
+            code = main([
+                "analyze", bench, "--widen", "0.9",
+                "--workers", addresses,
+                "--secret-file", str(secret),
+                "--heartbeat-interval", "0.05",
+                "--heartbeat-timeout", "0.2",
+            ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimum cycle time" in out
+
+    def test_analyze_wrong_secret_exits_cleanly(self, bench, tmp_path,
+                                                capsys):
+        secret = tmp_path / "secret"
+        secret.write_text("WRONG")
+        with fleet(WorkerServer(secret=b"cli-secret")) as tp:
+            code = main([
+                "analyze", bench,
+                "--workers", "%s:%d" % tp.addresses[0],
+                "--secret-file", str(secret),
+            ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no cluster workers" in err
+        assert "Traceback" not in err
+
+    def test_analyze_rejects_connect_timeout_zero(self, bench, capsys):
+        code = main(["analyze", bench, "--connect-timeout", "0"])
+        assert code == 1
+        assert "--connect-timeout" in capsys.readouterr().err
+
+    def test_analyze_rejects_missing_secret_file(self, bench, capsys):
+        code = main([
+            "analyze", bench, "--secret-file", "/nonexistent/secret",
+        ])
+        assert code == 1
+        assert "secret" in capsys.readouterr().err
+
+    def test_analyze_rejects_tls_flags_without_workers(self, bench, capsys):
+        code = main(["analyze", bench, "--tls-ca", "ca.pem"])
+        assert code == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_analyze_rejects_unpaired_client_cert(self, bench, capsys):
+        code = main([
+            "analyze", bench, "--workers", "h:1", "--tls-ca", "ca.pem",
+            "--tls-cert", "c.pem",
+        ])
+        assert code == 1
+        assert "--tls-cert" in capsys.readouterr().err
+
+    def test_worker_rejects_unpaired_tls_flags(self, capsys):
+        assert main(["worker", "--tls-cert", "c.pem"]) == 1
+        assert "--tls-key" in capsys.readouterr().err
+        assert main(["worker", "--tls-ca", "ca.pem"]) == 1
+        assert "--tls-cert" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

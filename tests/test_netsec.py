@@ -1,0 +1,249 @@
+"""The shared security layer: frame codec, secrets, proofs, TLS.
+
+The contract under test is the hardening ISSUE's satellite (a): no
+byte sequence a peer can put on the cluster wire may produce anything
+but a clean :class:`~repro.netsec.ProtocolError` — never an
+out-of-memory allocation, never a stray ValueError escaping a reader
+thread — plus the primitives the handshake and the HTTP bearer gate
+are built from.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import ssl
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptionsError
+from repro.netsec import (
+    AuthenticationError,
+    ProtocolError,
+    build_client_context,
+    build_server_context,
+    check_bearer,
+    constant_time_eq,
+    hmac_proof,
+    load_secret,
+    new_nonce,
+)
+from repro.parallel.cluster import (
+    MAX_FRAME,
+    PROTOCOL,
+    recv_frame,
+    send_frame,
+)
+
+_LEN = struct.Struct(">I")
+
+#: JSON-representable frame payloads (what the protocol actually sends:
+#: string-keyed objects of scalars, lists, and nested objects).
+_json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+_frames = st.dictionaries(st.text(max_size=10), _json_values, max_size=6)
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# Frame codec: round trips and hostile bytes
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(message=_frames)
+    def test_round_trip(self, message):
+        a, b = _pair()
+        try:
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.binary(max_size=256))
+    def test_garbage_bytes_never_escape_protocol_error(self, junk):
+        # Arbitrary bytes under a valid length prefix: the reader must
+        # either parse a JSON object or raise exactly ProtocolError —
+        # no UnicodeDecodeError, JSONDecodeError, or MemoryError.
+        a, b = _pair()
+        try:
+            a.sendall(_LEN.pack(len(junk)) + junk)
+            try:
+                message = recv_frame(b)
+            except ProtocolError:
+                pass
+            else:
+                assert isinstance(message, dict)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_prefix_rejected_before_allocation(self):
+        a, b = _pair()
+        try:
+            # A 4-byte lie claiming a larger-than-MAX_FRAME body: the
+            # reader must refuse on the prefix alone.
+            a.sendall(_LEN.pack(MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="oversized"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_is_protocol_error(self):
+        a, b = _pair()
+        try:
+            a.sendall(_LEN.pack(100) + b'{"partial"')
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_object_json_is_protocol_error(self):
+        a, b = _pair()
+        try:
+            body = json.dumps([1, 2, 3]).encode()
+            a.sendall(_LEN.pack(len(body)) + body)
+            with pytest.raises(ProtocolError, match="not a JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_refuses_oversized_frame(self):
+        a, b = _pair()
+        try:
+            with pytest.raises(ProtocolError, match="oversized"):
+                send_frame(a, {"blob": "x" * (MAX_FRAME + 1)})
+        finally:
+            a.close()
+            b.close()
+
+    def test_protocol_errors_are_connection_errors(self):
+        # Every existing reader loop catches ConnectionError; the new
+        # defect types must ride that path, not crash threads.
+        assert issubclass(ProtocolError, ConnectionError)
+        assert issubclass(AuthenticationError, ConnectionError)
+
+
+# ----------------------------------------------------------------------
+# Secret material
+# ----------------------------------------------------------------------
+class TestLoadSecret:
+    def test_file_wins_and_strips_whitespace(self, tmp_path, monkeypatch):
+        path = tmp_path / "secret"
+        path.write_text("  hunter2\n")
+        monkeypatch.setenv("REPRO_TEST_SECRET", "from-env")
+        assert load_secret(path, "REPRO_TEST_SECRET") == b"hunter2"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SECRET", " token \n")
+        assert load_secret(None, "REPRO_TEST_SECRET") == b"token"
+
+    def test_nothing_configured_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_SECRET", raising=False)
+        assert load_secret(None, "REPRO_TEST_SECRET") is None
+
+    def test_missing_file_is_options_error(self, tmp_path):
+        with pytest.raises(OptionsError, match="cannot read"):
+            load_secret(tmp_path / "nope")
+
+    def test_empty_file_is_options_error(self, tmp_path):
+        path = tmp_path / "secret"
+        path.write_text("\n  \n")
+        with pytest.raises(OptionsError, match="empty"):
+            load_secret(path)
+
+    def test_empty_env_is_options_error(self, monkeypatch):
+        # A set-but-empty variable is a broken config, not "no auth".
+        monkeypatch.setenv("REPRO_TEST_SECRET", "  ")
+        with pytest.raises(OptionsError, match="empty"):
+            load_secret(None, "REPRO_TEST_SECRET")
+
+
+# ----------------------------------------------------------------------
+# Proofs and bearer checks
+# ----------------------------------------------------------------------
+class TestProofs:
+    def test_proof_is_deterministic_and_domain_separated(self):
+        nonce = new_nonce()
+        proof = hmac_proof(b"s", PROTOCOL, "client", nonce)
+        assert proof == hmac_proof(b"s", PROTOCOL, "client", nonce)
+        # Role, nonce, protocol, and secret each change the proof: a
+        # recorded proof cannot be reflected into the other direction.
+        assert proof != hmac_proof(b"s", PROTOCOL, "server", nonce)
+        assert proof != hmac_proof(b"s", PROTOCOL, "client", new_nonce())
+        assert proof != hmac_proof(b"s", "other/1", "client", nonce)
+        assert proof != hmac_proof(b"z", PROTOCOL, "client", nonce)
+
+    def test_nonces_are_fresh(self):
+        assert len({new_nonce() for _ in range(64)}) == 64
+
+    def test_constant_time_eq_mixed_types(self):
+        assert constant_time_eq("abc", b"abc")
+        assert constant_time_eq(b"abc", "abc")
+        assert not constant_time_eq("abc", "abd")
+
+    @pytest.mark.parametrize(
+        "header, ok",
+        [
+            ("Bearer sesame", True),
+            ("bearer sesame", True),  # scheme is case-insensitive
+            ("Bearer  sesame ", True),  # surrounding space is stripped
+            ("Bearer wrong", False),
+            ("Basic sesame", False),
+            ("sesame", False),
+            ("", False),
+            (None, False),
+        ],
+    )
+    def test_check_bearer(self, header, ok):
+        assert check_bearer(header, b"sesame") is ok
+
+
+# ----------------------------------------------------------------------
+# TLS context builders
+# ----------------------------------------------------------------------
+class TestTlsContexts:
+    def test_server_context(self, tls_certs):
+        context = build_server_context(tls_certs["cert"], tls_certs["key"])
+        assert context.verify_mode == ssl.CERT_NONE
+
+    def test_server_context_with_ca_demands_client_certs(self, tls_certs):
+        context = build_server_context(
+            tls_certs["cert"], tls_certs["key"], tls_certs["ca"]
+        )
+        assert context.verify_mode == ssl.CERT_REQUIRED
+
+    def test_client_context_pins_ca_not_hostname(self, tls_certs):
+        context = build_client_context(tls_certs["ca"])
+        assert context.check_hostname is False
+        assert context.verify_mode == ssl.CERT_REQUIRED
+
+    def test_bad_material_is_options_error(self, tmp_path):
+        junk = tmp_path / "junk.pem"
+        junk.write_text("not a certificate")
+        with pytest.raises(OptionsError, match="server TLS"):
+            build_server_context(junk, junk)
+        with pytest.raises(OptionsError, match="client TLS"):
+            build_client_context(junk)
+        with pytest.raises(OptionsError, match="server TLS"):
+            build_server_context(tmp_path / "none.pem", tmp_path / "none.pem")

@@ -37,12 +37,12 @@ S27_JOB = {
 }
 
 
-def run(coro_fn, **manager_kwargs):
+def run(coro_fn, *, service_kwargs=None, **manager_kwargs):
     """Run one async scenario against a live in-process daemon."""
 
     async def scenario():
         manager = JobManager(**manager_kwargs)
-        service = MctService(manager)
+        service = MctService(manager, **(service_kwargs or {}))
         host, port = await service.start()
         try:
             return await coro_fn(service, host, port)
@@ -52,20 +52,25 @@ def run(coro_fn, **manager_kwargs):
     return asyncio.run(scenario())
 
 
-async def http(host, port, method, path, body=None, read_all=False):
+async def http(host, port, method, path, body=None, headers=None, ssl=None,
+               return_headers=False):
     """One raw HTTP/1.1 exchange; returns (status, body_bytes)."""
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await asyncio.open_connection(host, port, ssl=ssl)
     try:
         payload = b""
         if body is not None:
             payload = body if isinstance(body, bytes) else json.dumps(
                 body
             ).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         writer.write(
             (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {host}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{extra}"
                 "Connection: close\r\n\r\n"
             ).encode("latin-1")
             + payload
@@ -78,13 +83,17 @@ async def http(host, port, method, path, body=None, read_all=False):
             await writer.wait_closed()
     head, _, rest = raw.partition(b"\r\n\r\n")
     status = int(head.split(b" ", 2)[1])
+    if return_headers:
+        return status, rest, head.decode("latin-1")
     return status, rest
 
 
-async def wait_done(host, port, job_id, timeout=30.0):
+async def wait_done(host, port, job_id, timeout=30.0, **http_kwargs):
     deadline = asyncio.get_running_loop().time() + timeout
     while True:
-        status, body = await http(host, port, "GET", f"/jobs/{job_id}")
+        status, body = await http(
+            host, port, "GET", f"/jobs/{job_id}", **http_kwargs
+        )
         assert status == 200
         doc = json.loads(body)
         if doc["state"] in ("done", "failed", "cancelled"):
@@ -185,7 +194,7 @@ class TestCacheAndCoalesce:
             assert stats.cache_misses == 1
             assert stats.cache_hits == 1
             doc = json.loads(res1)
-            assert doc["schema"] == "repro-mct-service-result/1"
+            assert doc["schema"] == "repro-mct-service-result/2"
             assert doc["bound"] == "5/2"
             assert doc["bound_display"] == "2.5"
             assert doc["partial"] is False
@@ -273,8 +282,13 @@ class TestCacheAndCoalesce:
     def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("k" * 64, b'{"ok": true}')
+        cache.close()  # release the single-writer lock for the reopen
         (tmp_path / ("k" * 64 + ".json")).write_bytes(b'{"truncated')
-        assert ResultCache(tmp_path).get("k" * 64) is None
+        reopened = ResultCache(tmp_path)
+        try:
+            assert reopened.get("k" * 64) is None
+        finally:
+            reopened.close()
 
     def test_memory_cache_roundtrip(self):
         cache = ResultCache()
@@ -324,6 +338,495 @@ class TestCancel:
             assert json.loads(body)["cancelling"] is False
 
         run(scenario)
+
+
+# ----------------------------------------------------------------------
+# Cancel-resume (the hardening tentpole: retained checkpoints)
+# ----------------------------------------------------------------------
+class TestCancelResume:
+    def test_resubmission_resumes_from_retained_checkpoint(self):
+        # The contract: cancel mid-sweep, resubmit the same spec, and
+        # the second sweep recomputes strictly fewer windows — while
+        # the final cached bytes are identical to an uninterrupted run.
+        async def fresh(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            return res
+
+        baseline = run(fresh)
+        total = json.loads(baseline)["candidates"]
+        assert total > 1  # a one-window sweep could not show "fewer"
+
+        async def interrupted(service, host, port):
+            manager = service.manager
+            # Gate the sweep thread after its first committed window so
+            # the cancel deterministically lands mid-sweep (the engine
+            # checks the cancel event between windows).
+            real_sweep = manager._sweep
+
+            def gated(spec, on_record, cancel_event, resume_from=None):
+                seen = 0
+
+                def hooked(record):
+                    nonlocal seen
+                    seen += 1
+                    on_record(record)
+                    if seen == 1:
+                        cancel_event.wait(30.0)
+
+                return real_sweep(spec, hooked, cancel_event, resume_from)
+
+            manager._sweep = gated
+            job = manager.submit(dict(S27_JOB))
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while not any(
+                e["event"] == "candidate" for e in job.events
+            ):
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.005)
+            manager.cancel(job)
+            doc = await wait_done(host, port, job.id)
+            assert doc["state"] == "cancelled"
+            manager._sweep = real_sweep
+            decided = sum(
+                1 for e in job.events if e["event"] == "candidate"
+            )
+            assert decided >= 1
+            # Resubmit the identical spec: same content address, so the
+            # retained exit-3 checkpoint is replayed instead of redone.
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            second = json.loads(body)
+            assert second["cached"] is False
+            job2 = manager.get(second["job"])
+            await wait_done(host, port, job2.id)
+            assert job2.state == "done"
+            assert job2.resumed is True
+            status, body = await http(host, port, "GET", f"/jobs/{job2.id}")
+            assert json.loads(body)["resumed"] is True
+            recomputed = sum(
+                1 for e in job2.events if e["event"] == "candidate"
+            )
+            stats = service.stats
+            assert stats.jobs_resumed == 1
+            assert stats.jobs_cancelled == 1
+            _, res = await http(
+                host, port, "GET", f"/jobs/{job2.id}/result"
+            )
+            return decided, recomputed, res
+
+        decided, recomputed, resumed_bytes = run(interrupted)
+        # Strictly fewer windows recomputed: the replayed prefix was
+        # not re-decided...
+        assert recomputed < total
+        assert decided + recomputed == total
+        # ...and the result bytes are exactly an uninterrupted run's.
+        assert resumed_bytes == baseline
+
+    def test_budget_exhausted_job_resumes_on_resubmission(self):
+        # Interruption by resource exhaustion retains its checkpoint
+        # exactly like a cancel: the budget is not part of the content
+        # address, so resubmitting with fresh resources resumes instead
+        # of redoing the decided prefix.
+        async def fresh(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            return res
+
+        baseline = run(fresh)
+        total = json.loads(baseline)["candidates"]
+
+        async def exhausted_then_resumed(service, host, port):
+            manager = service.manager
+            starved = dict(S27_JOB, options={"work_budget": 200})
+            status, body = await http(host, port, "POST", "/jobs", starved)
+            job = manager.get(json.loads(body)["job"])
+            doc = await wait_done(host, port, job.id)
+            assert doc["state"] == "done"
+            _, res = await http(host, port, "GET", f"/jobs/{job.id}/result")
+            partial = json.loads(res)
+            assert partial["partial"] is True
+            decided = partial["candidates"]
+            assert 0 < decided < total
+            # Partial results are never cached, but the checkpoint is
+            # retained for the (budget-free) resubmission to resume.
+            assert job.key in manager._resume
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            second = json.loads(body)
+            assert second["cached"] is False
+            job2 = manager.get(second["job"])
+            await wait_done(host, port, job2.id)
+            assert job2.state == "done"
+            assert job2.resumed is True
+            assert service.stats.jobs_resumed == 1
+            recomputed = sum(
+                1 for e in job2.events if e["event"] == "candidate"
+            )
+            _, res = await http(host, port, "GET", f"/jobs/{job2.id}/result")
+            return decided, recomputed, res
+
+        decided, recomputed, resumed_bytes = run(exhausted_then_resumed)
+        assert recomputed < total
+        assert decided + recomputed == total
+        assert resumed_bytes == baseline
+
+    def test_completed_job_releases_retained_checkpoint(self):
+        async def scenario(service, host, port):
+            manager = service.manager
+            job = manager.submit(dict(EXAMPLE2))
+            await wait_done(host, port, job.id)
+            # A completed bound retains nothing: resume state is only
+            # for interrupted (cancelled or budget-exhausted) sweeps.
+            assert job.key not in manager._resume
+            assert service.stats.jobs_resumed == 0
+
+        run(scenario)
+
+
+# ----------------------------------------------------------------------
+# Bearer auth (the hardening tentpole: 401s, never tracebacks)
+# ----------------------------------------------------------------------
+class TestBearerAuth:
+    AUTH = {"Authorization": "Bearer sesame"}
+
+    def test_wrong_or_missing_token_is_401_everywhere(self):
+        async def scenario(service, host, port):
+            for path in ("/healthz", "/stats", "/jobs", "/jobs/xx"):
+                status, body = await http(host, port, "GET", path)
+                assert status == 401
+                assert "error" in json.loads(body)
+            for headers in (
+                {"Authorization": "Bearer wrong"},
+                {"Authorization": "Basic sesame"},
+                {"Authorization": "sesame"},
+            ):
+                status, body = await http(
+                    host, port, "GET", "/healthz", headers=headers
+                )
+                assert status == 401
+            status, body = await http(
+                host, port, "POST", "/jobs", EXAMPLE2
+            )
+            assert status == 401
+            stats = service.stats
+            assert stats.auth_rejected == 8
+            # No job was ever created for the unauthenticated submit.
+            assert stats.jobs_submitted == 0
+            # The daemon survived every rejection: a correct token
+            # still gets full service.
+            status, body = await http(
+                host, port, "GET", "/healthz", headers=self.AUTH
+            )
+            assert status == 200
+
+        run(scenario, service_kwargs={"auth_token": b"sesame"})
+
+    def test_401_carries_www_authenticate(self):
+        async def scenario(service, host, port):
+            status, body, head = await http(
+                host, port, "GET", "/healthz", return_headers=True
+            )
+            assert status == 401
+            assert "www-authenticate: bearer" in head.lower()
+
+        run(scenario, service_kwargs={"auth_token": b"sesame"})
+
+    def test_authenticated_flow_end_to_end(self):
+        async def scenario(service, host, port):
+            status, body = await http(
+                host, port, "POST", "/jobs", EXAMPLE2, headers=self.AUTH
+            )
+            assert status == 200
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job, headers=self.AUTH)
+            status, res = await http(
+                host, port, "GET", f"/jobs/{job}/result", headers=self.AUTH
+            )
+            assert status == 200
+            assert json.loads(res)["bound"] == "5/2"
+            assert service.stats.auth_rejected == 0
+            return res
+
+        authed = run(scenario, service_kwargs={"auth_token": b"sesame"})
+
+        async def plaintext(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            return res
+
+        # Auth is deployment config, not identity: same bytes.
+        assert authed == run(plaintext)
+
+    def test_tokenless_deployment_stays_open(self):
+        async def scenario(service, host, port):
+            status, _ = await http(host, port, "GET", "/healthz")
+            assert status == 200
+            assert service.stats.auth_rejected == 0
+
+        run(scenario)
+
+
+# ----------------------------------------------------------------------
+# TLS listener
+# ----------------------------------------------------------------------
+class TestTlsService:
+    def test_tls_round_trip_byte_identical_to_plaintext(self, tls_certs):
+        from repro.netsec import build_client_context, build_server_context
+
+        client = build_client_context(tls_certs["ca"])
+
+        async def scenario(service, host, port):
+            status, body = await http(
+                host, port, "POST", "/jobs", EXAMPLE2, ssl=client
+            )
+            assert status == 200
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job, ssl=client)
+            status, res = await http(
+                host, port, "GET", f"/jobs/{job}/result", ssl=client
+            )
+            assert status == 200
+            return res
+
+        tls_bytes = run(
+            scenario,
+            service_kwargs={
+                "ssl_context": build_server_context(
+                    tls_certs["cert"], tls_certs["key"]
+                )
+            },
+        )
+
+        async def plaintext(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            job = json.loads(body)["job"]
+            await wait_done(host, port, job)
+            _, res = await http(host, port, "GET", f"/jobs/{job}/result")
+            return res
+
+        assert tls_bytes == run(plaintext)
+
+    def test_tls_and_auth_compose(self, tls_certs):
+        from repro.netsec import build_client_context, build_server_context
+
+        client = build_client_context(tls_certs["ca"])
+
+        async def scenario(service, host, port):
+            status, _ = await http(host, port, "GET", "/healthz", ssl=client)
+            assert status == 401
+            status, _ = await http(
+                host, port, "GET", "/healthz", ssl=client,
+                headers={"Authorization": "Bearer sesame"},
+            )
+            assert status == 200
+
+        run(
+            scenario,
+            service_kwargs={
+                "auth_token": b"sesame",
+                "ssl_context": build_server_context(
+                    tls_certs["cert"], tls_certs["key"]
+                ),
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Bounded job lifecycle (TTL + LRU table caps)
+# ----------------------------------------------------------------------
+class TestJobLifecycle:
+    def test_ttl_evicts_terminal_jobs(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            first = json.loads(body)["job"]
+            await wait_done(host, port, first)
+            await asyncio.sleep(0.15)  # past the TTL
+            # Eviction runs at the next submit.
+            status, body = await http(host, port, "POST", "/jobs", S27_JOB)
+            second = json.loads(body)["job"]
+            status, body = await http(host, port, "GET", f"/jobs/{first}")
+            assert status == 404
+            doc = json.loads(body)
+            assert doc["evicted"] is True
+            assert "evicted" in doc["error"]
+            stats = service.stats
+            assert stats.jobs_evicted == 1
+            assert stats.jobs_not_found == 1
+            # The result itself is NOT gone: the cache outlives the
+            # job table, so a resubmission is still a hit.
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            assert json.loads(body)["cached"] is True
+            await wait_done(host, port, second)
+
+        run(scenario, job_ttl=0.1)
+
+    def test_max_jobs_evicts_oldest_terminal_first(self):
+        async def scenario(service, host, port):
+            ids = []
+            for _ in range(2):
+                status, body = await http(
+                    host, port, "POST", "/jobs", EXAMPLE2
+                )
+                ids.append(json.loads(body)["job"])
+                await wait_done(host, port, ids[-1])
+            # Third and fourth submissions push the table past the cap;
+            # the oldest terminal job goes first.
+            for _ in range(2):
+                status, body = await http(
+                    host, port, "POST", "/jobs", EXAMPLE2
+                )
+                ids.append(json.loads(body)["job"])
+            status, _ = await http(host, port, "GET", f"/jobs/{ids[0]}")
+            assert status == 404
+            # Newer jobs survived.
+            status, _ = await http(host, port, "GET", f"/jobs/{ids[-1]}")
+            assert status == 200
+            assert service.stats.jobs_evicted >= 1
+            assert len(service.manager._jobs) <= 3  # cap + the newcomer
+
+        run(scenario, max_jobs=2)
+
+    def test_running_jobs_are_never_evicted(self):
+        async def scenario(service, host, port):
+            manager = service.manager
+            # Park the sweep thread until cancelled, so the job stays
+            # genuinely running across the TTL and table-cap checks.
+            real_sweep = manager._sweep
+
+            def parked(spec, on_record, cancel_event, resume_from=None):
+                if spec.key == job.key:  # only the S27 sweep parks
+                    cancel_event.wait(30.0)
+                return real_sweep(spec, on_record, cancel_event, resume_from)
+
+            manager._sweep = parked
+            job = manager.submit(dict(S27_JOB))
+            await asyncio.sleep(0.05)  # well past the TTL while running
+            status, body = await http(host, port, "POST", "/jobs", EXAMPLE2)
+            other = json.loads(body)["job"]
+            # The running sweep is structurally exempt from both caps.
+            status, _ = await http(host, port, "GET", f"/jobs/{job.id}")
+            assert status == 200
+            assert not manager.was_evicted(job.id)
+            manager.cancel(job)
+            await wait_done(host, port, job.id)
+            await wait_done(host, port, other)
+
+        run(scenario, job_ttl=0.01, max_jobs=1)
+
+    def test_unknown_vs_evicted_404s_are_distinct(self):
+        async def scenario(service, host, port):
+            status, body = await http(host, port, "GET", "/jobs/ghost")
+            assert status == 404
+            assert json.loads(body)["evicted"] is False
+            assert service.stats.jobs_not_found == 1
+
+        run(scenario)
+
+    def test_soak_table_and_cache_stay_bounded(self, tmp_path):
+        # A long-lived daemon under repeated submissions keeps both the
+        # job table and the disk cache under their caps.
+        max_bytes = 4096
+
+        async def scenario(service, host, port):
+            specs = [
+                EXAMPLE2,
+                {**EXAMPLE2, "options": {"use_reachability": True}},
+                S27_JOB,
+            ]
+            for spec in specs:
+                status, body = await http(host, port, "POST", "/jobs", spec)
+                await wait_done(host, port, json.loads(body)["job"])
+            for _ in range(10):  # a burst of duplicate (cache-hit) work
+                for spec in specs:
+                    status, body = await http(
+                        host, port, "POST", "/jobs", spec
+                    )
+                    assert json.loads(body)["cached"] is True
+            manager = service.manager
+            cache = manager.cache
+            assert len(manager._jobs) <= 5  # max_jobs + transients
+            assert service.stats.jobs_evicted > 0
+            assert (
+                len(cache._sizes) == 1  # newest always survives
+                or cache.total_bytes <= max_bytes
+            )
+            stats = service.stats
+            assert stats.cache_evictions == cache.evictions
+
+        run(
+            scenario,
+            max_jobs=4,
+            cache=ResultCache(tmp_path, max_bytes=max_bytes),
+        )
+
+
+# ----------------------------------------------------------------------
+# Bounded result cache (byte cap + single writer)
+# ----------------------------------------------------------------------
+class TestCacheBounds:
+    def test_max_bytes_evicts_lru_from_both_tiers(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=100)
+        try:
+            cache.put("a" * 64, b'{"v": "' + b"x" * 53 + b'"}')  # 62 bytes
+            cache.put("b" * 64, b'{"v": "' + b"y" * 53 + b'"}')
+            assert cache.evictions == 1
+            assert cache.get("a" * 64) is None  # memory AND disk gone
+            assert not (tmp_path / ("a" * 64 + ".json")).exists()
+            assert cache.get("b" * 64) is not None
+            assert cache.total_bytes <= 100
+        finally:
+            cache.close()
+
+    def test_get_refreshes_lru_order(self):
+        cache = ResultCache(max_bytes=150)
+        cache.put("a" * 64, b"x" * 60)
+        cache.put("b" * 64, b"y" * 60)
+        assert cache.get("a" * 64) is not None  # refresh: a is now MRU
+        cache.put("c" * 64, b"z" * 60)  # over cap: evicts b, not a
+        assert cache.get("b" * 64) is None
+        assert cache.get("a" * 64) is not None
+        assert cache.get("c" * 64) is not None
+        assert cache.evictions == 1
+
+    def test_newest_entry_survives_even_over_cap(self):
+        cache = ResultCache(max_bytes=10)
+        cache.put("a" * 64, b"x" * 100)
+        assert cache.get("a" * 64) == b"x" * 100
+        assert cache.evictions == 0
+
+    def test_cap_spans_restarts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, b'{"v": 1}')
+        cache.put("b" * 64, b'{"v": 2}')
+        cache.close()
+        reopened = ResultCache(tmp_path, max_bytes=10)
+        try:
+            # Preexisting entries were indexed and capped at startup.
+            assert len(reopened._sizes) == 1
+            assert reopened.evictions == 1
+        finally:
+            reopened.close()
+
+    def test_second_writer_fails_fast(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        try:
+            with pytest.raises(OptionsError, match="already in use"):
+                ResultCache(tmp_path)
+        finally:
+            cache.close()
+        # Released: a sequential daemon restart reuses the directory.
+        again = ResultCache(tmp_path)
+        again.close()
+        again.close()  # idempotent
+
+    def test_max_bytes_validated(self):
+        with pytest.raises(OptionsError):
+            ResultCache(max_bytes=0)
 
 
 # ----------------------------------------------------------------------
@@ -474,3 +977,39 @@ class TestServeCli:
             "serve", "--heartbeat-interval", "0.5",
             "--heartbeat-timeout", "0.1",
         ]) == 1
+
+    def test_rejects_bad_hardening_flags(self, capsys):
+        assert main(["serve", "--job-ttl", "0"]) == 1
+        assert "--job-ttl" in capsys.readouterr().err
+        assert main(["serve", "--max-jobs", "0"]) == 1
+        assert "--max-jobs" in capsys.readouterr().err
+        assert main(["serve", "--cache-max-bytes", "0"]) == 1
+        assert "--cache-max-bytes" in capsys.readouterr().err
+        assert main(["serve", "--connect-timeout", "0"]) == 1
+        assert "--connect-timeout" in capsys.readouterr().err
+
+    def test_rejects_unpaired_tls_flags(self, capsys):
+        assert main(["serve", "--tls-cert", "c.pem"]) == 1
+        assert "--tls-key" in capsys.readouterr().err
+        assert main(["serve", "--tls-ca", "ca.pem"]) == 1
+        assert "--tls-cert" in capsys.readouterr().err
+
+    def test_rejects_broken_secret_sources(self, tmp_path, capsys):
+        assert main([
+            "serve", "--auth-token-file", str(tmp_path / "missing"),
+        ]) == 1
+        assert "token" in capsys.readouterr().err
+        empty = tmp_path / "empty"
+        empty.write_text("  \n")
+        assert main(["serve", "--auth-token-file", str(empty)]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_rejects_locked_cache_dir(self, tmp_path, capsys):
+        # Two daemons on one --cache-dir: the second exits 1 with the
+        # single-writer message instead of racing the first.
+        cache = ResultCache(tmp_path)
+        try:
+            assert main(["serve", "--cache-dir", str(tmp_path)]) == 1
+            assert "already in use" in capsys.readouterr().err
+        finally:
+            cache.close()
